@@ -1,0 +1,77 @@
+// E2 / Figure 4 — NL parser interactions in two modes: proactive
+// clarification and reactive correction, with the sketch growing from 8
+// to 11 steps as in §6. Then times interactive parsing.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "parser/nl_parser.h"
+
+using namespace kathdb;         // NOLINT
+using namespace kathdb::bench;  // NOLINT
+
+namespace {
+
+void PrintFigure4() {
+  BenchDb b = MakeIngestedDb(20);
+  llm::ScriptedUser user({
+      "the movie plot contains scenes that are uncommon (e.g., gun fight) "
+      "in real life",
+      "Oh I prefer a more recent movie as well when scoring",
+      "OK",
+  });
+  parser::NlParser nl(b.db->llm(), &user, b.db->catalog());
+  auto sketch = nl.Parse(kPaperQuery);
+  if (!sketch.ok()) std::abort();
+
+  std::printf("=== Figure 4: NL parser interactions in two modes ===\n\n");
+  std::printf("--- Proactive clarification ---\n");
+  std::printf("Query:         %s\n", kPaperQuery);
+  std::printf("Clarification: %s\n", user.history()[0].question.c_str());
+  std::printf("Feedback:      %s\n\n", user.history()[0].answer.c_str());
+
+  std::printf("--- Reactive correction ---\n");
+  std::printf("COT sketch v1: %zu steps\n",
+              nl.sketch_history()[0].steps.size());
+  std::printf("Correction:    %s\n", user.history()[1].answer.c_str());
+  std::printf("COT sketch v2: %zu steps (paper: 8 -> 11)\n\n",
+              nl.sketch_history()[1].steps.size());
+
+  std::printf("Updated knowledge captured in the intent:\n");
+  for (const auto& c : nl.intent().criteria) {
+    std::printf("  term='%s' modality=%s role=%s weight=%.1f meaning=\"%s\"\n",
+                c.term.c_str(), c.modality.c_str(), c.role.c_str(),
+                c.weight, c.clarified_meaning.c_str());
+  }
+  std::printf("\nAccepted sketch:\n%s\n", sketch->ToText().c_str());
+  std::printf("User questions answered: %zu\n\n", user.questions_asked());
+}
+
+void BM_InteractiveParse(benchmark::State& state) {
+  BenchDb b = MakeIngestedDb(20);
+  for (auto _ : state) {
+    llm::ScriptedUser user = PaperUser();
+    parser::NlParser nl(b.db->llm(), &user, b.db->catalog());
+    auto sketch = nl.Parse(kPaperQuery);
+    benchmark::DoNotOptimize(sketch);
+  }
+}
+BENCHMARK(BM_InteractiveParse);
+
+void BM_AmbiguityDetection(benchmark::State& state) {
+  llm::UsageMeter meter;
+  llm::SimulatedLLM llm(llm::KathLargeSpec(), &meter);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(llm.DetectAmbiguousTerms(kPaperQuery));
+  }
+}
+BENCHMARK(BM_AmbiguityDetection);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

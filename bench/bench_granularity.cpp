@@ -1,0 +1,107 @@
+// E7 / §4 research question — plan granularity: "a compact plan with
+// fewer larger functions may execute more quickly, but ... may also make
+// explanations harder."
+//
+// Compares the fine-grained 10-node plan against the fused variant
+// (keyword + recency + combine merged into one operator) on runtime,
+// intermediate materializations, lineage volume and explanation detail.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_util.h"
+
+using namespace kathdb;         // NOLINT
+using namespace kathdb::bench;  // NOLINT
+
+namespace {
+
+struct GranularityRow {
+  const char* variant;
+  size_t nodes = 0;
+  double exec_ms = 0.0;
+  size_t lineage_edges = 0;
+  size_t explanation_chars = 0;
+  size_t distinct_funcs = 0;
+};
+
+GranularityRow RunVariant(const char* name, bool fuse, int movies) {
+  engine::KathDBOptions db_opts;
+  db_opts.optimizer.enable_fusion = fuse;
+  BenchDb b = MakeIngestedDb(movies, {}, db_opts);
+  size_t edges_before = b.db->lineage()->num_entries();
+  auto t0 = std::chrono::steady_clock::now();
+  engine::QueryOutcome outcome = RunPaperQuery(b.db.get());
+  auto t1 = std::chrono::steady_clock::now();
+  GranularityRow row;
+  row.variant = name;
+  row.nodes = outcome.physical_plan.nodes.size();
+  row.exec_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  row.lineage_edges = b.db->lineage()->num_entries() - edges_before;
+  row.distinct_funcs = b.db->registry()->num_functions();
+  auto fine = b.db->ExplainTuple(outcome.result.row_lid(0));
+  row.explanation_chars = fine.ok() ? fine.value().size() : 0;
+  return row;
+}
+
+void PrintGranularityTable() {
+  std::printf("=== E7: plan granularity (fine vs fused scoring chain) ===\n");
+  std::printf("%-10s %-7s %-10s %-14s %-12s %-14s\n", "variant", "nodes",
+              "exec_ms", "lineage_edges", "functions", "explain_chars");
+  for (int movies : {100, 400}) {
+    GranularityRow fine = RunVariant("fine", false, movies);
+    GranularityRow fused = RunVariant("fused", true, movies);
+    std::printf("-- %d movies --\n", movies);
+    for (const auto& row : {fine, fused}) {
+      std::printf("%-10s %-7zu %-10.2f %-14zu %-12zu %-14zu\n", row.variant,
+                  row.nodes, row.exec_ms, row.lineage_edges,
+                  row.distinct_funcs, row.explanation_chars);
+    }
+  }
+  std::printf("(expected shape: fused has fewer nodes/edges and lower "
+              "runtime, but a shorter — coarser — explanation)\n\n");
+}
+
+void BM_FinePlan(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchDb b = MakeIngestedDb(100);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(RunPaperQuery(b.db.get()).result.num_rows());
+  }
+}
+BENCHMARK(BM_FinePlan)->Unit(benchmark::kMillisecond);
+
+void BM_FusedPlan(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine::KathDBOptions db_opts;
+    db_opts.optimizer.enable_fusion = true;
+    BenchDb b = MakeIngestedDb(100, {}, db_opts);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(RunPaperQuery(b.db.get()).result.num_rows());
+  }
+}
+BENCHMARK(BM_FusedPlan)->Unit(benchmark::kMillisecond);
+
+void BM_PushdownPlan(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine::KathDBOptions db_opts;
+    db_opts.optimizer.enable_pushdown = true;
+    BenchDb b = MakeIngestedDb(100, {}, db_opts);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(RunPaperQuery(b.db.get()).result.num_rows());
+  }
+}
+BENCHMARK(BM_PushdownPlan)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintGranularityTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E6 / §3 research question — "lineage tracking adds a significant
+// overhead, so how should KathDB perform tracking without sacrificing
+// much query execution speed?"
+//
+// Sweeps tracking modes (off / table-only / sampled / full row) across
+// corpus sizes and reports execution time, edge counts and memory so the
+// row-level-vs-table-level trade-off is visible.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_util.h"
+
+using namespace kathdb;         // NOLINT
+using namespace kathdb::bench;  // NOLINT
+
+namespace {
+
+const char* ModeName(lineage::TrackingMode mode) {
+  switch (mode) {
+    case lineage::TrackingMode::kOff:
+      return "off";
+    case lineage::TrackingMode::kTable:
+      return "table";
+    case lineage::TrackingMode::kSampled:
+      return "sampled(0.1)";
+    case lineage::TrackingMode::kRow:
+      return "row";
+  }
+  return "?";
+}
+
+void PrintOverheadTable() {
+  std::printf("=== E6: lineage-tracking overhead by mode ===\n");
+  std::printf("%-8s %-14s %-12s %-10s %-10s %-14s\n", "movies", "mode",
+              "exec_ms", "edges", "KiB", "vs off");
+  for (int n : {50, 200, 800}) {
+    double baseline_ms = 0.0;
+    for (auto mode :
+         {lineage::TrackingMode::kOff, lineage::TrackingMode::kTable,
+          lineage::TrackingMode::kSampled, lineage::TrackingMode::kRow}) {
+      // Best-of-3 fresh runs to suppress allocator/cache noise.
+      double ms = 1e18;
+      size_t edges = 0;
+      size_t bytes = 0;
+      for (int rep = 0; rep < 3; ++rep) {
+        engine::KathDBOptions db_opts;
+        db_opts.lineage_mode = mode;
+        db_opts.lineage_sample_rate = 0.1;
+        BenchDb b = MakeIngestedDb(n, {}, db_opts);
+        size_t edges_before = b.db->lineage()->num_entries();
+        auto t0 = std::chrono::steady_clock::now();
+        engine::QueryOutcome outcome = RunPaperQuery(b.db.get());
+        auto t1 = std::chrono::steady_clock::now();
+        ms = std::min(ms, std::chrono::duration<double, std::milli>(t1 - t0)
+                              .count());
+        edges = b.db->lineage()->num_entries() - edges_before;
+        bytes = b.db->lineage()->ApproxBytes();
+      }
+      if (mode == lineage::TrackingMode::kOff) baseline_ms = ms;
+      std::printf("%-8d %-14s %-12.2f %-10zu %-10zu %+.1f%%\n", n,
+                  ModeName(mode), ms, edges, bytes / 1024,
+                  baseline_ms > 0 ? (ms / baseline_ms - 1.0) * 100 : 0.0);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_QueryWithMode(benchmark::State& state) {
+  auto mode = static_cast<lineage::TrackingMode>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine::KathDBOptions db_opts;
+    db_opts.lineage_mode = mode;
+    BenchDb b = MakeIngestedDb(static_cast<int>(state.range(0)), {},
+                               db_opts);
+    state.ResumeTiming();
+    engine::QueryOutcome outcome = RunPaperQuery(b.db.get());
+    benchmark::DoNotOptimize(outcome.result.num_rows());
+  }
+  state.SetLabel(ModeName(mode));
+}
+BENCHMARK(BM_QueryWithMode)
+    ->Args({100, static_cast<int>(lineage::TrackingMode::kOff)})
+    ->Args({100, static_cast<int>(lineage::TrackingMode::kTable)})
+    ->Args({100, static_cast<int>(lineage::TrackingMode::kSampled)})
+    ->Args({100, static_cast<int>(lineage::TrackingMode::kRow)})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintOverheadTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

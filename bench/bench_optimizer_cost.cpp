@@ -1,0 +1,103 @@
+// E8 / §4 — cost-based physical selection among alternative FAO
+// implementations of classify_boring: scene-graph statistics (cheap),
+// pixel-level vision model (accurate, expensive), and a cascade. The
+// optimizer profiles the candidates on sample rows against the pixel
+// reference and picks the cheapest implementation meeting the accuracy
+// floor. Sweeping VLM detector noise shifts the choice.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "optimizer/optimizer.h"
+#include "parser/nl_parser.h"
+#include "planner/plan_generator.h"
+
+using namespace kathdb;         // NOLINT
+using namespace kathdb::bench;  // NOLINT
+
+namespace {
+
+void PrintSelectionTable() {
+  std::printf("=== E8: physical selection for classify_boring under VLM "
+              "noise ===\n");
+  std::printf("%-12s %-26s %-10s %-12s %-8s\n", "vlm_noise", "candidate",
+              "agree", "est_cost_usd", "chosen");
+  for (double noise : {0.0, 2.0, 3.5}) {
+    data::DatasetOptions data_opts;
+    engine::KathDBOptions db_opts;
+    // Detector misses plus mis-reported pixel statistics: the cheap
+    // scene-graph heuristic inherits both, the pixel path neither.
+    db_opts.vlm.detection_drop_prob = std::min(0.5, noise / 4);
+    db_opts.vlm.class_confusion_prob = std::min(0.4, noise / 5);
+    db_opts.vlm.variance_noise = noise;
+    db_opts.optimizer.accuracy_floor = 0.8;
+    db_opts.optimizer.profile_sample_rows = 20;
+    BenchDb b = MakeIngestedDb(60, data_opts, db_opts);
+
+    llm::ScriptedUser user = PaperUser();
+    parser::NlParser nl(b.db->llm(), &user, b.db->catalog());
+    auto sketch = nl.Parse(kPaperQuery);
+    if (!sketch.ok()) std::abort();
+    planner::LogicalPlanGenerator gen(b.db->llm(), b.db->catalog());
+    auto plan = gen.Generate(sketch.value(), nl.intent());
+    if (!plan.ok()) std::abort();
+    fao::ExecContext ctx = b.db->MakeContext();
+    opt::QueryOptimizer optimizer(b.db->llm(), b.db->registry(),
+                                  b.db->options().optimizer);
+    auto physical = optimizer.Optimize(plan.value(), nl.intent(), &ctx);
+    if (!physical.ok()) std::abort();
+    for (const auto& p : optimizer.profiles()) {
+      if (p.node != "classify_boring") continue;
+      std::printf("%-12.2f %-26s %-10.2f %-12.4f %-8s\n", noise,
+                  p.template_id.c_str(), p.agreement, p.est_cost_usd,
+                  p.chosen ? "<== yes" : "");
+    }
+  }
+  std::printf("(expected shape: with a clean detector the cheap stats "
+              "implementation agrees with the vision reference and wins; "
+              "as detector noise grows its agreement drops below the "
+              "floor and the optimizer escalates to cascade/pixels)\n\n");
+}
+
+void BM_OptimizePlan(benchmark::State& state) {
+  BenchDb b = MakeIngestedDb(40);
+  llm::ScriptedUser user = PaperUser();
+  parser::NlParser nl(b.db->llm(), &user, b.db->catalog());
+  auto sketch = nl.Parse(kPaperQuery);
+  if (!sketch.ok()) std::abort();
+  planner::LogicalPlanGenerator gen(b.db->llm(), b.db->catalog());
+  auto plan = gen.Generate(sketch.value(), nl.intent());
+  if (!plan.ok()) std::abort();
+  fao::ExecContext ctx = b.db->MakeContext();
+  for (auto _ : state) {
+    opt::QueryOptimizer optimizer(b.db->llm(), b.db->registry());
+    benchmark::DoNotOptimize(
+        optimizer.Optimize(plan.value(), nl.intent(), &ctx));
+  }
+}
+BENCHMARK(BM_OptimizePlan)->Unit(benchmark::kMillisecond);
+
+void BM_CascadeVsPixelsExecution(benchmark::State& state) {
+  bool cascade = state.range(0) == 1;
+  engine::KathDBOptions db_opts;
+  db_opts.optimizer.boring_impl = cascade ? "cascade" : "pixels";
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchDb b = MakeIngestedDb(80, {}, db_opts);
+    state.ResumeTiming();
+    engine::QueryOutcome outcome = RunPaperQuery(b.db.get());
+    benchmark::DoNotOptimize(outcome.result.num_rows());
+  }
+  state.SetLabel(cascade ? "cascade" : "pixels");
+}
+BENCHMARK(BM_CascadeVsPixelsExecution)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSelectionTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

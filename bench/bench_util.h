@@ -1,0 +1,69 @@
+/// \file bench_util.h
+/// \brief Shared setup helpers for the KathDB benchmark binaries.
+///
+/// Every bench binary reproduces one table/figure of the paper (or one of
+/// its research-question ablations): it first prints the paper-shaped
+/// artifact, then runs google-benchmark timings.
+
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "data/movie_dataset.h"
+#include "engine/kathdb.h"
+
+namespace kathdb::bench {
+
+constexpr const char* kPaperQuery =
+    "Sort the given films in the table by how exciting they are, but the "
+    "poster should be 'boring'";
+
+/// The §6 scripted user: clarification reply, recency correction, accept.
+inline llm::ScriptedUser PaperUser() {
+  return llm::ScriptedUser(
+      {"The movie plot contains scenes that are uncommon in real life",
+       "I prefer more recent movies when scoring", "OK"});
+}
+
+struct BenchDb {
+  data::MovieDataset dataset;
+  std::unique_ptr<engine::KathDB> db;
+};
+
+/// Generates and ingests a corpus of `num_movies` into a fresh KathDB.
+inline BenchDb MakeIngestedDb(int num_movies,
+                              data::DatasetOptions data_opts = {},
+                              engine::KathDBOptions db_opts = {}) {
+  data_opts.num_movies = num_movies;
+  BenchDb out;
+  auto ds = data::GenerateMovieDataset(data_opts);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 ds.status().ToString().c_str());
+    std::abort();
+  }
+  out.dataset = std::move(ds).value();
+  out.db = std::make_unique<engine::KathDB>(db_opts);
+  Status st = data::IngestDataset(out.dataset, out.db.get());
+  if (!st.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  return out;
+}
+
+/// Runs the paper query; aborts on failure (benches need the result).
+inline engine::QueryOutcome RunPaperQuery(engine::KathDB* db) {
+  llm::ScriptedUser user = PaperUser();
+  auto outcome = db->Query(kPaperQuery, &user);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 outcome.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(outcome).value();
+}
+
+}  // namespace kathdb::bench

@@ -1,0 +1,62 @@
+// Interactive clarification & correction (Figure 4 of the paper).
+//
+// Demonstrates the NL parser's two interaction modes: the reviewer agent's
+// *proactive clarification* question about a subjective term, and the
+// *reactive correction* loop where user feedback ("I prefer more recent
+// movies") grows the query sketch from 8 to 11 steps.
+//
+// Run:  ./build/examples/example_interactive_clarification
+
+#include <cstdio>
+
+#include "data/movie_dataset.h"
+#include "engine/kathdb.h"
+#include "parser/nl_parser.h"
+
+using namespace kathdb;  // NOLINT: example brevity
+
+int main() {
+  data::DatasetOptions opts;
+  opts.num_movies = 12;
+  auto dataset = data::GenerateMovieDataset(opts);
+  engine::KathDB db;
+  if (!dataset.ok() || !data::IngestDataset(dataset.value(), &db).ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+
+  llm::ScriptedUser user({
+      "the movie plot contains scenes that are uncommon (e.g., gun fight) "
+      "in real life",
+      "Oh I prefer a more recent movie as well when scoring",
+      "OK",
+  });
+  parser::NlParser parser(db.llm(), &user, db.catalog());
+  auto sketch = parser.Parse(
+      "Sort the given films in the table by how exciting they are, but "
+      "the poster should be 'boring'");
+  if (!sketch.ok()) {
+    std::fprintf(stderr, "parse: %s\n", sketch.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== Conversation transcript ===\n");
+  for (const auto& e : user.history()) {
+    if (e.answer.empty()) {
+      std::printf("[KathDB notice] %s\n\n", e.question.c_str());
+    } else {
+      std::printf("[KathDB] %.300s%s\n[User]   %s\n\n", e.question.c_str(),
+                  e.question.size() > 300 ? "..." : "", e.answer.c_str());
+    }
+  }
+
+  std::printf("=== Sketch evolution ===\n");
+  for (const auto& version : parser.sketch_history()) {
+    std::printf("v%d: %zu steps\n", version.version, version.steps.size());
+  }
+  std::printf("\n%s", sketch->ToText().c_str());
+  std::printf("\nClarified meaning of 'exciting': %s\n",
+              parser.intent().FindByTerm("exciting")->clarified_meaning
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Multimodal ingestion: the unified relational semantic layer (Section 3).
+//
+// Builds images and documents by hand, ingests them through the simulated
+// VLM / NER extractors, and queries the scene-graph and text-graph views
+// (Tables 1 and 2 of the paper) directly with SQL.
+//
+// Run:  ./build/examples/example_multimodal_ingest
+
+#include <cstdio>
+
+#include "engine/kathdb.h"
+#include "sql/engine.h"
+
+using namespace kathdb;  // NOLINT: example brevity
+
+int main() {
+  engine::KathDB db;
+
+  // --- an "action" poster and a "plain" poster --------------------------
+  mm::SyntheticImage action;
+  action.uri = "file://posters/action.simg";
+  action.color_variance = 0.21;
+  action.objects.push_back({"person", 0.1, 0.1, 0.5, 0.9,
+                            {{"color", "red"}, {"pose", "running"}}});
+  action.objects.push_back({"gun", 0.42, 0.40, 0.52, 0.52, {}});
+  action.objects.push_back({"motorcycle", 0.5, 0.5, 0.95, 0.95,
+                            {{"color", "black"}}});
+  action.relationships.push_back({0, "holding", 1});
+  action.relationships.push_back({0, "riding", 2});
+
+  mm::SyntheticImage plain;
+  plain.uri = "file://posters/plain.simg";
+  plain.color_variance = 0.01;
+  plain.objects.push_back({"person", 0.3, 0.2, 0.7, 0.9,
+                           {{"color", "gray"}}});
+
+  if (!db.IngestImage(1, action).ok() || !db.IngestImage(2, plain).ok()) {
+    std::fprintf(stderr, "image ingest failed\n");
+    return 1;
+  }
+
+  // --- two plot documents ------------------------------------------------
+  mm::Document thriller;
+  thriller.did = 1;
+  thriller.uri = "file://plots/thriller.txt";
+  thriller.text =
+      "Eleanor Finch chases the sniper across the rooftop. Mrs. Finch "
+      "survives the explosion, but the conspiracy reaches her own office. "
+      "She uncovers the betrayal at the trial.";
+  mm::Document pastoral;
+  pastoral.did = 2;
+  pastoral.uri = "file://plots/pastoral.txt";
+  pastoral.text =
+      "Walter Cross tends a quiet garden by the lake. A gentle walk "
+      "through the meadow ends with tea at sunset.";
+  if (!db.IngestDocument(thriller).ok() ||
+      !db.IngestDocument(pastoral).ok()) {
+    std::fprintf(stderr, "document ingest failed\n");
+    return 1;
+  }
+
+  // --- query the views with plain SQL -------------------------------------
+  sql::SqlEngine engine(db.catalog());
+  auto show = [&](const char* label, const char* query) {
+    std::printf("=== %s ===\n-- %s\n", label, query);
+    auto r = engine.Execute(query);
+    if (r.ok()) {
+      std::printf("%s\n", r.value().ToText(12).c_str());
+    } else {
+      std::printf("error: %s\n\n", r.status().ToString().c_str());
+    }
+  };
+
+  show("Scene graph: objects per poster (Table 1)",
+       "SELECT vid, COUNT(*) AS objects FROM scene_objects GROUP BY vid");
+  show("Scene graph: what is the person doing?",
+       "SELECT r.vid, o.cid, r.pid, t.cid FROM scene_relationships r "
+       "JOIN scene_objects o ON r.oid_i = o.oid "
+       "JOIN scene_objects t ON r.oid_j = t.oid");
+  show("Object attributes",
+       "SELECT vid, oid, k, v FROM scene_attributes ORDER BY vid");
+  show("Text graph: entities by class (Table 2)",
+       "SELECT cid, COUNT(*) AS n FROM text_entities GROUP BY cid "
+       "ORDER BY n DESC");
+  show("Coreference: mentions per entity",
+       "SELECT did, eid, COUNT(*) AS mentions FROM text_mentions "
+       "GROUP BY did, eid ORDER BY mentions DESC LIMIT 5");
+  show("Cross-modal: posters whose movie text mentions violence",
+       "SELECT DISTINCT e.did FROM text_entities e WHERE e.cid = "
+       "'violence'");
+
+  // Lineage of one extracted object.
+  auto objects = db.catalog()->Get("scene_objects");
+  if (objects.ok() && objects.value()->num_rows() > 0) {
+    int64_t lid = objects.value()->row_lid(0);
+    std::printf("Provenance of the first detected object (lid=%lld):\n",
+                static_cast<long long>(lid));
+    for (const auto& e : db.lineage()->TraceToSources(lid)) {
+      std::printf("  %s (v%lld)%s\n",
+                  e.func_id.empty() ? "external" : e.func_id.c_str(),
+                  static_cast<long long>(e.ver_id),
+                  e.src_uri.empty() ? "" : (" <- " + e.src_uri).c_str());
+    }
+  }
+  return 0;
+}

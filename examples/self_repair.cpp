@@ -1,0 +1,69 @@
+// On-the-fly self-repair (Section 5 of the paper).
+//
+// A fraction of posters are stored as HEIC, which the pixel-level
+// classifier cannot decode. Instead of aborting, the agentic monitor's
+// reviewer diagnoses the exception, the rewriter patches the function
+// (adding a format-conversion step), bumps its version, and execution
+// resumes — exactly the cv2/HEIC scenario in the paper.
+//
+// Run:  ./build/examples/example_self_repair
+
+#include <cstdio>
+
+#include "data/movie_dataset.h"
+#include "engine/kathdb.h"
+
+using namespace kathdb;  // NOLINT: example brevity
+
+int main() {
+  data::DatasetOptions opts;
+  opts.num_movies = 20;
+  opts.heic_fraction = 0.4;  // 40% of posters are HEIC
+  auto dataset = data::GenerateMovieDataset(opts);
+
+  engine::KathDBOptions db_opts;
+  db_opts.optimizer.boring_impl = "pixels";  // force the pixel path
+  engine::KathDB db(db_opts);
+  if (!dataset.ok() || !data::IngestDataset(dataset.value(), &db).ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+
+  int heic = 0;
+  for (const auto& [vid, poster] : dataset->posters) {
+    if (poster.format == "heic") ++heic;
+  }
+  std::printf("%d of %zu posters are HEIC; the decoder does not support "
+              "that format yet.\n\n",
+              heic, dataset->posters.size());
+
+  llm::ScriptedUser user({"uncommon scenes", "prefer recent movies", "OK"});
+  auto outcome = db.Query(
+      "Sort the given films in the table by how exciting they are, but "
+      "the poster should be 'boring'",
+      &user);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "query: %s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Execution finished with %d automatic repair(s).\n\n",
+              outcome->report.total_repairs);
+  std::printf("%s\n", outcome->report.ToText().c_str());
+
+  std::printf("Version history of classify_boring:\n");
+  for (const auto& v : db.registry()->VersionsOf("classify_boring")) {
+    std::printf("  v%lld [%s]: %s\n", static_cast<long long>(v.ver_id),
+                v.template_id.c_str(), v.source_text.c_str());
+  }
+
+  std::printf("\nRepair notifications seen by the user:\n");
+  for (const auto& e : user.history()) {
+    if (e.answer.empty() && e.question.find("Repaired") != std::string::npos) {
+      std::printf("  %s\n", e.question.c_str());
+    }
+  }
+  std::printf("\nFinal ranking unaffected by the HEIC posters:\n%s\n",
+              outcome->result.ToText(3).c_str());
+  return 0;
+}

@@ -1,0 +1,61 @@
+/// \file baselines.h
+/// \brief The two comparison systems framed by the paper's introduction.
+///
+/// (1) Black-box LLM: the entire database is serialized into one huge
+///     prompt and the model answers end-to-end. No relational layer, no
+///     lineage, no explanation — and per-record generation quality decays
+///     with the model tier. Token cost scales with |DB|.
+/// (2) SQL + manual ML UDFs: an expert hand-writes the pipeline against
+///     the substrate directly. Accurate but measured in *user effort*
+///     (statements the human must author) instead of NL convenience.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/movie_dataset.h"
+#include "engine/kathdb.h"
+
+namespace kathdb::baseline {
+
+/// Outcome of one baseline run, aligned with KathDB's QueryOutcome enough
+/// for side-by-side comparison.
+struct BaselineOutcome {
+  rel::Table result;
+  /// Ranked movie ids (mids), best first.
+  std::vector<int64_t> ranking;
+  /// Movie ids the system kept after the poster filter.
+  std::vector<int64_t> kept;
+  int64_t tokens_used = 0;
+  double cost_usd = 0.0;
+  /// Statements / code blocks a human had to author.
+  int user_authored_statements = 0;
+  bool explainable = false;
+};
+
+/// \brief End-to-end opaque LLM execution of the example query.
+class BlackboxLlmBaseline {
+ public:
+  /// `quality` in [0,1]: probability each movie is judged correctly
+  /// (per-record prompting error, Section 1's critique).
+  BlackboxLlmBaseline(double quality = 0.85, uint64_t seed = 99)
+      : quality_(quality), seed_(seed) {}
+
+  Result<BaselineOutcome> Run(const data::MovieDataset& dataset);
+
+ private:
+  double quality_;
+  uint64_t seed_;
+};
+
+/// \brief Hand-written SQL + ML-UDF pipeline over the same substrate.
+class SqlUdfBaseline {
+ public:
+  /// `db` must already hold the ingested dataset (views populated).
+  Result<BaselineOutcome> Run(engine::KathDB* db,
+                              const data::MovieDataset& dataset);
+};
+
+}  // namespace kathdb::baseline

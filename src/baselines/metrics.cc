@@ -1,0 +1,57 @@
+#include "baselines/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace kathdb::baseline {
+
+double KendallTau(const std::vector<int64_t>& ranking_a,
+                  const std::vector<int64_t>& ranking_b) {
+  std::map<int64_t, size_t> pos_a;
+  std::map<int64_t, size_t> pos_b;
+  for (size_t i = 0; i < ranking_a.size(); ++i) pos_a[ranking_a[i]] = i;
+  for (size_t i = 0; i < ranking_b.size(); ++i) pos_b[ranking_b[i]] = i;
+  std::vector<int64_t> common;
+  for (const auto& [id, _] : pos_a) {
+    if (pos_b.count(id) > 0) common.push_back(id);
+  }
+  size_t n = common.size();
+  if (n < 2) return 1.0;
+  long long concordant = 0;
+  long long discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      auto da = static_cast<long long>(pos_a[common[i]]) -
+                static_cast<long long>(pos_a[common[j]]);
+      auto db = static_cast<long long>(pos_b[common[i]]) -
+                static_cast<long long>(pos_b[common[j]]);
+      if (da * db > 0) {
+        ++concordant;
+      } else if (da * db < 0) {
+        ++discordant;
+      }
+    }
+  }
+  double total = static_cast<double>(n) * (n - 1) / 2.0;
+  return (concordant - discordant) / total;
+}
+
+SetQuality CompareSets(const std::vector<int64_t>& predicted,
+                       const std::vector<int64_t>& truth) {
+  std::set<int64_t> p(predicted.begin(), predicted.end());
+  std::set<int64_t> t(truth.begin(), truth.end());
+  size_t hit = 0;
+  for (int64_t id : p) {
+    if (t.count(id) > 0) ++hit;
+  }
+  SetQuality q;
+  q.precision = p.empty() ? 0.0 : static_cast<double>(hit) / p.size();
+  q.recall = t.empty() ? 1.0 : static_cast<double>(hit) / t.size();
+  q.f1 = (q.precision + q.recall) == 0.0
+             ? 0.0
+             : 2 * q.precision * q.recall / (q.precision + q.recall);
+  return q;
+}
+
+}  // namespace kathdb::baseline

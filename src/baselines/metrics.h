@@ -1,0 +1,26 @@
+/// \file metrics.h
+/// \brief Quality metrics for comparing KathDB against the baselines (E9).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kathdb::baseline {
+
+/// Kendall rank correlation between two orderings given as id lists
+/// (highest-ranked first). Ids missing from either list are ignored.
+/// Returns a value in [-1, 1]; 1 when both agree on every pair.
+double KendallTau(const std::vector<int64_t>& ranking_a,
+                  const std::vector<int64_t>& ranking_b);
+
+/// Precision/recall/F1 of a predicted id set against a truth id set.
+struct SetQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+SetQuality CompareSets(const std::vector<int64_t>& predicted,
+                       const std::vector<int64_t>& truth);
+
+}  // namespace kathdb::baseline

@@ -1,0 +1,387 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace kathdb {
+
+Json Json::Bool(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+Json Json::Int(int64_t i) {
+  Json j;
+  j.type_ = Type::kInt;
+  j.int_ = i;
+  return j;
+}
+Json Json::Double(double d) {
+  Json j;
+  j.type_ = Type::kDouble;
+  j.double_ = d;
+  return j;
+}
+Json Json::Str(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.str_ = std::move(s);
+  return j;
+}
+Json Json::Array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+Json Json::Object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+size_t Json::size() const {
+  if (type_ == Type::kArray) return arr_.size();
+  if (type_ == Type::kObject) return obj_.size();
+  return 0;
+}
+
+void Json::Append(Json v) { arr_.push_back(std::move(v)); }
+
+void Json::Set(const std::string& key, Json v) {
+  for (auto& kv : obj_) {
+    if (kv.first == key) {
+      kv.second = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+bool Json::Has(const std::string& key) const {
+  for (const auto& kv : obj_) {
+    if (kv.first == key) return true;
+  }
+  return false;
+}
+
+const Json& Json::Get(const std::string& key) const {
+  static const Json kNull;
+  for (const auto& kv : obj_) {
+    if (kv.first == key) return kv.second;
+  }
+  return kNull;
+}
+
+std::string Json::GetString(const std::string& key,
+                            const std::string& def) const {
+  if (!Has(key)) return def;
+  const Json& v = Get(key);
+  return v.is_string() ? v.AsString() : def;
+}
+int64_t Json::GetInt(const std::string& key, int64_t def) const {
+  if (!Has(key)) return def;
+  const Json& v = Get(key);
+  return v.is_number() ? v.AsInt() : def;
+}
+double Json::GetDouble(const std::string& key, double def) const {
+  if (!Has(key)) return def;
+  const Json& v = Get(key);
+  return v.is_number() ? v.AsDouble() : def;
+}
+bool Json::GetBool(const std::string& key, bool def) const {
+  if (!Has(key)) return def;
+  const Json& v = Get(key);
+  return v.type() == Type::kBool ? v.AsBool() : def;
+}
+
+namespace {
+
+void EscapeTo(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  Result<Json> Parse() {
+    SkipWs();
+    KATHDB_ASSIGN_OR_RETURN(Json v, ParseValue());
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Status::InvalidArgument("trailing characters in JSON at pos " +
+                                     std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    if (pos_ >= s_.size()) return Status::InvalidArgument("unexpected EOF");
+    char c = s_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      KATHDB_ASSIGN_OR_RETURN(std::string str, ParseString());
+      return Json::Str(std::move(str));
+    }
+    if (s_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      return Json::Bool(true);
+    }
+    if (s_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return Json::Bool(false);
+    }
+    if (s_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return Json::Null();
+    }
+    return ParseNumber();
+  }
+
+  Result<Json> ParseNumber() {
+    size_t start = pos_;
+    bool is_double = false;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Status::InvalidArgument("invalid number");
+    std::string tok(s_.substr(start, pos_ - start));
+    if (is_double) {
+      return Json::Double(std::strtod(tok.c_str(), nullptr));
+    }
+    return Json::Int(std::strtoll(tok.c_str(), nullptr, 10));
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Status::InvalidArgument("expected string");
+    std::string out;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        char e = s_[pos_++];
+        switch (e) {
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) {
+              return Status::InvalidArgument("bad \\u escape");
+            }
+            std::string hex(s_.substr(pos_, 4));
+            pos_ += 4;
+            int code = static_cast<int>(std::strtol(hex.c_str(), nullptr, 16));
+            // Encode as UTF-8 (basic multilingual plane only).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            out.push_back(e);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Status::InvalidArgument("unterminated string");
+  }
+
+  Result<Json> ParseArray() {
+    Consume('[');
+    Json arr = Json::Array();
+    SkipWs();
+    if (Consume(']')) return arr;
+    while (true) {
+      SkipWs();
+      KATHDB_ASSIGN_OR_RETURN(Json v, ParseValue());
+      arr.Append(std::move(v));
+      SkipWs();
+      if (Consume(']')) return arr;
+      if (!Consume(',')) {
+        return Status::InvalidArgument("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  Result<Json> ParseObject() {
+    Consume('{');
+    Json obj = Json::Object();
+    SkipWs();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWs();
+      KATHDB_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) {
+        return Status::InvalidArgument("expected ':' in object");
+      }
+      SkipWs();
+      KATHDB_ASSIGN_OR_RETURN(Json v, ParseValue());
+      obj.Set(key, std::move(v));
+      SkipWs();
+      if (Consume('}')) return obj;
+      if (!Consume(',')) {
+        return Status::InvalidArgument("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent > 0) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent) * d, ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt:
+      *out += std::to_string(int_);
+      break;
+    case Type::kDouble: {
+      if (std::isfinite(double_)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.10g", double_);
+        *out += buf;
+        // Keep a decimal marker so round-trips stay doubles.
+        if (std::string_view(buf).find_first_of(".eE") ==
+            std::string_view::npos) {
+          *out += ".0";
+        }
+      } else {
+        *out += "null";
+      }
+      break;
+    }
+    case Type::kString:
+      EscapeTo(str_, out);
+      break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        arr_[i].DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        *out += "{}";
+        break;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        EscapeTo(obj_[i].first, out);
+        *out += indent > 0 ? ": " : ":";
+        obj_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+}  // namespace kathdb

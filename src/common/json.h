@@ -1,0 +1,97 @@
+/// \file json.h
+/// \brief Minimal JSON value, parser and serializer.
+///
+/// KathDB emits every logical-plan node in an exact JSON layout (Figure 3
+/// of the paper) so the downstream compiler can ingest it without
+/// post-processing, and persists generated function specs to disk as JSON.
+/// Object keys preserve insertion order so serialized plans are stable.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kathdb {
+
+/// \brief An ordered JSON value (null, bool, int, double, string, array,
+/// object). Objects keep key insertion order for stable serialization.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json Null() { return Json(); }
+  static Json Bool(bool b);
+  static Json Int(int64_t i);
+  static Json Double(double d);
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+
+  /// Parses a JSON document. Returns InvalidArgument on malformed input.
+  static Result<Json> Parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const {
+    return type_ == Type::kDouble ? static_cast<int64_t>(double_) : int_;
+  }
+  double AsDouble() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return str_; }
+
+  // ---- array API ----
+  size_t size() const;
+  /// Appends to an array (value must be an array).
+  void Append(Json v);
+  const Json& at(size_t i) const { return arr_[i]; }
+  const std::vector<Json>& items() const { return arr_; }
+
+  // ---- object API ----
+  /// Sets a key (value must be an object). Overwrites but keeps position.
+  void Set(const std::string& key, Json v);
+  bool Has(const std::string& key) const;
+  /// Pre: Has(key).
+  const Json& Get(const std::string& key) const;
+  /// Returns `def` when the key is absent.
+  std::string GetString(const std::string& key,
+                        const std::string& def = "") const;
+  int64_t GetInt(const std::string& key, int64_t def = 0) const;
+  double GetDouble(const std::string& key, double def = 0.0) const;
+  bool GetBool(const std::string& key, bool def = false) const;
+  const std::vector<std::pair<std::string, Json>>& entries() const {
+    return obj_;
+  }
+
+  /// Serializes. `indent` > 0 pretty-prints with that many spaces.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace kathdb

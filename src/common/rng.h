@@ -1,0 +1,77 @@
+/// \file rng.h
+/// \brief Deterministic pseudo-randomness for reproducible experiments.
+///
+/// All stochastic components (dataset generation, simulated detector noise,
+/// lineage sampling) draw from seeded SplitMix64/xorshift generators so a
+/// given seed always reproduces the same experiment.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace kathdb {
+
+/// SplitMix64 hash step; also used as a stateless string/int hasher.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Stable 64-bit hash of a string (FNV-1a finished with SplitMix64).
+inline uint64_t HashString(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return SplitMix64(h);
+}
+
+/// \brief Small deterministic PRNG (xorshift128+ seeded via SplitMix64).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    s0_ = SplitMix64(seed);
+    s1_ = SplitMix64(s0_);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Pre: lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Bernoulli draw with probability `p`.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Approximately normal via sum of uniforms (Irwin–Hall, 12 draws).
+  double NextGaussian(double mean = 0.0, double stddev = 1.0) {
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i) sum += NextDouble();
+    return mean + stddev * (sum - 6.0);
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace kathdb

@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+namespace kathdb {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kRuntimeError:
+      return "RuntimeError";
+    case StatusCode::kSyntacticError:
+      return "SyntacticError";
+    case StatusCode::kSemanticError:
+      return "SemanticError";
+    case StatusCode::kPlanRejected:
+      return "PlanRejected";
+    case StatusCode::kUserAborted:
+      return "UserAborted";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace kathdb

@@ -1,0 +1,158 @@
+/// \file status.h
+/// \brief RocksDB-style Status / Result<T> error handling for KathDB.
+///
+/// KathDB never throws exceptions across public API boundaries. Every
+/// fallible operation returns a Status (or a Result<T> carrying either a
+/// value or a Status). Error codes distinguish *syntactic* failures, which
+/// the execution engine self-repairs (Section 5 of the paper), from
+/// *semantic* anomalies, which are escalated to the user channel.
+
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace kathdb {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kNotSupported,
+  kRuntimeError,
+  /// A function body failed to execute (exception analogue). The agentic
+  /// monitor treats these as candidates for automatic repair.
+  kSyntacticError,
+  /// The function executed but its output is judged inconsistent with the
+  /// user's intent. The monitor escalates these to the user.
+  kSemanticError,
+  /// Plan verification rejected a draft logical plan.
+  kPlanRejected,
+  /// The user aborted an interactive exchange.
+  kUserAborted,
+};
+
+/// \brief Outcome of an operation: a code plus a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status IOError(std::string m) {
+    return Status(StatusCode::kIOError, std::move(m));
+  }
+  static Status NotSupported(std::string m) {
+    return Status(StatusCode::kNotSupported, std::move(m));
+  }
+  static Status RuntimeError(std::string m) {
+    return Status(StatusCode::kRuntimeError, std::move(m));
+  }
+  static Status SyntacticError(std::string m) {
+    return Status(StatusCode::kSyntacticError, std::move(m));
+  }
+  static Status SemanticError(std::string m) {
+    return Status(StatusCode::kSemanticError, std::move(m));
+  }
+  static Status PlanRejected(std::string m) {
+    return Status(StatusCode::kPlanRejected, std::move(m));
+  }
+  static Status UserAborted(std::string m) {
+    return Status(StatusCode::kUserAborted, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsSyntacticError() const {
+    return code_ == StatusCode::kSyntacticError;
+  }
+  bool IsSemanticError() const { return code_ == StatusCode::kSemanticError; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+
+  /// Renders "OK" or "<Code>: <message>" for logs and explanations.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning code.
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. `status.ok()` must be false.
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(var_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOkStatus = Status::OK();
+    if (ok()) return kOkStatus;
+    return std::get<Status>(var_);
+  }
+
+  /// Pre: ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(var_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// Propagates an error status from an expression returning Status.
+#define KATHDB_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::kathdb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates a Result<T> expression and binds its value, or propagates.
+#define KATHDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define KATHDB_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define KATHDB_ASSIGN_OR_RETURN_NAME(a, b) KATHDB_ASSIGN_OR_RETURN_CAT(a, b)
+#define KATHDB_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  KATHDB_ASSIGN_OR_RETURN_IMPL(                                            \
+      KATHDB_ASSIGN_OR_RETURN_NAME(_kathdb_res_, __LINE__), lhs, expr)
+
+}  // namespace kathdb

@@ -1,0 +1,125 @@
+#include "common/strings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace kathdb {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::vector<std::string> SplitAny(std::string_view s,
+                                  std::string_view delims) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (delims.find(c) != std::string_view::npos) {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == delim) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+std::string Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ContainsIgnoreCase(std::string_view hay, std::string_view needle) {
+  if (needle.empty()) return true;
+  std::string h = ToLower(hay);
+  std::string n = ToLower(needle);
+  return h.find(n) != std::string::npos;
+}
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      cur.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+int ApproxTokenCount(std::string_view text) {
+  int tokens = 0;
+  bool in_word = false;
+  bool in_punct = false;
+  for (char c : text) {
+    bool alnum = std::isalnum(static_cast<unsigned char>(c)) != 0;
+    bool space = std::isspace(static_cast<unsigned char>(c)) != 0;
+    if (alnum) {
+      if (!in_word) ++tokens;
+      in_word = true;
+      in_punct = false;
+    } else if (!space) {
+      if (!in_punct) ++tokens;
+      in_punct = true;
+      in_word = false;
+    } else {
+      in_word = in_punct = false;
+    }
+  }
+  return tokens;
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace kathdb

@@ -1,0 +1,45 @@
+/// \file strings.h
+/// \brief Small string utilities shared across KathDB modules.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kathdb {
+
+/// Lower-cases ASCII characters; leaves other bytes untouched.
+std::string ToLower(std::string_view s);
+
+/// Splits on any character in `delims`; empty pieces are dropped.
+std::vector<std::string> SplitAny(std::string_view s, std::string_view delims);
+
+/// Splits on a single delimiter, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `hay` contains `needle` case-insensitively.
+bool ContainsIgnoreCase(std::string_view hay, std::string_view needle);
+
+/// Lower-cased alphanumeric word tokens ("Guilty by Suspicion!" ->
+/// {"guilty","by","suspicion"}). Used by the embedder and token meter.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Approximate LLM token count of a prompt/completion: word tokens plus
+/// punctuation clusters. Deterministic; used by the usage meter.
+int ApproxTokenCount(std::string_view text);
+
+/// Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros (used in explanation rendering).
+std::string FormatDouble(double v, int digits = 6);
+
+}  // namespace kathdb

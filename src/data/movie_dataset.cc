@@ -1,0 +1,239 @@
+#include "data/movie_dataset.h"
+
+#include "common/rng.h"
+
+namespace kathdb::data {
+
+using mm::Document;
+using mm::LatentObject;
+using mm::SyntheticImage;
+using rel::DataType;
+using rel::Schema;
+using rel::Table;
+using rel::Value;
+
+const MovieTruth* MovieDataset::TruthOf(int64_t mid) const {
+  for (const auto& t : truth) {
+    if (t.mid == mid) return &t;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// ---- title fragments for generated movies -----------------------------
+const char* kTitleFirst[] = {"Silent", "Crimson", "Golden",  "Midnight",
+                             "Broken", "Hidden",  "Distant", "Burning",
+                             "Velvet", "Winter",  "Scarlet", "Forgotten"};
+const char* kTitleSecond[] = {"Harbor", "Letters", "Garden", "Highway",
+                              "Promise", "Orchard", "Country", "Witness",
+                              "Bridge", "Station", "Summer", "Shadow"};
+
+// Exciting plot sentences: rich in violence/action/suspense lexicon words
+// so the simulated NER extracts matching concept_name entities.
+const char* kExcitingSentences[] = {
+    "A gun battle erupts when the detective corners the killer on the "
+    "rooftop.",
+    "The hero survives a motorcycle chase and a warehouse explosion.",
+    "An assassin plants a bomb under the senator's car before the trial.",
+    "Witnesses describe the murder and the bloody knife found at the "
+    "scene.",
+    "A hostage escape turns into a shootout with the sniper on the "
+    "bridge.",
+    "The fugitive jumps from a burning plane over enemy territory.",
+    "An interrogation reveals a conspiracy reaching the highest office.",
+    "The informant is attacked after testifying about the heist."};
+
+// Calm plot sentences: calm/romance lexicon words only.
+const char* kCalmSentences[] = {
+    "Margaret tends her quiet garden and bakes bread for the village "
+    "bakery.",
+    "Two old friends share tea and gentle conversation by the lake.",
+    "A peaceful stroll through the meadow ends with a picnic at sunset.",
+    "The librarian spends the summer knitting by the orchard.",
+    "A slow romance blossoms over long walks and handwritten letters.",
+    "The family enjoys a nap under the breeze after the harvest."};
+
+const char* kPersonNames[] = {"Margaret Hale", "Thomas Reed", "Clara Boone",
+                              "Samuel Pike",  "Eleanor Finch", "Walter Cross",
+                              "Harriet Vane", "Oliver Stone"};
+
+SyntheticImage MakeBoringPoster(int64_t vid, Rng* rng) {
+  SyntheticImage img;
+  img.uri = "file://posters/poster_" + std::to_string(vid) + ".simg";
+  // Flat, low-variance colors; one or two static objects.
+  double base = 0.8 + rng->NextDouble() * 0.15;
+  img.color_hist = {base, (1.0 - base) * 0.6, (1.0 - base) * 0.4,
+                    0.0, 0.0, 0.0, 0.0, 0.0};
+  // Below the 0.055 classification threshold, but close enough to it
+  // that detector noise / cascades have real work to do (E8, E11).
+  img.color_variance = 0.01 + rng->NextDouble() * 0.04;
+  LatentObject person{"person", 0.3, 0.2, 0.7, 0.9, {{"color", "gray"}}};
+  img.objects.push_back(person);
+  if (rng->NextBool(0.5)) {
+    img.objects.push_back({"chair", 0.1, 0.6, 0.3, 0.9, {}});
+  }
+  return img;
+}
+
+SyntheticImage MakeVividPoster(int64_t vid, Rng* rng) {
+  SyntheticImage img;
+  img.uri = "file://posters/poster_" + std::to_string(vid) + ".simg";
+  for (auto& h : img.color_hist) h = 0.125;
+  img.color_variance = 0.065 + rng->NextDouble() * 0.15;  // > 0.055
+  img.objects.push_back({"person", 0.2, 0.1, 0.5, 0.9,
+                         {{"color", "red"}}});
+  img.objects.push_back({"gun", 0.45, 0.4, 0.55, 0.55, {}});
+  img.objects.push_back({"motorcycle", 0.5, 0.5, 0.95, 0.95,
+                         {{"color", "black"}}});
+  img.objects.push_back({"explosion", 0.0, 0.0, 1.0, 0.4, {}});
+  img.objects.push_back({"helicopter", 0.6, 0.05, 0.9, 0.25, {}});
+  img.relationships.push_back({0, "holding", 1});
+  img.relationships.push_back({0, "riding", 2});
+  return img;
+}
+
+std::string MakePlot(bool exciting, const std::string& title, Rng* rng) {
+  std::string person = kPersonNames[rng->NextInt(0, 7)];
+  std::string plot = "In " + title + ", " + person + " faces a turning "
+                     "point. ";
+  const char** pool = exciting ? kExcitingSentences : kCalmSentences;
+  int pool_size = exciting ? 8 : 6;
+  int n = exciting ? 4 : 3;
+  for (int i = 0; i < n; ++i) {
+    plot += pool[rng->NextInt(0, pool_size - 1)];
+    plot += " ";
+  }
+  plot += exciting ? ("Critics called it relentless. " + person +
+                      " never sleeps while danger is near.")
+                   : ("Critics called it tender. " + person +
+                      " finds comfort in the little things.");
+  return plot;
+}
+
+}  // namespace
+
+Result<MovieDataset> GenerateMovieDataset(const DatasetOptions& options) {
+  if (options.num_movies < (options.include_anchors ? 2 : 1)) {
+    return Status::InvalidArgument("num_movies too small");
+  }
+  Rng rng(options.seed);
+  MovieDataset ds;
+  ds.movie_table = std::make_shared<Table>(
+      "movie_table", Schema({{"mid", DataType::kInt},
+                             {"title", DataType::kString},
+                             {"year", DataType::kInt},
+                             {"did", DataType::kInt},
+                             {"vid", DataType::kInt}}));
+
+  int64_t next_mid = 1;
+  int64_t next_did = 1;
+  int64_t next_vid = 1;
+
+  auto add_movie = [&](const std::string& title, int year,
+                       const std::string& plot, SyntheticImage poster,
+                       bool exciting, bool boring,
+                       int64_t reuse_vid) -> void {
+    int64_t mid = next_mid++;
+    int64_t did = next_did++;
+    int64_t vid = reuse_vid != 0 ? reuse_vid : next_vid++;
+    ds.movie_table->AppendRow({Value::Int(mid), Value::Str(title),
+                               Value::Int(year), Value::Int(did),
+                               Value::Int(vid)});
+    Document doc;
+    doc.did = did;
+    doc.uri = "file://plots/plot_" + std::to_string(did) + ".txt";
+    doc.text = plot;
+    ds.plots.push_back(std::move(doc));
+    if (reuse_vid == 0) {
+      ds.posters[vid] = std::move(poster);
+    }
+    ds.truth.push_back({mid, exciting, boring});
+  };
+
+  // ---- anchors (Figure 6) --------------------------------------------
+  if (options.include_anchors) {
+    // Guilty by Suspicion (1991): blacklist-era suspense; plain poster.
+    std::string gbs_plot =
+        "In Guilty by Suspicion, David Merrill returns from abroad to find "
+        "Hollywood gripped by the blacklist. An interrogation before the "
+        "committee turns into a public trial, and every witness faces a "
+        "threat of ruin. He is accused in a conspiracy, placed under "
+        "surveillance, and told that betrayal is the only escape. A friend "
+        "chooses death over testifying, and the killer fear spreads like a "
+        "gun pointed at the whole town. Merrill risks an attack on his "
+        "career and his life to refuse. The murder of a reputation can be "
+        "as violent as a shootout.";
+    SyntheticImage gbs_poster;
+    gbs_poster.uri = "file://posters/guilty_by_suspicion.simg";
+    gbs_poster.color_hist = {0.85, 0.1, 0.05, 0, 0, 0, 0, 0};
+    gbs_poster.color_variance = 0.012;  // very plain
+    gbs_poster.objects.push_back(
+        {"person", 0.35, 0.15, 0.65, 0.95, {{"color", "gray"}}});
+    add_movie("Guilty by Suspicion", 1991, gbs_plot, std::move(gbs_poster),
+              /*exciting=*/true, /*boring=*/true, 0);
+
+    // Clean and Sober (1988): intense recovery drama; plain poster.
+    std::string cas_plot =
+        "In Clean and Sober, Daryl Poynter hides in a rehab clinic after "
+        "cocaine and a missing fortune put a threat on his life. The "
+        "addiction is a slow attack he cannot escape, and every relapse "
+        "feels like a death sentence. A counselor sees through the "
+        "dependency, and the withdrawal becomes a fight he must win. An "
+        "investigation into the stolen money closes in while he battles "
+        "the danger inside himself.";
+    SyntheticImage cas_poster;
+    cas_poster.uri = "file://posters/clean_and_sober.simg";
+    cas_poster.color_hist = {0.8, 0.12, 0.08, 0, 0, 0, 0, 0};
+    cas_poster.color_variance = 0.018;
+    cas_poster.objects.push_back(
+        {"person", 0.3, 0.2, 0.7, 0.9, {{"color", "beige"}}});
+    cas_poster.objects.push_back({"chair", 0.1, 0.65, 0.25, 0.9, {}});
+    add_movie("Clean and Sober", 1988, cas_plot, std::move(cas_poster),
+              /*exciting=*/true, /*boring=*/true, 0);
+  }
+
+  // ---- generated movies ----------------------------------------------
+  int generated = options.num_movies - (options.include_anchors ? 2 : 0);
+  std::vector<int64_t> prior_vids;
+  for (int i = 0; i < generated; ++i) {
+    std::string title = std::string(kTitleFirst[rng.NextInt(0, 11)]) + " " +
+                        kTitleSecond[rng.NextInt(0, 11)] + " " +
+                        std::to_string(i + 1);
+    // Years cap at 1990 so the Guilty by Suspicion anchor stays the most
+    // recent film (recency_score 1.0, as in the paper's trace).
+    int year = static_cast<int>(rng.NextInt(1950, 1990));
+    bool boring = rng.NextBool(options.boring_fraction);
+    // Exciting plots go with vivid posters for non-anchor movies, so the
+    // anchors remain the only exciting+boring combination.
+    bool exciting = boring ? false : rng.NextBool(options.exciting_fraction);
+    std::string plot = MakePlot(exciting, title, &rng);
+    SyntheticImage poster =
+        boring ? MakeBoringPoster(next_vid, &rng)
+               : MakeVividPoster(next_vid, &rng);
+    if (rng.NextBool(options.heic_fraction)) poster.format = "heic";
+    int64_t reuse_vid = 0;
+    if (!prior_vids.empty() &&
+        rng.NextBool(options.duplicate_poster_fraction)) {
+      reuse_vid = prior_vids[static_cast<size_t>(
+          rng.NextInt(0, static_cast<int64_t>(prior_vids.size()) - 1))];
+    }
+    add_movie(title, year, plot, std::move(poster), exciting, boring,
+              reuse_vid);
+    if (reuse_vid == 0) prior_vids.push_back(next_vid - 1);
+  }
+  return ds;
+}
+
+Status IngestDataset(const MovieDataset& dataset, engine::KathDB* db) {
+  KATHDB_RETURN_IF_ERROR(db->RegisterTable(dataset.movie_table));
+  for (const auto& doc : dataset.plots) {
+    KATHDB_RETURN_IF_ERROR(db->IngestDocument(doc));
+  }
+  for (const auto& [vid, poster] : dataset.posters) {
+    KATHDB_RETURN_IF_ERROR(db->IngestImage(vid, poster));
+  }
+  return Status::OK();
+}
+
+}  // namespace kathdb::data

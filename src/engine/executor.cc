@@ -1,0 +1,323 @@
+#include "engine/executor.h"
+
+#include <chrono>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace kathdb::engine {
+
+using fao::FunctionSpec;
+using rel::Table;
+using rel::TablePtr;
+
+std::string ExecutionReport::ToText() const {
+  std::string out = "Execution report (" +
+                    std::to_string(node_runs.size()) + " nodes, " +
+                    std::to_string(total_repairs) + " repairs, " +
+                    std::to_string(total_anomalies) + " anomalies)\n";
+  for (const auto& run : node_runs) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "  %-24s [%s v%lld] rows=%-6zu %.2fms%s%s\n",
+                  run.name.c_str(), run.template_id.c_str(),
+                  static_cast<long long>(run.ver_id), run.output_rows,
+                  run.runtime_ms,
+                  run.repair_attempts > 0 ? " (repaired)" : "",
+                  run.semantic_flagged ? " (anomaly escalated)" : "");
+    out += buf;
+  }
+  return out;
+}
+
+// -------------------------------------------------------- AgenticMonitor
+
+Result<FunctionSpec> AgenticMonitor::RepairSyntactic(
+    const FunctionSpec& failed, const Status& error, fao::ExecContext* ctx) {
+  // Reviewer: diagnose from the captured stack trace / error message.
+  std::string diagnosis;
+  FunctionSpec patched = failed;
+  bool repairable = false;
+
+  if (ContainsIgnoreCase(error.message(), "heic")) {
+    // The paper's running example: the pipeline hits an unsupported HEIC
+    // poster; the rewriter adds a conversion step to a supported format.
+    diagnosis = "unsupported HEIC input; add a format-conversion step "
+                "before pixel analysis";
+    if (ctx->image_loader != nullptr) {
+      ctx->image_loader->EnableHeicConversion();
+      patched.params.Set("heic_conversion", Json::Bool(true));
+      patched.source_text += " [rewriter fix: convert HEIC inputs to a "
+                             "supported format before decoding]";
+      repairable = true;
+    }
+  } else if (ContainsIgnoreCase(error.message(), "division by zero")) {
+    diagnosis = "division by zero; guard the denominator";
+    patched.params.Set("zero_guard", Json::Bool(true));
+    patched.source_text += " [rewriter fix: guarded zero denominator]";
+    repairable = true;
+  }
+
+  llm_->Charge("Reviewer: diagnose the exception '" + error.message() +
+                   "' with node metadata and sampled parameters.",
+               diagnosis.empty() ? "cannot repair automatically" : diagnosis);
+  if (!repairable) {
+    return Status::SyntacticError("monitor cannot repair: " +
+                                  error.message());
+  }
+  // Rewriter: new version, earlier versions left intact.
+  patched.ver_id = registry_->RegisterNewVersion(patched);
+  if (user_ != nullptr) {
+    user_->Notify("execute", "Repaired '" + failed.name + "' (" + diagnosis +
+                                 "); resuming from version " +
+                                 std::to_string(patched.ver_id) + ".");
+  }
+  return patched;
+}
+
+std::string AgenticMonitor::DetectAnomaly(const opt::PhysicalNode& node,
+                                          const Table& output,
+                                          double sample_rate) {
+  if (sample_rate <= 0.0 || output.num_rows() == 0) return "";
+  size_t inspect = std::max<size_t>(
+      1, static_cast<size_t>(output.num_rows() * sample_rate));
+
+  // Check 1 — a join that links one poster to several movies: the paper's
+  // example of a silent semantic fault. Applies to join-ish nodes with a
+  // vid column: one vid should map to one title.
+  if (ContainsIgnoreCase(node.sig.name, "join")) {
+    auto vidx = output.schema().IndexOf("vid");
+    auto tidx = output.schema().IndexOf("title");
+    if (vidx.has_value() && tidx.has_value()) {
+      std::map<int64_t, std::set<std::string>> titles_per_vid;
+      for (size_t r = 0; r < inspect; ++r) {
+        titles_per_vid[output.at(r, *vidx).AsInt()].insert(
+            output.at(r, *tidx).AsString());
+      }
+      for (const auto& [vid, titles] : titles_per_vid) {
+        if (titles.size() > 1) {
+          std::string msg =
+              "poster image vid=" + std::to_string(vid) + " is linked to " +
+              std::to_string(titles.size()) +
+              " different movies; the generated join likely assumed a "
+              "one-to-one correspondence between posters and movie_table "
+              "rows, which does not hold";
+          llm_->Charge("Monitor: inspect sampled output of '" +
+                           node.sig.name + "' for semantic anomalies.",
+                       msg);
+          return msg;
+        }
+      }
+    }
+  }
+  // Check 2 — score columns must not be NULL or out of [0,1].
+  for (const auto& col : output.schema().columns()) {
+    if (col.name.find("_score") == std::string::npos) continue;
+    auto cidx = output.schema().IndexOf(col.name);
+    for (size_t r = 0; r < inspect; ++r) {
+      const rel::Value& v = output.at(r, *cidx);
+      if (v.is_null()) {
+        return "column '" + col.name + "' contains NULL scores";
+      }
+      double d = v.AsDouble();
+      if (d < -1e-9 || d > 1.0 + 1e-9) {
+        return "column '" + col.name + "' holds out-of-range score " +
+               FormatDouble(d, 4);
+      }
+    }
+  }
+  llm_->Charge("Monitor: inspect sampled output of '" + node.sig.name +
+                   "' for semantic anomalies.",
+               "clean");
+  return "";
+}
+
+Result<FunctionSpec> AgenticMonitor::ResolveAnomaly(
+    const opt::PhysicalNode& node, const std::string& anomaly,
+    bool ask_user) {
+  std::string reply = "adjust";
+  if (ask_user && user_ != nullptr) {
+    KATHDB_ASSIGN_OR_RETURN(
+        reply,
+        user_->Ask("execute",
+                   "Semantic anomaly in '" + node.sig.name + "': " + anomaly +
+                       ". Reply 'accept' to keep the operator as is, "
+                       "'adjust' to enforce a unique match per poster, or "
+                       "'rewrite' for a full rewrite."));
+  }
+  std::string r = ToLower(Trim(reply));
+  if (r == "accept" || r == "ok") {
+    return node.spec;  // user accepted the behaviour
+  }
+  // Adjust (default): enforce uniqueness by deduplicating on the key.
+  FunctionSpec patched = node.spec;
+  if (patched.template_id == "sql" &&
+      ContainsIgnoreCase(anomaly, "linked to")) {
+    patched.params.Set("enforce_unique", Json::Str("vid"));
+    patched.source_text +=
+        " [monitor fix: enforce one movie per poster via deduplication]";
+  } else {
+    patched.source_text += " [monitor note: " + anomaly + "]";
+  }
+  patched.ver_id = registry_->RegisterNewVersion(patched);
+  return patched;
+}
+
+// --------------------------------------------------------------- Executor
+
+namespace {
+
+/// Parents for table-level lineage: prefer each input's table lid; fall
+/// back to the lid of its first tracked row.
+std::vector<int64_t> TableParents(const std::vector<TablePtr>& inputs) {
+  std::vector<int64_t> parents;
+  for (const auto& t : inputs) {
+    if (t == nullptr) continue;
+    if (t->table_lid() != 0) {
+      parents.push_back(t->table_lid());
+    } else {
+      for (size_t r = 0; r < t->num_rows(); ++r) {
+        if (t->row_lid(r) != 0) {
+          parents.push_back(t->row_lid(r));
+          break;
+        }
+      }
+    }
+  }
+  return parents;
+}
+
+/// Deduplicates rows by the given key column, keeping the first row.
+Table DedupByColumn(const Table& in, const std::string& key) {
+  auto kidx = in.schema().IndexOf(key);
+  if (!kidx.has_value()) return in;
+  Table out(in.name(), in.schema());
+  std::set<std::string> seen;
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    std::string k = in.at(r, *kidx).ToString();
+    if (seen.insert(k).second) {
+      out.AppendRow(in.row(r), in.row_lid(r));
+    }
+  }
+  out.set_table_lid(in.table_lid());
+  return out;
+}
+
+}  // namespace
+
+Result<ExecutionReport> Executor::Run(const opt::PhysicalPlan& plan,
+                                      fao::ExecContext* ctx) {
+  ExecutionReport report;
+  for (const auto& node : plan.nodes) {
+    NodeRun run;
+    run.name = node.sig.name;
+    run.template_id = node.spec.template_id;
+    run.ver_id = node.spec.ver_id;
+    run.dependency_pattern = node.spec.dependency_pattern;
+
+    // Resolve inputs from the catalog (base tables, views, intermediates).
+    std::vector<TablePtr> inputs;
+    for (const auto& in : node.sig.inputs) {
+      KATHDB_ASSIGN_OR_RETURN(TablePtr t, ctx->catalog->Get(in));
+      inputs.push_back(std::move(t));
+    }
+
+    FunctionSpec spec = node.spec;
+    Result<Table> result = Status::RuntimeError("not executed");
+    auto t0 = std::chrono::steady_clock::now();
+    for (int attempt = 0; attempt <= options_.max_repair_attempts;
+         ++attempt) {
+      KATHDB_ASSIGN_OR_RETURN(auto fn, fao::InstantiateFunction(spec));
+      result = fn->Execute(inputs, ctx);
+      if (result.ok()) break;
+      if (!result.status().IsSyntacticError() ||
+          attempt == options_.max_repair_attempts) {
+        return result.status();
+      }
+      // On-the-fly repair instead of aborting (Section 5).
+      KATHDB_ASSIGN_OR_RETURN(
+          spec, monitor_.RepairSyntactic(spec, result.status(), ctx));
+      ++run.repair_attempts;
+      ++report.total_repairs;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    run.runtime_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    run.ver_id = spec.ver_id;
+    Table out = std::move(result).value();
+    out.set_name(node.sig.output);
+
+    // Post-hoc patch semantics: a monitor-enforced unique key applies to
+    // this and future runs of the function.
+    std::string unique_key = spec.params.GetString("enforce_unique");
+    if (!unique_key.empty()) {
+      out = DedupByColumn(out, unique_key);
+    }
+
+    // ---- lineage recording per dependency pattern --------------------
+    bool narrow = spec.dependency_pattern == "one_to_one" ||
+                  spec.dependency_pattern == "one_to_many";
+    auto mode = ctx->lineage->mode();
+    if (narrow && (mode == lineage::TrackingMode::kRow ||
+                   mode == lineage::TrackingMode::kSampled)) {
+      // Row-level: each output row derives from the input row whose lid it
+      // carried through the function body.
+      int64_t fallback_parent =
+          inputs.empty() ? 0
+                         : (inputs[0]->table_lid() != 0 ? inputs[0]->table_lid()
+                                                        : 0);
+      for (size_t r = 0; r < out.num_rows(); ++r) {
+        int64_t parent = out.row_lid(r);
+        if (parent == 0) parent = fallback_parent;
+        int64_t child =
+            ctx->lineage->RecordRowDerivation(parent, spec.name, spec.ver_id);
+        out.set_row_lid(r, child);
+      }
+    } else {
+      // Wide (or coarse tracking): one table-level derivation; all input
+      // tuples are assumed to contribute to all output tuples.
+      int64_t tlid = ctx->lineage->RecordTableDerivation(
+          TableParents(inputs), spec.name, spec.ver_id);
+      out.set_table_lid(tlid);
+      // Row lids (if any) propagate unchanged through wide operators such
+      // as sort, so downstream row-level tracing still works.
+    }
+
+    // ---- semantic monitoring on sampled output -----------------------
+    std::string anomaly =
+        monitor_.DetectAnomaly(node, out, options_.monitor_sample_rate);
+    if (!anomaly.empty()) {
+      run.semantic_flagged = true;
+      ++report.total_anomalies;
+      KATHDB_ASSIGN_OR_RETURN(
+          FunctionSpec resolved,
+          monitor_.ResolveAnomaly(node, anomaly,
+                                  options_.ask_user_on_anomaly));
+      std::string key = resolved.params.GetString("enforce_unique");
+      if (!key.empty() && resolved.ver_id != spec.ver_id) {
+        out = DedupByColumn(out, key);
+        run.ver_id = resolved.ver_id;
+      }
+    }
+
+    run.output_rows = out.num_rows();
+    report.node_runs.push_back(run);
+    ctx->catalog->Upsert(std::make_shared<Table>(out),
+                         rel::RelationKind::kIntermediate);
+    if (node.sig.output == plan.final_output) {
+      report.result = std::move(out);
+      report.final_output_name = plan.final_output;
+    }
+  }
+  if (report.final_output_name.empty() && !plan.nodes.empty()) {
+    // Fall back to the last node's output.
+    KATHDB_ASSIGN_OR_RETURN(TablePtr t,
+                            ctx->catalog->Get(plan.nodes.back().sig.output));
+    report.result = *t;
+    report.final_output_name = plan.nodes.back().sig.output;
+  }
+  return report;
+}
+
+}  // namespace kathdb::engine

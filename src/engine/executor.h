@@ -1,0 +1,111 @@
+/// \file executor.h
+/// \brief Execution engine with lineage recording and an agentic monitor.
+///
+/// The executor instantiates the physical plan node by node, materializing
+/// every intermediate into the catalog and recording provenance according
+/// to each function's dependency pattern (Section 3). The agentic monitor
+/// wraps each node:
+///  - *syntactic faults* (e.g. an unsupported HEIC poster) trigger a
+///    reviewer/rewriter loop that patches the function, bumps its ver_id
+///    and resumes from the failed operator — the query never aborts;
+///  - *semantic anomalies* (e.g. one poster joined to several movies) are
+///    detected on sampled output and escalated to the user channel for
+///    confirmation or correction.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fao/function.h"
+#include "fao/registry.h"
+#include "llm/channel.h"
+#include "llm/model.h"
+#include "optimizer/optimizer.h"
+
+namespace kathdb::engine {
+
+/// Per-node execution record.
+struct NodeRun {
+  std::string name;
+  std::string template_id;
+  int64_t ver_id = 0;
+  std::string dependency_pattern;
+  size_t output_rows = 0;
+  double runtime_ms = 0.0;
+  int repair_attempts = 0;      ///< syntactic repairs on this node
+  bool semantic_flagged = false;  ///< anomaly escalated to the user
+};
+
+/// Result of executing a physical plan.
+struct ExecutionReport {
+  rel::Table result;
+  std::string final_output_name;
+  std::vector<NodeRun> node_runs;
+  int total_repairs = 0;
+  int total_anomalies = 0;
+
+  std::string ToText() const;
+};
+
+struct ExecutorOptions {
+  /// Fraction of each node's output rows the monitor inspects for
+  /// semantic anomalies (E11 sweeps this; 0 disables the monitor).
+  double monitor_sample_rate = 1.0;
+  /// Maximum automatic repair attempts per node before giving up.
+  int max_repair_attempts = 2;
+  /// Ask the user before applying a semantic fix (true reproduces the
+  /// paper's interaction; false auto-accepts for unattended benches).
+  bool ask_user_on_anomaly = true;
+};
+
+/// \brief The agentic monitor: reviewer (diagnose) + rewriter (patch).
+class AgenticMonitor {
+ public:
+  AgenticMonitor(llm::SimulatedLLM* llm, fao::FunctionRegistry* registry,
+                 llm::UserChannel* user)
+      : llm_(llm), registry_(registry), user_(user) {}
+
+  /// Diagnoses a syntactic fault and attempts a patch. On success returns
+  /// the new spec (registered with a fresh ver_id) to re-execute.
+  Result<fao::FunctionSpec> RepairSyntactic(const fao::FunctionSpec& failed,
+                                            const Status& error,
+                                            fao::ExecContext* ctx);
+
+  /// Inspects (a sample of) a node's output for semantic anomalies.
+  /// Returns a description of the anomaly, or "" when clean.
+  std::string DetectAnomaly(const opt::PhysicalNode& node,
+                            const rel::Table& output, double sample_rate);
+
+  /// Escalates an anomaly to the user; if the user requests a fix,
+  /// returns a patched spec (registered), otherwise the original.
+  Result<fao::FunctionSpec> ResolveAnomaly(const opt::PhysicalNode& node,
+                                           const std::string& anomaly,
+                                           bool ask_user);
+
+ private:
+  llm::SimulatedLLM* llm_;
+  fao::FunctionRegistry* registry_;
+  llm::UserChannel* user_;
+};
+
+/// \brief Executes physical plans.
+class Executor {
+ public:
+  Executor(llm::SimulatedLLM* llm, fao::FunctionRegistry* registry,
+           llm::UserChannel* user, ExecutorOptions options = {})
+      : monitor_(llm, registry, user), options_(options) {}
+
+  /// Runs the plan; intermediates are upserted into ctx->catalog under
+  /// their declared output names. Lineage is recorded per dependency
+  /// pattern through ctx->lineage.
+  Result<ExecutionReport> Run(const opt::PhysicalPlan& plan,
+                              fao::ExecContext* ctx);
+
+ private:
+  AgenticMonitor monitor_;
+  ExecutorOptions options_;
+};
+
+}  // namespace kathdb::engine

@@ -1,0 +1,263 @@
+#include "engine/explainer.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace kathdb::engine {
+
+std::string ResultExplainer::ExplainPipeline(
+    const opt::PhysicalPlan& plan) const {
+  std::string out = "Pipeline explanation (coarse):\n";
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const auto& n = plan.nodes[i];
+    std::string gloss = llm_->Summarize(n.sig.description);
+    out += "  " + std::to_string(i + 1) + ": " + gloss + " [function " +
+           n.sig.name + " v" + std::to_string(n.spec.ver_id) + " -> " +
+           n.sig.output + "]\n";
+  }
+  return out;
+}
+
+Result<std::string> ResultExplainer::ExplainTuple(
+    int64_t lid, const rel::Table& result) const {
+  if (lid == 0) {
+    return Status::InvalidArgument(
+        "tuple has no lineage id (was tracking enabled?)");
+  }
+  std::string out = "Explanation for tuple lid=" + std::to_string(lid) + "\n";
+
+  // Locate the row carrying this lid for field values.
+  const rel::Row* row = nullptr;
+  for (size_t r = 0; r < result.num_rows(); ++r) {
+    if (result.row_lid(r) == lid) {
+      row = &result.row(r);
+      break;
+    }
+  }
+  if (row != nullptr) {
+    auto tidx = result.schema().IndexOf("title");
+    if (tidx.has_value()) {
+      out += "  tuple: \"" + (*row)[*tidx].ToString() + "\"\n";
+    }
+    out += "  fields:\n";
+    for (size_t c = 0; c < result.schema().num_columns(); ++c) {
+      out += "    " + result.schema().column(c).name + " = " +
+             (*row)[c].ToString() + "\n";
+    }
+  }
+
+  // Walk the provenance chain root-ward.
+  out += "  derivation:\n";
+  std::set<int64_t> visited;
+  std::vector<int64_t> frontier{lid};
+  int depth = 0;
+  while (!frontier.empty() && depth < 64) {
+    int64_t cur = frontier.back();
+    frontier.pop_back();
+    if (!visited.insert(cur).second) continue;
+    auto edges = lineage_->EdgesOf(cur);
+    if (edges.empty()) continue;
+    for (const auto& e : edges) {
+      std::string line = "    lid " + std::to_string(e.lid);
+      line += std::string(" [") +
+              (e.data_type == lineage::LineageDataType::kRow ? "row"
+                                                             : "table") +
+              "]";
+      if (!e.func_id.empty()) {
+        line += " produced by " + e.func_id + " (v" +
+                std::to_string(e.ver_id) + ")";
+        auto spec = registry_->Version(e.func_id, e.ver_id);
+        if (spec.ok() && !spec.value().source_text.empty()) {
+          line += ": " + spec.value().source_text;
+        }
+      }
+      if (e.parent_lid.has_value()) {
+        line += " <- parent lid " + std::to_string(*e.parent_lid);
+        frontier.push_back(*e.parent_lid);
+      } else if (!e.src_uri.empty()) {
+        line += " <- external source " + e.src_uri;
+      }
+      out += line + "\n";
+    }
+    ++depth;
+  }
+
+  // Field-derivation detail: recompute the combine formula with the
+  // actual row values, like Figure 5's fine-grained example.
+  if (row != nullptr) {
+    auto fidx = result.schema().IndexOf("final_score");
+    auto ridx = result.schema().IndexOf("recency_score");
+    // The content score carries the user's own term ("exciting_score",
+    // "scary_score", ...): any *_score column that is neither the final
+    // nor the recency score.
+    std::optional<size_t> eidx;
+    std::string content_col;
+    for (size_t c = 0; c < result.schema().num_columns(); ++c) {
+      const std::string& n = result.schema().column(c).name;
+      if (n.find("_score") != std::string::npos && n != "final_score" &&
+          n != "recency_score") {
+        eidx = c;
+        content_col = n;
+        break;
+      }
+    }
+    if (fidx.has_value() && eidx.has_value() && ridx.has_value()) {
+      double ex = (*row)[*eidx].AsDouble();
+      double re = (*row)[*ridx].AsDouble();
+      double fin = (*row)[*fidx].AsDouble();
+      // Pull weights from the latest combine implementation if present.
+      double w_ex = 0.7;
+      double w_re = 0.3;
+      auto combine = registry_->Latest("combine_scores");
+      if (!combine.ok()) combine = registry_->Latest("gen_scores_fused");
+      if (combine.ok() && combine.value().params.Has("terms")) {
+        const Json& terms = combine.value().params.Get("terms");
+        if (terms.size() == 2) {
+          w_ex = terms.at(0).GetDouble("weight", 0.7);
+          w_re = terms.at(1).GetDouble("weight", 0.3);
+        }
+      }
+      out += "  field derivation:\n";
+      out += "    " + content_col + ": plot entities matched the generated "
+             "keyword list; score " + FormatDouble(ex, 8) + "\n";
+      out += "    recency_score: assigned " + FormatDouble(re, 8) +
+             (re >= 0.999 ? " (likely the most recent or very recent film)"
+                          : "") + "\n";
+      out += "    final_score: weighted sum: " + FormatDouble(w_ex, 2) +
+             " * " + FormatDouble(ex, 8) + " + " + FormatDouble(w_re, 2) +
+             " * " + FormatDouble(re, 8) + " = " + FormatDouble(fin, 8) +
+             "\n";
+    }
+  }
+  llm_->Charge("Explain how tuple " + std::to_string(lid) +
+                   " was derived, using its lineage records.",
+               out);
+  return out;
+}
+
+Result<std::string> ResultExplainer::ExplainComparison(
+    int64_t lid_a, int64_t lid_b, const rel::Table& result) const {
+  const rel::Row* row_a = nullptr;
+  const rel::Row* row_b = nullptr;
+  for (size_t r = 0; r < result.num_rows(); ++r) {
+    if (result.row_lid(r) == lid_a) row_a = &result.row(r);
+    if (result.row_lid(r) == lid_b) row_b = &result.row(r);
+  }
+  if (row_a == nullptr || row_b == nullptr) {
+    return Status::NotFound("one of the tuples is not in the result");
+  }
+  auto name_of = [&](const rel::Row& row) {
+    auto tidx = result.schema().IndexOf("title");
+    return tidx.has_value() ? row[*tidx].ToString() : "<tuple>";
+  };
+  std::string out = "Why \"" + name_of(*row_a) + "\" (lid " +
+                    std::to_string(lid_a) + ") ranks relative to \"" +
+                    name_of(*row_b) + "\" (lid " + std::to_string(lid_b) +
+                    "):\n";
+  for (size_t c = 0; c < result.schema().num_columns(); ++c) {
+    const std::string& col = result.schema().column(c).name;
+    if (col.find("_score") == std::string::npos && col != "year") continue;
+    double a = (*row_a)[c].AsDouble();
+    double b = (*row_b)[c].AsDouble();
+    out += "  " + col + ": " + FormatDouble(a, 6) + " vs " +
+           FormatDouble(b, 6);
+    if (a > b) {
+      out += "  <- advantage " + name_of(*row_a);
+    } else if (b > a) {
+      out += "  <- advantage " + name_of(*row_b);
+    }
+    out += "\n";
+  }
+  llm_->Charge("Explain the relative ranking of tuples " +
+                   std::to_string(lid_a) + " and " + std::to_string(lid_b),
+               out);
+  return out;
+}
+
+Result<std::string> ResultExplainer::ExplainOperator(
+    const std::string& name, const opt::PhysicalPlan& plan,
+    const ExecutionReport& report) const {
+  const opt::PhysicalNode* node = nullptr;
+  for (const auto& n : plan.nodes) {
+    if (ContainsIgnoreCase(n.sig.name, name)) {
+      node = &n;
+      break;
+    }
+  }
+  if (node == nullptr) {
+    return Status::NotFound("no operator named '" + name +
+                            "' in the executed plan");
+  }
+  std::string out = "Operator " + node->sig.name + ":\n";
+  out += "  intent: " + node->sig.description + "\n";
+  out += "  implementation: " + node->spec.template_id + " (v" +
+         std::to_string(node->spec.ver_id) + ", " +
+         node->spec.dependency_pattern + ")\n";
+  if (!node->spec.source_text.empty()) {
+    out += "  body: " + node->spec.source_text + "\n";
+  }
+  for (const auto& run : report.node_runs) {
+    if (run.name != node->sig.name) continue;
+    out += "  execution: " + std::to_string(run.output_rows) +
+           " output rows in " + FormatDouble(run.runtime_ms, 2) + " ms";
+    if (run.repair_attempts > 0) {
+      out += " after " + std::to_string(run.repair_attempts) +
+             " automatic repair(s)";
+    }
+    if (run.semantic_flagged) out += "; a semantic anomaly was escalated";
+    out += "\n";
+  }
+  auto versions = registry_->VersionsOf(node->sig.name);
+  if (versions.size() > 1) {
+    out += "  version history:\n";
+    for (const auto& v : versions) {
+      out += "    v" + std::to_string(v.ver_id) + " [" + v.template_id +
+             "]\n";
+    }
+  }
+  llm_->Charge("Explain why operator " + name + " behaved as it did.", out);
+  return out;
+}
+
+Result<std::string> ResultExplainer::Ask(const std::string& question,
+                                         const opt::PhysicalPlan& plan,
+                                         const ExecutionReport& report,
+                                         const rel::Table& result) const {
+  std::string q = ToLower(question);
+  // Collect numeric tokens for tuple/comparison questions.
+  std::vector<int64_t> numbers;
+  for (const auto& tok : Tokenize(q)) {
+    if (!tok.empty() &&
+        tok.find_first_not_of("0123456789") == std::string::npos) {
+      numbers.push_back(std::strtoll(tok.c_str(), nullptr, 10));
+    }
+  }
+  bool mentions_tuple = ContainsIgnoreCase(q, "tuple") ||
+                        ContainsIgnoreCase(q, "lid") ||
+                        ContainsIgnoreCase(q, "row");
+  if (numbers.size() >= 2 && mentions_tuple &&
+      (ContainsIgnoreCase(q, "above") || ContainsIgnoreCase(q, "over") ||
+       ContainsIgnoreCase(q, "than") || ContainsIgnoreCase(q, "versus") ||
+       ContainsIgnoreCase(q, " vs"))) {
+    return ExplainComparison(numbers[0], numbers[1], result);
+  }
+  if (numbers.size() == 1 && mentions_tuple) {
+    return ExplainTuple(numbers[0], result);
+  }
+  // "explain operator classify_boring" / "why did filter_boring ...".
+  for (const auto& node : plan.nodes) {
+    if (ContainsIgnoreCase(q, node.sig.name)) {
+      return ExplainOperator(node.sig.name, plan, report);
+    }
+  }
+  if (ContainsIgnoreCase(q, "pipeline") || ContainsIgnoreCase(q, "overview") ||
+      ContainsIgnoreCase(q, "how") || ContainsIgnoreCase(q, "what")) {
+    return ExplainPipeline(plan);
+  }
+  return Status::NotSupported(
+      "cannot interpret the explanation request; ask about 'the pipeline', "
+      "'tuple <lid>', 'tuple <a> above tuple <b>', or an operator name");
+}
+
+}  // namespace kathdb::engine

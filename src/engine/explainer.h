@@ -1,0 +1,67 @@
+/// \file explainer.h
+/// \brief Query result explanation at two granularities (Figure 5).
+///
+/// After execution, the user can interrogate the full provenance of the
+/// result in natural language. The coarse mode walks the physical plan and
+/// glosses each transformation; the fine mode takes a specific lid,
+/// inspects the function signature and implementation that produced it,
+/// traces parent tuples through the lineage store, and shows how every
+/// field of the output tuple was derived.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/executor.h"
+#include "fao/registry.h"
+#include "lineage/lineage.h"
+#include "llm/model.h"
+#include "optimizer/optimizer.h"
+#include "relational/table.h"
+
+namespace kathdb::engine {
+
+/// \brief Renders pipeline- and tuple-level explanations from lineage.
+class ResultExplainer {
+ public:
+  ResultExplainer(llm::SimulatedLLM* llm,
+                  const fao::FunctionRegistry* registry,
+                  const lineage::LineageStore* lineage)
+      : llm_(llm), registry_(registry), lineage_(lineage) {}
+
+  /// Coarse mode: numbered NL overview of the executed pipeline.
+  std::string ExplainPipeline(const opt::PhysicalPlan& plan) const;
+
+  /// Fine mode: field-by-field derivation of the tuple with lineage id
+  /// `lid`, using `result` (the table carrying that row) for values.
+  /// Walks parents up to the external sources.
+  Result<std::string> ExplainTuple(int64_t lid,
+                                   const rel::Table& result) const;
+
+  /// Comparative mode: why does the tuple with `lid_a` rank above the one
+  /// with `lid_b`? Contrasts their score fields.
+  Result<std::string> ExplainComparison(int64_t lid_a, int64_t lid_b,
+                                        const rel::Table& result) const;
+
+  /// Operator mode ("why did filter_boring behave that way?"): the
+  /// function's signature, body, version history and row counts.
+  Result<std::string> ExplainOperator(const std::string& name,
+                                      const opt::PhysicalPlan& plan,
+                                      const ExecutionReport& report) const;
+
+  /// NL entry point over lineage: dispatches "explain the pipeline",
+  /// "explain tuple <lid>", "why is tuple <a> above tuple <b>" and
+  /// "explain operator <name>" style questions.
+  Result<std::string> Ask(const std::string& question,
+                          const opt::PhysicalPlan& plan,
+                          const ExecutionReport& report,
+                          const rel::Table& result) const;
+
+ private:
+  llm::SimulatedLLM* llm_;
+  const fao::FunctionRegistry* registry_;
+  const lineage::LineageStore* lineage_;
+};
+
+}  // namespace kathdb::engine

@@ -1,0 +1,108 @@
+#include "engine/kathdb.h"
+
+namespace kathdb::engine {
+
+KathDB::KathDB(KathDBOptions options)
+    : options_(options),
+      lineage_(options.lineage_mode, options.lineage_sample_rate),
+      llm_(llm::KathLargeSpec(), &meter_),
+      vlm_(options.vlm),
+      ner_(options.ner) {}
+
+fao::ExecContext KathDB::MakeContext() {
+  fao::ExecContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.lineage = &lineage_;
+  ctx.meter = &meter_;
+  ctx.image_loader = &loader_;
+  ctx.images = &images_;
+  return ctx;
+}
+
+Status KathDB::RegisterTable(rel::TablePtr table, rel::RelationKind kind) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  // Base-table ingestion creates a single table-level lineage entry
+  // (paper, Section 3: "Ingesting a raw table creates a single lineage
+  // entry with data_type=table").
+  int64_t lid = lineage_.RecordIngest("table://" + table->name(),
+                                      "load_data", 1,
+                                      lineage::LineageDataType::kTable);
+  table->set_table_lid(lid);
+  return catalog_.Register(std::move(table), kind);
+}
+
+Status KathDB::IngestDocument(const mm::Document& doc) {
+  return ner_.PopulateFromDocument(doc, &catalog_, &lineage_);
+}
+
+Status KathDB::IngestImage(int64_t vid, const mm::SyntheticImage& image) {
+  images_.Put(vid, image);
+  // The scene graph is populated from the *decodable* view of the image;
+  // HEIC posters still enter the store raw so the pixel-level classifier
+  // trips over them at execution time exactly as in the paper's scenario.
+  mm::SyntheticImage decodable = image;
+  decodable.format = "simg";
+  return vlm_.PopulateFromImage(vid, decodable, &catalog_, &lineage_);
+}
+
+Result<QueryOutcome> KathDB::Query(const std::string& nl_query,
+                                   llm::UserChannel* user) {
+  fao::ExecContext ctx = MakeContext();
+
+  // 1. Interactive NL parsing -> accepted query sketch.
+  parser::NlParser nl_parser(&llm_, user, &catalog_);
+  KATHDB_ASSIGN_OR_RETURN(parser::QuerySketch sketch,
+                          nl_parser.Parse(nl_query));
+
+  // 2. Logical plan generation (writer / tool user / verifier).
+  planner::LogicalPlanGenerator generator(&llm_, &catalog_);
+  KATHDB_ASSIGN_OR_RETURN(fao::LogicalPlan logical,
+                          generator.Generate(sketch, nl_parser.intent()));
+
+  // 3. Cost-based physical optimization (coder / profiler / critic).
+  opt::QueryOptimizer optimizer(&llm_, &registry_, options_.optimizer);
+  KATHDB_ASSIGN_OR_RETURN(opt::PhysicalPlan physical,
+                          optimizer.Optimize(logical, nl_parser.intent(),
+                                             &ctx));
+
+  // 4. Monitored execution with lineage recording.
+  Executor executor(&llm_, &registry_, user, options_.executor);
+  KATHDB_ASSIGN_OR_RETURN(ExecutionReport report, executor.Run(physical,
+                                                               &ctx));
+
+  QueryOutcome outcome;
+  outcome.result = report.result;
+  outcome.sketch = std::move(sketch);
+  outcome.logical_plan = std::move(logical);
+  outcome.physical_plan = std::move(physical);
+  outcome.report = std::move(report);
+  last_ = outcome;
+  return outcome;
+}
+
+Result<std::string> KathDB::ExplainPipeline() {
+  if (!last_.has_value()) {
+    return Status::NotFound("no query has been executed yet");
+  }
+  ResultExplainer explainer(&llm_, &registry_, &lineage_);
+  return explainer.ExplainPipeline(last_->physical_plan);
+}
+
+Result<std::string> KathDB::ExplainTuple(int64_t lid) {
+  if (!last_.has_value()) {
+    return Status::NotFound("no query has been executed yet");
+  }
+  ResultExplainer explainer(&llm_, &registry_, &lineage_);
+  return explainer.ExplainTuple(lid, last_->result);
+}
+
+Result<std::string> KathDB::AskExplanation(const std::string& question) {
+  if (!last_.has_value()) {
+    return Status::NotFound("no query has been executed yet");
+  }
+  ResultExplainer explainer(&llm_, &registry_, &lineage_);
+  return explainer.Ask(question, last_->physical_plan, last_->report,
+                       last_->result);
+}
+
+}  // namespace kathdb::engine

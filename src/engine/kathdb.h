@@ -1,0 +1,124 @@
+/// \file kathdb.h
+/// \brief KathDB — the public facade of the system.
+///
+/// One object owning the catalog, lineage store, function registry, usage
+/// meter, simulated models and media stores, exposing the full paper
+/// pipeline:
+///
+///   KathDB db;
+///   db.RegisterTable(movie_table);
+///   db.IngestDocument(plot);      // populates the text semantic graph
+///   db.IngestImage(vid, poster);  // populates the scene graph
+///   llm::ScriptedUser user({"plots with uncommon scenes", "OK"});
+///   auto result = db.Query("Sort the films by how exciting they are, "
+///                          "but the poster should be 'boring'", &user);
+///   db.ExplainPipeline();         // coarse (Figure 5 left)
+///   db.ExplainTuple(lid);         // fine-grained (Figure 5 right)
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "engine/executor.h"
+#include "engine/explainer.h"
+#include "fao/function.h"
+#include "fao/registry.h"
+#include "lineage/lineage.h"
+#include "llm/channel.h"
+#include "llm/model.h"
+#include "multimodal/media.h"
+#include "multimodal/scene_graph.h"
+#include "multimodal/text_graph.h"
+#include "optimizer/optimizer.h"
+#include "parser/nl_parser.h"
+#include "planner/plan_generator.h"
+#include "relational/catalog.h"
+
+namespace kathdb::engine {
+
+struct KathDBOptions {
+  lineage::TrackingMode lineage_mode = lineage::TrackingMode::kRow;
+  double lineage_sample_rate = 0.1;  ///< used when mode == kSampled
+  ExecutorOptions executor;
+  opt::OptimizerOptions optimizer;
+  mm::VlmConfig vlm;
+  mm::NerConfig ner;
+};
+
+/// \brief Everything produced while answering one NL query.
+struct QueryOutcome {
+  rel::Table result;
+  parser::QuerySketch sketch;
+  fao::LogicalPlan logical_plan;
+  opt::PhysicalPlan physical_plan;
+  ExecutionReport report;
+};
+
+/// \brief The KathDB system facade.
+class KathDB {
+ public:
+  explicit KathDB(KathDBOptions options = {});
+
+  // ---- component access (benches and tests reach inside) ----
+  rel::Catalog* catalog() { return &catalog_; }
+  lineage::LineageStore* lineage() { return &lineage_; }
+  fao::FunctionRegistry* registry() { return &registry_; }
+  llm::UsageMeter* meter() { return &meter_; }
+  fao::ImageStore* images() { return &images_; }
+  mm::ImageLoader* image_loader() { return &loader_; }
+  mm::SimulatedVlm* vlm() { return &vlm_; }
+  mm::SimulatedNer* ner() { return &ner_; }
+  llm::SimulatedLLM* llm() { return &llm_; }
+  const KathDBOptions& options() const { return options_; }
+
+  /// Execution context wired to this instance's components.
+  fao::ExecContext MakeContext();
+
+  // ---- ingestion ----
+  Status RegisterTable(rel::TablePtr table,
+                       rel::RelationKind kind = rel::RelationKind::kBaseTable);
+  /// Extracts the text semantic graph of `doc` into the views.
+  Status IngestDocument(const mm::Document& doc);
+  /// Stores the raw image and populates the scene-graph views.
+  Status IngestImage(int64_t vid, const mm::SyntheticImage& image);
+
+  // ---- the paper pipeline ----
+  /// NL query -> clarification/sketch (interactive) -> logical plan ->
+  /// physical plan -> monitored execution. The outcome is retained for
+  /// explanation queries.
+  Result<QueryOutcome> Query(const std::string& nl_query,
+                             llm::UserChannel* user);
+
+  /// Coarse pipeline explanation of the last query (Figure 5, left).
+  Result<std::string> ExplainPipeline();
+  /// Fine-grained tuple explanation (Figure 5, right).
+  Result<std::string> ExplainTuple(int64_t lid);
+  /// NL explanation entry point over the last query's lineage.
+  Result<std::string> AskExplanation(const std::string& question);
+
+  /// Persists all generated function versions (FAO disk persistence).
+  Status SaveFunctions(const std::string& dir) const {
+    return registry_.SaveToDir(dir);
+  }
+
+  /// Last query outcome, if any.
+  const std::optional<QueryOutcome>& last_outcome() const { return last_; }
+
+ private:
+  KathDBOptions options_;
+  rel::Catalog catalog_;
+  lineage::LineageStore lineage_;
+  fao::FunctionRegistry registry_;
+  llm::UsageMeter meter_;
+  llm::SimulatedLLM llm_;
+  mm::ImageLoader loader_;
+  fao::ImageStore images_;
+  mm::SimulatedVlm vlm_;
+  mm::SimulatedNer ner_;
+  std::optional<QueryOutcome> last_;
+};
+
+}  // namespace kathdb::engine

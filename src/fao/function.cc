@@ -1,0 +1,606 @@
+#include "fao/function.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "sql/engine.h"
+
+namespace kathdb::fao {
+
+using rel::DataType;
+using rel::Row;
+using rel::Schema;
+using rel::Table;
+using rel::TablePtr;
+using rel::Value;
+
+namespace {
+
+const vec::TextEmbedder& DefaultEmbedder() {
+  static const vec::TextEmbedder kEmbedder(64);
+  return kEmbedder;
+}
+
+Result<size_t> RequireColumn(const Table& t, const std::string& col,
+                             const std::string& fn) {
+  auto idx = t.schema().IndexOf(col);
+  if (!idx.has_value()) {
+    return Status::SyntacticError("function " + fn + ": input table '" +
+                                  t.name() + "' has no column '" + col +
+                                  "'");
+  }
+  return *idx;
+}
+
+Status RequireInputs(const std::vector<TablePtr>& inputs, size_t n,
+                     const std::string& fn) {
+  if (inputs.size() != n) {
+    return Status::SyntacticError(
+        "function " + fn + " expects " + std::to_string(n) +
+        " input table(s), got " + std::to_string(inputs.size()));
+  }
+  for (const auto& t : inputs) {
+    if (t == nullptr) return Status::SyntacticError(fn + ": null input");
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------- sql
+class SqlFunction : public PhysicalFunction {
+ public:
+  using PhysicalFunction::PhysicalFunction;
+
+  Result<Table> Execute(const std::vector<TablePtr>& inputs,
+                        ExecContext* ctx) override {
+    (void)inputs;  // the executor registers inputs in the catalog
+    sql::SqlEngine engine(ctx->catalog);
+    // Multi-step body: each step runs a statement; "as" registers the
+    // intermediate result under a temporary name for later steps.
+    if (spec_.params.Has("steps")) {
+      Table last("empty", Schema{});
+      for (const Json& step : spec_.params.Get("steps").items()) {
+        std::string q = step.GetString("query");
+        if (q.empty()) {
+          return Status::SyntacticError("function " + spec_.name +
+                                        ": sql step missing 'query'");
+        }
+        KATHDB_ASSIGN_OR_RETURN(last, engine.Execute(q));
+        std::string as = step.GetString("as");
+        if (!as.empty()) {
+          auto tmp = std::make_shared<Table>(last);
+          tmp->set_name(as);
+          ctx->catalog->Upsert(tmp, rel::RelationKind::kIntermediate);
+        }
+      }
+      return last;
+    }
+    std::string query = spec_.params.GetString("query");
+    if (query.empty()) {
+      return Status::SyntacticError("function " + spec_.name +
+                                    ": sql template missing 'query' param");
+    }
+    KATHDB_ASSIGN_OR_RETURN(Table out, engine.Execute(query));
+    return out;
+  }
+};
+
+// --------------------------------------------------- keyword similarity
+class KeywordSimilarityFunction : public PhysicalFunction {
+ public:
+  using PhysicalFunction::PhysicalFunction;
+
+  Result<Table> Execute(const std::vector<TablePtr>& inputs,
+                        ExecContext* ctx) override {
+    KATHDB_RETURN_IF_ERROR(RequireInputs(inputs, 1, spec_.name));
+    const Table& in = *inputs[0];
+    std::string did_col = spec_.params.GetString("did_column", "did");
+    std::string out_col =
+        spec_.params.GetString("output_column", "excitement_score");
+    double threshold = spec_.params.GetDouble("threshold", 0.60);
+    double sharpness = spec_.params.GetDouble("sharpness", 2.0);
+    std::vector<std::string> keywords;
+    if (spec_.params.Has("keywords")) {
+      for (const Json& k : spec_.params.Get("keywords").items()) {
+        keywords.push_back(k.AsString());
+      }
+    }
+    if (keywords.empty()) {
+      return Status::SyntacticError("function " + spec_.name +
+                                    ": empty keyword list");
+    }
+    KATHDB_ASSIGN_OR_RETURN(size_t didx, RequireColumn(in, did_col,
+                                                       spec_.name));
+    const vec::TextEmbedder& embedder =
+        ctx->embedder != nullptr ? *ctx->embedder : DefaultEmbedder();
+
+    std::vector<vec::Embedding> kvecs;
+    kvecs.reserve(keywords.size());
+    for (const auto& k : keywords) kvecs.push_back(embedder.EmbedToken(k));
+
+    Schema schema = in.schema();
+    schema.AddColumn(out_col, DataType::kDouble);
+    Table out(spec_.params.GetString("output_name", in.name()), schema);
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      int64_t did = in.at(r, didx).AsInt();
+      auto tokens = mm::EntityTokensOf(did, *ctx->catalog, ctx->text_views);
+      double hits = 0.0;
+      if (tokens.ok()) {
+        for (const auto& tok : tokens.value()) {
+          vec::Embedding te = embedder.EmbedToken(tok);
+          float best = 0.0f;
+          for (const auto& kv : kvecs) {
+            float s = vec::CosineSimilarity(te, kv);
+            if (s > best) best = s;
+          }
+          if (best > threshold) {
+            double rel = (best - threshold) / (1.0 - threshold);
+            hits += rel * rel;
+          }
+        }
+      }
+      double score = 1.0 - std::exp(-sharpness * hits);
+      Row row = in.row(r);
+      row.push_back(Value::Double(score));
+      out.AppendRow(std::move(row), in.row_lid(r));
+    }
+    return out;
+  }
+};
+
+// ----------------------------------------- keyword similarity (cached)
+/// Alternative physical implementation of the same logical operator: a
+/// per-distinct-token similarity cache is built across rows, so each
+/// token is embedded and compared against the keyword set exactly once.
+/// Produces identical scores to KeywordSimilarityFunction at a fraction
+/// of the embedding work — the optimizer's runtime-based physical choice.
+class KeywordSimilarityCachedFunction : public PhysicalFunction {
+ public:
+  using PhysicalFunction::PhysicalFunction;
+
+  Result<Table> Execute(const std::vector<TablePtr>& inputs,
+                        ExecContext* ctx) override {
+    KATHDB_RETURN_IF_ERROR(RequireInputs(inputs, 1, spec_.name));
+    const Table& in = *inputs[0];
+    std::string did_col = spec_.params.GetString("did_column", "did");
+    std::string out_col =
+        spec_.params.GetString("output_column", "excitement_score");
+    double threshold = spec_.params.GetDouble("threshold", 0.60);
+    double sharpness = spec_.params.GetDouble("sharpness", 2.0);
+    std::vector<std::string> keywords;
+    if (spec_.params.Has("keywords")) {
+      for (const Json& k : spec_.params.Get("keywords").items()) {
+        keywords.push_back(k.AsString());
+      }
+    }
+    if (keywords.empty()) {
+      return Status::SyntacticError("function " + spec_.name +
+                                    ": empty keyword list");
+    }
+    KATHDB_ASSIGN_OR_RETURN(size_t didx,
+                            RequireColumn(in, did_col, spec_.name));
+    const vec::TextEmbedder& embedder =
+        ctx->embedder != nullptr ? *ctx->embedder : DefaultEmbedder();
+    std::vector<vec::Embedding> kvecs;
+    kvecs.reserve(keywords.size());
+    for (const auto& k : keywords) kvecs.push_back(embedder.EmbedToken(k));
+
+    std::map<std::string, double> best_sim;  // token -> max keyword cosine
+    auto token_score = [&](const std::string& tok) {
+      auto it = best_sim.find(tok);
+      if (it != best_sim.end()) return it->second;
+      vec::Embedding te = embedder.EmbedToken(tok);
+      float best = 0.0f;
+      for (const auto& kv : kvecs) {
+        float s = vec::CosineSimilarity(te, kv);
+        if (s > best) best = s;
+      }
+      best_sim[tok] = best;
+      return static_cast<double>(best);
+    };
+
+    Schema schema = in.schema();
+    schema.AddColumn(out_col, DataType::kDouble);
+    Table out(in.name(), schema);
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      int64_t did = in.at(r, didx).AsInt();
+      double hits = 0.0;
+      auto tokens = mm::EntityTokensOf(did, *ctx->catalog, ctx->text_views);
+      if (tokens.ok()) {
+        for (const auto& tok : tokens.value()) {
+          double best = token_score(tok);
+          if (best > threshold) {
+            double rel = (best - threshold) / (1.0 - threshold);
+            hits += rel * rel;
+          }
+        }
+      }
+      Row row = in.row(r);
+      row.push_back(Value::Double(1.0 - std::exp(-sharpness * hits)));
+      out.AppendRow(std::move(row), in.row_lid(r));
+    }
+    return out;
+  }
+};
+
+// --------------------------------------------------------- recency score
+class RecencyScoreFunction : public PhysicalFunction {
+ public:
+  using PhysicalFunction::PhysicalFunction;
+
+  Result<Table> Execute(const std::vector<TablePtr>& inputs,
+                        ExecContext* ctx) override {
+    (void)ctx;
+    KATHDB_RETURN_IF_ERROR(RequireInputs(inputs, 1, spec_.name));
+    const Table& in = *inputs[0];
+    std::string year_col = spec_.params.GetString("year_column", "year");
+    std::string out_col =
+        spec_.params.GetString("output_column", "recency_score");
+    double min_year = spec_.params.GetDouble("min_year", 1950);
+    double max_year = spec_.params.GetDouble("max_year", 2026);
+    // direction -1 is the reversed (buggy) implementation the critic must
+    // catch during semantic verification (paper, Section 4).
+    double direction = spec_.params.GetDouble("direction", 1.0);
+    KATHDB_ASSIGN_OR_RETURN(size_t yidx,
+                            RequireColumn(in, year_col, spec_.name));
+    Schema schema = in.schema();
+    schema.AddColumn(out_col, DataType::kDouble);
+    Table out(in.name(), schema);
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      double y = in.at(r, yidx).AsDouble();
+      double s = (y - min_year) / std::max(1.0, max_year - min_year);
+      s = std::min(1.0, std::max(0.0, s));
+      if (direction < 0) s = 1.0 - s;
+      Row row = in.row(r);
+      row.push_back(Value::Double(s));
+      out.AppendRow(std::move(row), in.row_lid(r));
+    }
+    return out;
+  }
+};
+
+// -------------------------------------------------------- combine scores
+class CombineScoresFunction : public PhysicalFunction {
+ public:
+  using PhysicalFunction::PhysicalFunction;
+
+  Result<Table> Execute(const std::vector<TablePtr>& inputs,
+                        ExecContext* ctx) override {
+    (void)ctx;
+    KATHDB_RETURN_IF_ERROR(RequireInputs(inputs, 1, spec_.name));
+    const Table& in = *inputs[0];
+    std::string out_col =
+        spec_.params.GetString("output_column", "final_score");
+    if (!spec_.params.Has("terms") ||
+        spec_.params.Get("terms").size() == 0) {
+      return Status::SyntacticError("function " + spec_.name +
+                                    ": combine_scores needs 'terms'");
+    }
+    std::vector<std::pair<size_t, double>> terms;
+    for (const Json& t : spec_.params.Get("terms").items()) {
+      std::string col = t.GetString("column");
+      KATHDB_ASSIGN_OR_RETURN(size_t idx, RequireColumn(in, col, spec_.name));
+      terms.emplace_back(idx, t.GetDouble("weight", 1.0));
+    }
+    Schema schema = in.schema();
+    schema.AddColumn(out_col, DataType::kDouble);
+    Table out(in.name(), schema);
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      double sum = 0.0;
+      for (const auto& [idx, w] : terms) {
+        sum += w * in.at(r, idx).AsDouble();
+      }
+      Row row = in.row(r);
+      row.push_back(Value::Double(sum));
+      out.AppendRow(std::move(row), in.row_lid(r));
+    }
+    return out;
+  }
+};
+
+// ----------------------------------------------- classify_boring (stats)
+class ClassifyBoringStatsFunction : public PhysicalFunction {
+ public:
+  using PhysicalFunction::PhysicalFunction;
+
+  Result<Table> Execute(const std::vector<TablePtr>& inputs,
+                        ExecContext* ctx) override {
+    KATHDB_RETURN_IF_ERROR(RequireInputs(inputs, 1, spec_.name));
+    const Table& in = *inputs[0];
+    std::string vid_col = spec_.params.GetString("vid_column", "vid");
+    std::string out_col =
+        spec_.params.GetString("output_column", "boring_poster");
+    double var_threshold =
+        spec_.params.GetDouble("variance_threshold", 0.055);
+    int64_t max_objects = spec_.params.GetInt("max_objects", 4);
+    KATHDB_ASSIGN_OR_RETURN(size_t vidx,
+                            RequireColumn(in, vid_col, spec_.name));
+    Schema schema = in.schema();
+    schema.AddColumn(out_col, DataType::kBool);
+    Table out(in.name(), schema);
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      int64_t vid = in.at(r, vidx).AsInt();
+      KATHDB_ASSIGN_OR_RETURN(
+          mm::FrameSceneStats stats,
+          mm::ComputeFrameStats(vid, 0, *ctx->catalog, ctx->scene_views));
+      bool boring = stats.color_variance < var_threshold &&
+                    stats.num_objects <= max_objects &&
+                    stats.num_action_objects == 0;
+      Row row = in.row(r);
+      row.push_back(Value::Bool(boring));
+      out.AppendRow(std::move(row), in.row_lid(r));
+    }
+    return out;
+  }
+};
+
+// ---------------------------------------------- classify_boring (pixels)
+class ClassifyBoringPixelsFunction : public PhysicalFunction {
+ public:
+  using PhysicalFunction::PhysicalFunction;
+
+  Result<Table> Execute(const std::vector<TablePtr>& inputs,
+                        ExecContext* ctx) override {
+    KATHDB_RETURN_IF_ERROR(RequireInputs(inputs, 1, spec_.name));
+    if (ctx->images == nullptr || ctx->image_loader == nullptr) {
+      return Status::SyntacticError(
+          "function " + spec_.name +
+          ": pixel analysis requires an image store and loader");
+    }
+    const Table& in = *inputs[0];
+    std::string vid_col = spec_.params.GetString("vid_column", "vid");
+    std::string out_col =
+        spec_.params.GetString("output_column", "boring_poster");
+    double var_threshold =
+        spec_.params.GetDouble("variance_threshold", 0.055);
+    int vision_tokens = static_cast<int>(
+        spec_.params.GetInt("vision_tokens_per_image", 420));
+    KATHDB_ASSIGN_OR_RETURN(size_t vidx,
+                            RequireColumn(in, vid_col, spec_.name));
+    static const vec::ConceptLexicon lexicon = vec::ConceptLexicon::BuiltIn();
+    llm::ModelSpec vision = llm::KathVisionSpec();
+
+    Schema schema = in.schema();
+    schema.AddColumn(out_col, DataType::kBool);
+    Table out(in.name(), schema);
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      int64_t vid = in.at(r, vidx).AsInt();
+      KATHDB_ASSIGN_OR_RETURN(mm::SyntheticImage raw, ctx->images->Get(vid));
+      // The decode is where unsupported formats (HEIC) surface as
+      // syntactic faults for the monitor to repair.
+      KATHDB_ASSIGN_OR_RETURN(mm::SyntheticImage img,
+                              ctx->image_loader->Decode(raw));
+      if (ctx->meter != nullptr) {
+        ctx->meter->Record(vision, vision_tokens, vision_tokens / 6);
+      }
+      // Pixel-level analysis reads the ground-truth latent content: this
+      // is the high-accuracy, high-cost implementation.
+      int action_objects = 0;
+      for (const auto& o : img.objects) {
+        std::string concept_name = lexicon.ConceptOf(o.cls);
+        if (concept_name == "action" || concept_name == "violence") ++action_objects;
+      }
+      bool boring = img.color_variance < var_threshold &&
+                    action_objects == 0 &&
+                    img.objects.size() <= 4;
+      Row row = in.row(r);
+      row.push_back(Value::Bool(boring));
+      out.AppendRow(std::move(row), in.row_lid(r));
+    }
+    return out;
+  }
+};
+
+// --------------------------------------------- classify_boring (cascade)
+class ClassifyBoringCascadeFunction : public PhysicalFunction {
+ public:
+  using PhysicalFunction::PhysicalFunction;
+
+  Result<Table> Execute(const std::vector<TablePtr>& inputs,
+                        ExecContext* ctx) override {
+    KATHDB_RETURN_IF_ERROR(RequireInputs(inputs, 1, spec_.name));
+    const Table& in = *inputs[0];
+    std::string vid_col = spec_.params.GetString("vid_column", "vid");
+    std::string out_col =
+        spec_.params.GetString("output_column", "boring_poster");
+    double var_threshold =
+        spec_.params.GetDouble("variance_threshold", 0.055);
+    double margin = spec_.params.GetDouble("margin", 0.015);
+    int64_t max_objects = spec_.params.GetInt("max_objects", 4);
+    int vision_tokens = static_cast<int>(
+        spec_.params.GetInt("vision_tokens_per_image", 420));
+    KATHDB_ASSIGN_OR_RETURN(size_t vidx,
+                            RequireColumn(in, vid_col, spec_.name));
+    static const vec::ConceptLexicon lexicon = vec::ConceptLexicon::BuiltIn();
+    llm::ModelSpec vision = llm::KathVisionSpec();
+
+    Schema schema = in.schema();
+    schema.AddColumn(out_col, DataType::kBool);
+    Table out(in.name(), schema);
+    escalations_ = 0;
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      int64_t vid = in.at(r, vidx).AsInt();
+      KATHDB_ASSIGN_OR_RETURN(
+          mm::FrameSceneStats stats,
+          mm::ComputeFrameStats(vid, 0, *ctx->catalog, ctx->scene_views));
+      bool boring;
+      bool confident =
+          std::abs(stats.color_variance - var_threshold) >= margin;
+      if (confident) {
+        boring = stats.color_variance < var_threshold &&
+                 stats.num_objects <= max_objects &&
+                 stats.num_action_objects == 0;
+      } else {
+        // Uncertain: escalate this row to the expensive pixel model.
+        ++escalations_;
+        if (ctx->images == nullptr || ctx->image_loader == nullptr) {
+          return Status::SyntacticError(spec_.name +
+                                        ": cascade escalation needs images");
+        }
+        KATHDB_ASSIGN_OR_RETURN(mm::SyntheticImage raw,
+                                ctx->images->Get(vid));
+        KATHDB_ASSIGN_OR_RETURN(mm::SyntheticImage img,
+                                ctx->image_loader->Decode(raw));
+        if (ctx->meter != nullptr) {
+          ctx->meter->Record(vision, vision_tokens, vision_tokens / 6);
+        }
+        int action_objects = 0;
+        for (const auto& o : img.objects) {
+          std::string concept_name = lexicon.ConceptOf(o.cls);
+          if (concept_name == "action" || concept_name == "violence") ++action_objects;
+        }
+        boring = img.color_variance < var_threshold && action_objects == 0 &&
+                 img.objects.size() <= 4;
+      }
+      Row row = in.row(r);
+      row.push_back(Value::Bool(boring));
+      out.AppendRow(std::move(row), in.row_lid(r));
+    }
+    return out;
+  }
+
+  int64_t escalations() const { return escalations_; }
+
+ private:
+  int64_t escalations_ = 0;
+};
+
+// ----------------------------------------------------------- fused_scores
+/// Fusion of keyword-similarity + recency + combine into one operator:
+/// the optimizer's "merge two function signatures into one to avoid
+/// unnecessary intermediate result materialization" rewrite (E7). Faster,
+/// but a single func_id produces all three columns, so explanations get
+/// coarser.
+class FusedScoresFunction : public PhysicalFunction {
+ public:
+  using PhysicalFunction::PhysicalFunction;
+
+  Result<Table> Execute(const std::vector<TablePtr>& inputs,
+                        ExecContext* ctx) override {
+    KATHDB_RETURN_IF_ERROR(RequireInputs(inputs, 1, spec_.name));
+    const Table& in = *inputs[0];
+    const Json& ex = spec_.params.Get("excitement");
+    const Json& re = spec_.params.Get("recency");
+    const Json& co = spec_.params.Get("combine");
+    if (!ex.is_object() || !re.is_object() || !co.is_object()) {
+      return Status::SyntacticError(
+          spec_.name + ": fused_scores needs excitement/recency/combine");
+    }
+    std::string did_col = ex.GetString("did_column", "did");
+    std::string year_col = re.GetString("year_column", "year");
+    double threshold = ex.GetDouble("threshold", 0.60);
+    double sharpness = ex.GetDouble("sharpness", 2.0);
+    double min_year = re.GetDouble("min_year", 1950);
+    double max_year = re.GetDouble("max_year", 2026);
+    double w_ex = co.GetDouble("excitement_weight", 0.7);
+    double w_re = co.GetDouble("recency_weight", 0.3);
+    std::vector<std::string> keywords;
+    for (const Json& k : ex.Get("keywords").items()) {
+      keywords.push_back(k.AsString());
+    }
+    if (keywords.empty()) {
+      return Status::SyntacticError(spec_.name + ": empty keyword list");
+    }
+    KATHDB_ASSIGN_OR_RETURN(size_t didx,
+                            RequireColumn(in, did_col, spec_.name));
+    KATHDB_ASSIGN_OR_RETURN(size_t yidx,
+                            RequireColumn(in, year_col, spec_.name));
+    const vec::TextEmbedder& embedder =
+        ctx->embedder != nullptr ? *ctx->embedder : DefaultEmbedder();
+    std::vector<vec::Embedding> kvecs;
+    for (const auto& k : keywords) kvecs.push_back(embedder.EmbedToken(k));
+
+    Schema schema = in.schema();
+    schema.AddColumn("excitement_score", DataType::kDouble);
+    schema.AddColumn("recency_score", DataType::kDouble);
+    schema.AddColumn("final_score", DataType::kDouble);
+    Table out(in.name(), schema);
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      int64_t did = in.at(r, didx).AsInt();
+      double hits = 0.0;
+      auto tokens = mm::EntityTokensOf(did, *ctx->catalog, ctx->text_views);
+      if (tokens.ok()) {
+        for (const auto& tok : tokens.value()) {
+          vec::Embedding te = embedder.EmbedToken(tok);
+          float best = 0.0f;
+          for (const auto& kv : kvecs) {
+            float s = vec::CosineSimilarity(te, kv);
+            if (s > best) best = s;
+          }
+          if (best > threshold) {
+            double rel = (best - threshold) / (1.0 - threshold);
+            hits += rel * rel;
+          }
+        }
+      }
+      double excitement = 1.0 - std::exp(-sharpness * hits);
+      double y = in.at(r, yidx).AsDouble();
+      double recency = std::min(
+          1.0, std::max(0.0, (y - min_year) / std::max(1.0,
+                                                       max_year - min_year)));
+      double final_score = w_ex * excitement + w_re * recency;
+      Row row = in.row(r);
+      row.push_back(Value::Double(excitement));
+      row.push_back(Value::Double(recency));
+      row.push_back(Value::Double(final_score));
+      out.AppendRow(std::move(row), in.row_lid(r));
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+bool IsKnownTemplate(const std::string& template_id) {
+  static const std::set<std::string> kKnown = {
+      "sql",
+      "keyword_similarity_score",
+      "keyword_similarity_cached",
+      "recency_score",
+      "combine_scores",
+      "classify_boring_stats",
+      "classify_boring_pixels",
+      "classify_boring_cascade",
+      "fused_scores"};
+  return kKnown.count(template_id) > 0;
+}
+
+Result<std::unique_ptr<PhysicalFunction>> InstantiateFunction(
+    const FunctionSpec& spec) {
+  const std::string& t = spec.template_id;
+  if (t == "sql") return std::unique_ptr<PhysicalFunction>(
+      new SqlFunction(spec));
+  if (t == "keyword_similarity_score") {
+    return std::unique_ptr<PhysicalFunction>(
+        new KeywordSimilarityFunction(spec));
+  }
+  if (t == "keyword_similarity_cached") {
+    return std::unique_ptr<PhysicalFunction>(
+        new KeywordSimilarityCachedFunction(spec));
+  }
+  if (t == "recency_score") {
+    return std::unique_ptr<PhysicalFunction>(new RecencyScoreFunction(spec));
+  }
+  if (t == "combine_scores") {
+    return std::unique_ptr<PhysicalFunction>(new CombineScoresFunction(spec));
+  }
+  if (t == "classify_boring_stats") {
+    return std::unique_ptr<PhysicalFunction>(
+        new ClassifyBoringStatsFunction(spec));
+  }
+  if (t == "classify_boring_pixels") {
+    return std::unique_ptr<PhysicalFunction>(
+        new ClassifyBoringPixelsFunction(spec));
+  }
+  if (t == "classify_boring_cascade") {
+    return std::unique_ptr<PhysicalFunction>(
+        new ClassifyBoringCascadeFunction(spec));
+  }
+  if (t == "fused_scores") {
+    return std::unique_ptr<PhysicalFunction>(new FusedScoresFunction(spec));
+  }
+  return Status::InvalidArgument("unknown function template '" + t + "'");
+}
+
+}  // namespace kathdb::fao

@@ -1,0 +1,89 @@
+/// \file function.h
+/// \brief Physical FAO functions: the interpreter over FunctionSpecs.
+///
+/// A PhysicalFunction is one concrete, versioned implementation of a
+/// logical signature — "a SQL query over a table, a view population using
+/// machine learning models, a vector-based similarity search for semantic
+/// keyword matching, and more" (paper, Section 2.2). The interpreter
+/// instantiates a function object from a FunctionSpec; alternative
+/// templates for the same signature are the optimizer's physical choices.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fao/spec.h"
+#include "lineage/lineage.h"
+#include "llm/model.h"
+#include "multimodal/media.h"
+#include "multimodal/scene_graph.h"
+#include "multimodal/text_graph.h"
+#include "relational/catalog.h"
+#include "vector/embedding.h"
+
+namespace kathdb::fao {
+
+/// \brief Raw-image registry keyed by video/image id; the pixel-level
+/// classifier implementations fetch from here (the analogue of reading
+/// image files referenced by a path column).
+class ImageStore {
+ public:
+  void Put(int64_t vid, mm::SyntheticImage image) {
+    images_[vid] = std::move(image);
+  }
+  Result<mm::SyntheticImage> Get(int64_t vid) const {
+    auto it = images_.find(vid);
+    if (it == images_.end()) {
+      return Status::NotFound("no raw image for vid " + std::to_string(vid));
+    }
+    return it->second;
+  }
+  size_t size() const { return images_.size(); }
+
+ private:
+  std::map<int64_t, mm::SyntheticImage> images_;
+};
+
+/// \brief Everything a function body may touch at execution time.
+struct ExecContext {
+  rel::Catalog* catalog = nullptr;
+  lineage::LineageStore* lineage = nullptr;
+  llm::UsageMeter* meter = nullptr;
+  mm::ImageLoader* image_loader = nullptr;
+  ImageStore* images = nullptr;
+  mm::SceneGraphViews scene_views;
+  mm::TextGraphViews text_views;
+  const vec::TextEmbedder* embedder = nullptr;  ///< defaults provided
+};
+
+/// \brief One executable, versioned implementation of a logical function.
+class PhysicalFunction {
+ public:
+  explicit PhysicalFunction(FunctionSpec spec) : spec_(std::move(spec)) {}
+  virtual ~PhysicalFunction() = default;
+
+  const FunctionSpec& spec() const { return spec_; }
+
+  /// Runs the body over `inputs` (resolved by the executor in signature
+  /// order). Returns the output table; errors with kSyntacticError are
+  /// candidates for the agentic monitor's automatic repair.
+  virtual Result<rel::Table> Execute(const std::vector<rel::TablePtr>& inputs,
+                                     ExecContext* ctx) = 0;
+
+ protected:
+  FunctionSpec spec_;
+};
+
+/// Instantiates the implementation template named by `spec.template_id`.
+/// InvalidArgument for unknown templates or missing parameters.
+Result<std::unique_ptr<PhysicalFunction>> InstantiateFunction(
+    const FunctionSpec& spec);
+
+/// True if the interpreter knows this template id.
+bool IsKnownTemplate(const std::string& template_id);
+
+}  // namespace kathdb::fao

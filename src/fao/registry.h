@@ -1,0 +1,56 @@
+/// \file registry.h
+/// \brief Versioned function store with disk persistence.
+///
+/// "Each function is assigned an identifier and a version tag ... these
+/// functions are persisted locally on disk" (paper, contribution 2).
+/// Whenever the optimizer or the execution-time rewriter produces a new
+/// implementation, the registry stamps the next ver_id, leaving earlier
+/// versions intact for lineage queries and safe roll-backs.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fao/spec.h"
+
+namespace kathdb::fao {
+
+/// \brief name -> ordered version list of FunctionSpecs.
+class FunctionRegistry {
+ public:
+  /// Stamps the next ver_id for `spec.name` and stores it. Returns the
+  /// assigned version id (starting at 1 per function).
+  int64_t RegisterNewVersion(FunctionSpec spec);
+
+  /// Latest version of `name`; NotFound when absent.
+  Result<FunctionSpec> Latest(const std::string& name) const;
+
+  /// Specific version; NotFound when absent.
+  Result<FunctionSpec> Version(const std::string& name, int64_t ver_id) const;
+
+  /// All versions of `name`, oldest first (empty when unknown).
+  std::vector<FunctionSpec> VersionsOf(const std::string& name) const;
+
+  /// Safe roll-back (Section 4): re-registers the body of `ver_id` as the
+  /// *new latest* version, leaving history append-only. Returns the new
+  /// version id; NotFound if the function/version is unknown.
+  Result<int64_t> RollbackTo(const std::string& name, int64_t ver_id);
+
+  std::vector<std::string> FunctionNames() const;
+  size_t num_functions() const { return specs_.size(); }
+
+  /// Persists every function as `<dir>/<name>.json` (an array of version
+  /// objects). Creates `dir` if needed.
+  Status SaveToDir(const std::string& dir) const;
+
+  /// Loads previously saved functions, replacing in-memory state.
+  Status LoadFromDir(const std::string& dir);
+
+ private:
+  std::map<std::string, std::vector<FunctionSpec>> specs_;
+};
+
+}  // namespace kathdb::fao

@@ -1,0 +1,89 @@
+#include "fao/signature.h"
+
+#include <set>
+
+namespace kathdb::fao {
+
+Json FunctionSignature::ToJson() const {
+  // Exact layout of Figure 3: the name/description pair is nested, with
+  // inputs and output as sibling keys.
+  Json j = Json::Object();
+  Json head = Json::Object();
+  head.Set("name", Json::Str(name));
+  head.Set("description", Json::Str(description));
+  j.Set("signature", head);
+  Json in = Json::Array();
+  for (const auto& i : inputs) in.Append(Json::Str(i));
+  j.Set("inputs", in);
+  j.Set("output", Json::Str(output));
+  return j;
+}
+
+Result<FunctionSignature> FunctionSignature::FromJson(const Json& j) {
+  if (!j.is_object()) {
+    return Status::InvalidArgument("signature JSON must be an object");
+  }
+  FunctionSignature sig;
+  if (j.Has("signature")) {
+    const Json& head = j.Get("signature");
+    sig.name = head.GetString("name");
+    sig.description = head.GetString("description");
+  } else {
+    // Tolerate the flat layout too.
+    sig.name = j.GetString("name");
+    sig.description = j.GetString("description");
+  }
+  if (sig.name.empty()) {
+    return Status::InvalidArgument("signature missing 'name'");
+  }
+  if (j.Has("inputs")) {
+    for (const Json& i : j.Get("inputs").items()) {
+      if (!i.is_string()) {
+        return Status::InvalidArgument("signature inputs must be strings");
+      }
+      sig.inputs.push_back(i.AsString());
+    }
+  }
+  sig.output = j.GetString("output");
+  return sig;
+}
+
+Json LogicalPlan::ToJson() const {
+  Json arr = Json::Array();
+  for (const auto& n : nodes) arr.Append(n.ToJson());
+  return arr;
+}
+
+Result<LogicalPlan> LogicalPlan::FromJson(const Json& j) {
+  if (!j.is_array()) {
+    return Status::InvalidArgument("logical plan JSON must be an array");
+  }
+  LogicalPlan plan;
+  for (const Json& n : j.items()) {
+    KATHDB_ASSIGN_OR_RETURN(FunctionSignature sig,
+                            FunctionSignature::FromJson(n));
+    plan.nodes.push_back(std::move(sig));
+  }
+  return plan;
+}
+
+const FunctionSignature* LogicalPlan::ProducerOf(
+    const std::string& output_name) const {
+  for (const auto& n : nodes) {
+    if (n.output == output_name) return &n;
+  }
+  return nullptr;
+}
+
+std::string LogicalPlan::FinalOutput() const {
+  std::set<std::string> consumed;
+  for (const auto& n : nodes) {
+    for (const auto& i : n.inputs) consumed.insert(i);
+  }
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+    if (consumed.count(it->output) == 0) return it->output;
+  }
+  return nodes.empty() ? "" : nodes.back().output;
+}
+
+}  // namespace kathdb::fao

@@ -1,0 +1,49 @@
+/// \file signature.h
+/// \brief FAO function signatures and logical plans.
+///
+/// The logical plan generator expands each query-sketch step into a node
+/// holding only a *function signature* — name, description, inputs, output
+/// — emitted in the exact JSON layout of Figure 3 so the downstream
+/// compiler ingests it without post-processing. The optimizer later binds
+/// each signature to one or more versioned implementations (FunctionSpec).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace kathdb::fao {
+
+/// \brief A logical-plan node: what the function must do, not how.
+struct FunctionSignature {
+  std::string name;         ///< e.g. "classify_boring"
+  std::string description;  ///< semantic hint for code synthesis
+  std::vector<std::string> inputs;  ///< datasource names consumed
+  std::string output;               ///< table produced
+
+  /// Figure-3 layout: {"name":..,"description":..},"inputs":[..],"output":..
+  /// rendered as one object per node.
+  Json ToJson() const;
+  static Result<FunctionSignature> FromJson(const Json& j);
+};
+
+/// \brief An ordered tree of signatures (edges implied by input/output
+/// names). Order is a valid execution order once Validate passes.
+struct LogicalPlan {
+  std::vector<FunctionSignature> nodes;
+
+  /// JSON array of node objects (the layout of Figure 3).
+  Json ToJson() const;
+  static Result<LogicalPlan> FromJson(const Json& j);
+
+  /// Node producing `output_name`, or nullptr.
+  const FunctionSignature* ProducerOf(const std::string& output_name) const;
+
+  /// Final output name (the output no other node consumes); "" if none.
+  std::string FinalOutput() const;
+};
+
+}  // namespace kathdb::fao

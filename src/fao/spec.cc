@@ -1,0 +1,36 @@
+#include "fao/spec.h"
+
+namespace kathdb::fao {
+
+Json FunctionSpec::ToJson() const {
+  Json j = Json::Object();
+  j.Set("name", Json::Str(name));
+  j.Set("ver_id", Json::Int(ver_id));
+  j.Set("template", Json::Str(template_id));
+  j.Set("params", params);
+  j.Set("dependency_pattern", Json::Str(dependency_pattern));
+  j.Set("source_text", Json::Str(source_text));
+  return j;
+}
+
+Result<FunctionSpec> FunctionSpec::FromJson(const Json& j) {
+  if (!j.is_object()) {
+    return Status::InvalidArgument("function spec JSON must be an object");
+  }
+  FunctionSpec spec;
+  spec.name = j.GetString("name");
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("function spec missing 'name'");
+  }
+  spec.ver_id = j.GetInt("ver_id", 1);
+  spec.template_id = j.GetString("template");
+  if (spec.template_id.empty()) {
+    return Status::InvalidArgument("function spec missing 'template'");
+  }
+  if (j.Has("params")) spec.params = j.Get("params");
+  spec.dependency_pattern = j.GetString("dependency_pattern", "one_to_one");
+  spec.source_text = j.GetString("source_text");
+  return spec;
+}
+
+}  // namespace kathdb::fao

@@ -1,0 +1,43 @@
+/// \file spec.h
+/// \brief FunctionSpec — the "generated code" of a physical FAO.
+///
+/// In the paper the optimizer's coder agent writes a Python function body.
+/// Our coder synthesizes a FunctionSpec instead: the chosen implementation
+/// template plus its parameters, rendered as JSON and persisted to disk.
+/// The spec is what gets versioned (ver_id), patched by the critic /
+/// rewriter agents, profiled by the cost model, and interpreted at
+/// execution time. `source_text` is a readable pseudo-code rendering used
+/// by the result explainer.
+
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace kathdb::fao {
+
+/// Implementation-template identifiers understood by the interpreter.
+/// Each is a distinct *physical operator* for some logical signature:
+///  - "sql":                      body is a SQL sub-query over the inputs
+///  - "keyword_similarity_score": embed keywords vs extracted entities
+///  - "recency_score":            scale release year into [0,1]
+///  - "combine_scores":           weighted sum of score columns
+///  - "classify_boring_stats":    scene-graph statistics heuristic
+///  - "classify_boring_pixels":   simulated-VLM pixel analysis
+///  - "classify_boring_cascade":  stats first, escalate uncertain to VLM
+///  - "fused_scores":             fusion of the three scoring steps (E7)
+struct FunctionSpec {
+  std::string name;         ///< logical function this implements
+  int64_t ver_id = 1;       ///< monotone version stamp (Section 4)
+  std::string template_id;  ///< implementation template
+  Json params = Json::Object();  ///< template-specific parameters
+  std::string dependency_pattern = "one_to_one";  ///< lineage classification
+  std::string source_text;  ///< pseudo-code body for explanations
+
+  Json ToJson() const;
+  static Result<FunctionSpec> FromJson(const Json& j);
+};
+
+}  // namespace kathdb::fao

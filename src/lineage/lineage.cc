@@ -1,0 +1,170 @@
+#include "lineage/lineage.h"
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace kathdb::lineage {
+
+const char* DependencyPatternName(DependencyPattern p) {
+  switch (p) {
+    case DependencyPattern::kOneToOne:
+      return "one_to_one";
+    case DependencyPattern::kOneToMany:
+      return "one_to_many";
+    case DependencyPattern::kManyToOne:
+      return "many_to_one";
+    case DependencyPattern::kManyToMany:
+      return "many_to_many";
+  }
+  return "?";
+}
+
+int64_t LineageStore::NewLid() { return next_lid_++; }
+
+void LineageStore::Append(LineageEntry e) {
+  clock_ += 0.1;
+  e.ts = clock_;
+  by_child_.emplace(e.lid, entries_.size());
+  entries_.push_back(std::move(e));
+}
+
+int64_t LineageStore::RecordIngest(const std::string& src_uri,
+                                   const std::string& func_id, int64_t ver_id,
+                                   LineageDataType type) {
+  if (mode_ == TrackingMode::kOff) return 0;
+  LineageEntry e;
+  e.lid = NewLid();
+  e.parent_lid = std::nullopt;
+  e.src_uri = src_uri;
+  e.func_id = func_id;
+  e.ver_id = ver_id;
+  e.data_type = type;
+  int64_t lid = e.lid;
+  Append(std::move(e));
+  return lid;
+}
+
+int64_t LineageStore::RecordRowDerivation(int64_t parent_lid,
+                                          const std::string& func_id,
+                                          int64_t ver_id) {
+  switch (mode_) {
+    case TrackingMode::kOff:
+    case TrackingMode::kTable:
+      return 0;
+    case TrackingMode::kSampled: {
+      sample_state_ = SplitMix64(sample_state_);
+      double draw = static_cast<double>(sample_state_ >> 11) /
+                    9007199254740992.0;
+      if (draw >= sample_rate_) return 0;
+      break;
+    }
+    case TrackingMode::kRow:
+      break;
+  }
+  LineageEntry e;
+  e.lid = NewLid();
+  if (parent_lid != 0) e.parent_lid = parent_lid;
+  e.func_id = func_id;
+  e.ver_id = ver_id;
+  e.data_type = LineageDataType::kRow;
+  int64_t lid = e.lid;
+  Append(std::move(e));
+  return lid;
+}
+
+int64_t LineageStore::RecordTableDerivation(
+    const std::vector<int64_t>& parent_lids, const std::string& func_id,
+    int64_t ver_id) {
+  if (mode_ == TrackingMode::kOff) return 0;
+  int64_t lid = NewLid();
+  if (parent_lids.empty()) {
+    LineageEntry e;
+    e.lid = lid;
+    e.func_id = func_id;
+    e.ver_id = ver_id;
+    e.data_type = LineageDataType::kTable;
+    Append(std::move(e));
+    return lid;
+  }
+  for (int64_t p : parent_lids) {
+    LineageEntry e;
+    e.lid = lid;
+    if (p != 0) e.parent_lid = p;
+    e.func_id = func_id;
+    e.ver_id = ver_id;
+    e.data_type = LineageDataType::kTable;
+    Append(std::move(e));
+  }
+  return lid;
+}
+
+std::vector<LineageEntry> LineageStore::EdgesOf(int64_t lid) const {
+  std::vector<LineageEntry> out;
+  auto [lo, hi] = by_child_.equal_range(lid);
+  for (auto it = lo; it != hi; ++it) {
+    out.push_back(entries_[it->second]);
+  }
+  return out;
+}
+
+std::vector<int64_t> LineageStore::ParentsOf(int64_t lid) const {
+  std::vector<int64_t> out;
+  for (const auto& e : EdgesOf(lid)) {
+    if (e.parent_lid.has_value()) out.push_back(*e.parent_lid);
+  }
+  return out;
+}
+
+std::vector<LineageEntry> LineageStore::TraceToSources(int64_t lid) const {
+  std::vector<LineageEntry> out;
+  std::set<int64_t> visited;
+  std::vector<int64_t> frontier{lid};
+  while (!frontier.empty()) {
+    int64_t cur = frontier.back();
+    frontier.pop_back();
+    if (!visited.insert(cur).second) continue;
+    for (const auto& e : EdgesOf(cur)) {
+      out.push_back(e);
+      if (e.parent_lid.has_value()) frontier.push_back(*e.parent_lid);
+    }
+  }
+  return out;
+}
+
+rel::Table LineageStore::ToTable(size_t max_rows) const {
+  using rel::DataType;
+  using rel::Value;
+  rel::Table t("Lineage", rel::Schema({{"lid", DataType::kInt},
+                                       {"parent_lid", DataType::kInt},
+                                       {"src_uri", DataType::kString},
+                                       {"func_id", DataType::kString},
+                                       {"ver_id", DataType::kInt},
+                                       {"data_type", DataType::kString},
+                                       {"ts", DataType::kDouble}}));
+  size_t n = max_rows == 0 ? entries_.size()
+                           : std::min(max_rows, entries_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const LineageEntry& e = entries_[i];
+    t.AppendRow({Value::Int(e.lid),
+                 e.parent_lid.has_value() ? Value::Int(*e.parent_lid)
+                                          : Value::Null(),
+                 e.src_uri.empty() ? Value::Null() : Value::Str(e.src_uri),
+                 e.func_id.empty() ? Value::Null() : Value::Str(e.func_id),
+                 Value::Int(e.ver_id),
+                 Value::Str(e.data_type == LineageDataType::kRow ? "row"
+                                                                 : "table"),
+                 Value::Double(e.ts)});
+  }
+  return t;
+}
+
+size_t LineageStore::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& e : entries_) {
+    bytes += sizeof(LineageEntry) + e.src_uri.size() + e.func_id.size();
+  }
+  return bytes;
+}
+
+}  // namespace kathdb::lineage

@@ -1,0 +1,120 @@
+/// \file lineage.h
+/// \brief Unified provenance model (Table 3 of the paper).
+///
+/// Every row records one edge of the provenance graph:
+///   Lineage(lid, parent_lid, src_uri, func_id, ver_id, data_type, ts)
+/// Functions whose dependency pattern is one_to_one / one_to_many get
+/// row-level lineage; many_to_one / many_to_many (aggregation, sort, join
+/// of whole tables) get table-level lineage where every input is assumed
+/// to contribute to every output. Tracking granularity is configurable so
+/// the lineage-overhead experiment (E6) can sweep modes.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace kathdb::lineage {
+
+/// How a function's outputs depend on its inputs (classified by the same
+/// LLM that generates the function; Section 3).
+enum class DependencyPattern {
+  kOneToOne,
+  kOneToMany,
+  kManyToOne,
+  kManyToMany,
+};
+
+const char* DependencyPatternName(DependencyPattern p);
+
+/// Row- vs table-level provenance edge.
+enum class LineageDataType { kRow, kTable };
+
+/// Granularity knob for experiment E6.
+enum class TrackingMode {
+  kOff,      ///< record nothing
+  kTable,    ///< only table-level edges, even for narrow dependencies
+  kSampled,  ///< row-level edges for a sampled fraction of rows
+  kRow,      ///< full row-level lineage for narrow dependencies
+};
+
+/// One provenance edge (one row of the Lineage table).
+struct LineageEntry {
+  int64_t lid = 0;
+  std::optional<int64_t> parent_lid;  // nullopt for external input data
+  std::string src_uri;                // non-empty for ingested raw data
+  std::string func_id;
+  int64_t ver_id = 0;
+  LineageDataType data_type = LineageDataType::kRow;
+  double ts = 0.0;  // logical timestamp (monotone per store)
+};
+
+/// \brief Append-only provenance store with graph traversal.
+class LineageStore {
+ public:
+  explicit LineageStore(TrackingMode mode = TrackingMode::kRow,
+                        double sample_rate = 0.1)
+      : mode_(mode), sample_rate_(sample_rate) {}
+
+  TrackingMode mode() const { return mode_; }
+  void set_mode(TrackingMode mode) { mode_ = mode; }
+  double sample_rate() const { return sample_rate_; }
+
+  /// Allocates a fresh lineage id (monotonically increasing, starts at 1).
+  int64_t NewLid();
+
+  /// Records the ingestion of external data (parent NULL, src_uri set).
+  /// Returns the new lid, or 0 when tracking is off.
+  int64_t RecordIngest(const std::string& src_uri, const std::string& func_id,
+                       int64_t ver_id, LineageDataType type);
+
+  /// Records a row-level derivation edge child<-parent. Honors the
+  /// tracking mode (may drop the edge under kOff/kTable/kSampled).
+  /// Returns the child lid, or 0 when the edge was not recorded.
+  int64_t RecordRowDerivation(int64_t parent_lid, const std::string& func_id,
+                              int64_t ver_id);
+
+  /// Records a table-level derivation with one edge per parent table.
+  /// Returns the child lid (0 when tracking is off).
+  int64_t RecordTableDerivation(const std::vector<int64_t>& parent_lids,
+                                const std::string& func_id, int64_t ver_id);
+
+  /// All edges whose child is `lid`.
+  std::vector<LineageEntry> EdgesOf(int64_t lid) const;
+
+  /// Direct parents of `lid`.
+  std::vector<int64_t> ParentsOf(int64_t lid) const;
+
+  /// Transitive closure of parents up to the external sources; each hop is
+  /// returned once, root-most last.
+  std::vector<LineageEntry> TraceToSources(int64_t lid) const;
+
+  size_t num_entries() const { return entries_.size(); }
+  const std::vector<LineageEntry>& entries() const { return entries_; }
+
+  /// Renders the store as a relational table in the Table-3 layout for the
+  /// Figure-2 reproduction.
+  rel::Table ToTable(size_t max_rows = 0) const;
+
+  /// Approximate memory footprint of the stored edges in bytes (E6).
+  size_t ApproxBytes() const;
+
+ private:
+  void Append(LineageEntry e);
+
+  TrackingMode mode_;
+  double sample_rate_;
+  int64_t next_lid_ = 1;
+  double clock_ = 0.0;
+  uint64_t sample_state_ = 0x9E3779B97F4A7C15ULL;
+  std::vector<LineageEntry> entries_;
+  std::multimap<int64_t, size_t> by_child_;  // lid -> entry index
+};
+
+}  // namespace kathdb::lineage

@@ -1,0 +1,22 @@
+#include "llm/channel.h"
+
+namespace kathdb::llm {
+
+Result<std::string> ScriptedUser::Ask(const std::string& stage,
+                                      const std::string& question) {
+  ++questions_;
+  std::string answer = "OK";
+  if (!replies_.empty()) {
+    answer = replies_.front();
+    replies_.pop_front();
+  }
+  history_.push_back({stage, question, answer});
+  return answer;
+}
+
+void ScriptedUser::Notify(const std::string& stage,
+                          const std::string& message) {
+  history_.push_back({stage, message, ""});
+}
+
+}  // namespace kathdb::llm

@@ -1,0 +1,70 @@
+/// \file channel.h
+/// \brief Human-AI interaction channels (Section 5 of the paper).
+///
+/// KathDB keeps the user in the loop during parsing (clarification and
+/// correction), execution (semantic anomaly confirmation) and explanation.
+/// The UserChannel interface abstracts the human; ScriptedUser replays a
+/// queue of replies so experiments are reproducible (the paper itself
+/// simulates user replies in §6); every exchange is logged for the
+/// user-effort metrics of E9.
+
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kathdb::llm {
+
+/// One logged exchange on a channel.
+struct Exchange {
+  std::string stage;     // "parse", "execute", "explain"
+  std::string question;  // system -> user
+  std::string answer;    // user -> system ("" for notifications)
+};
+
+/// \brief Abstract user on the other end of the interaction channels.
+class UserChannel {
+ public:
+  virtual ~UserChannel() = default;
+
+  /// Asks the user a question during `stage`; returns their reply.
+  virtual Result<std::string> Ask(const std::string& stage,
+                                  const std::string& question) = 0;
+
+  /// One-way notification (progress, repair reports).
+  virtual void Notify(const std::string& stage,
+                      const std::string& message) = 0;
+
+  /// Full interaction log (user-effort accounting).
+  virtual const std::vector<Exchange>& history() const = 0;
+
+  /// Number of questions the user had to answer.
+  virtual size_t questions_asked() const = 0;
+};
+
+/// \brief Replays a scripted queue of replies; answers "OK" when empty.
+class ScriptedUser : public UserChannel {
+ public:
+  ScriptedUser() = default;
+  explicit ScriptedUser(std::vector<std::string> replies)
+      : replies_(replies.begin(), replies.end()) {}
+
+  /// Appends a reply to the script.
+  void Push(const std::string& reply) { replies_.push_back(reply); }
+
+  Result<std::string> Ask(const std::string& stage,
+                          const std::string& question) override;
+  void Notify(const std::string& stage, const std::string& message) override;
+  const std::vector<Exchange>& history() const override { return history_; }
+  size_t questions_asked() const override { return questions_; }
+
+ private:
+  std::deque<std::string> replies_;
+  std::vector<Exchange> history_;
+  size_t questions_ = 0;
+};
+
+}  // namespace kathdb::llm

@@ -1,0 +1,147 @@
+#include "llm/model.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "vector/embedding.h"
+
+namespace kathdb::llm {
+
+ModelSpec KathLargeSpec() { return {"kath-large", 0.0025, 0.0100, 0.97}; }
+ModelSpec KathMiniSpec() { return {"kath-mini", 0.00015, 0.0006, 0.80}; }
+ModelSpec KathVisionSpec() { return {"kath-vision", 0.0030, 0.0120, 0.93}; }
+
+void UsageMeter::Record(const ModelSpec& model, int prompt_tokens,
+                        int completion_tokens) {
+  ++total_calls_;
+  prompt_tokens_ += prompt_tokens;
+  completion_tokens_ += completion_tokens;
+  cost_usd_ += prompt_tokens / 1000.0 * model.usd_per_1k_prompt +
+               completion_tokens / 1000.0 * model.usd_per_1k_completion;
+  per_model_tokens_[model.name] += prompt_tokens + completion_tokens;
+}
+
+int64_t UsageMeter::tokens_for(const std::string& model_name) const {
+  auto it = per_model_tokens_.find(model_name);
+  return it == per_model_tokens_.end() ? 0 : it->second;
+}
+
+void UsageMeter::Reset() {
+  total_calls_ = 0;
+  prompt_tokens_ = 0;
+  completion_tokens_ = 0;
+  cost_usd_ = 0.0;
+  per_model_tokens_.clear();
+}
+
+std::string UsageMeter::Summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "calls=%lld tokens=%.1fk cost=$%.4f",
+                static_cast<long long>(total_calls_),
+                total_tokens() / 1000.0, cost_usd_);
+  return buf;
+}
+
+void SimulatedLLM::Charge(const std::string& prompt,
+                          const std::string& completion) {
+  if (meter_ != nullptr) {
+    meter_->Record(spec_, ApproxTokenCount(prompt),
+                   ApproxTokenCount(completion));
+  }
+}
+
+std::vector<std::string> SimulatedLLM::DetectAmbiguousTerms(
+    const std::string& query) {
+  // "Look for ambiguous terms or subjective words..." (paper, Section 5).
+  static const std::set<std::string> kSubjective = {
+      "exciting", "boring",  "good",       "best", "interesting", "nice",
+      "fun",      "scary",   "beautiful",  "bad",  "great",       "cool",
+      "dull",     "notable", "memorable"};
+  std::vector<std::string> found;
+  for (const auto& tok : Tokenize(query)) {
+    if (kSubjective.count(tok) > 0 &&
+        std::find(found.begin(), found.end(), tok) == found.end()) {
+      found.push_back(tok);
+    }
+  }
+  Charge("Look for ambiguous terms or subjective words in the query: " +
+             query,
+         Join(found, ", "));
+  return found;
+}
+
+std::vector<std::string> SimulatedLLM::GenerateKeywords(
+    const std::string& term, const std::string& context) {
+  static const vec::ConceptLexicon lexicon = vec::ConceptLexicon::BuiltIn();
+  std::string t = ToLower(term);
+  std::vector<std::string> concepts;
+  // Map the subjective term (refined by user context) onto lexicon
+  // concepts, as the paper's LLM maps "exciting" to weapons/motorcycles.
+  if (t == "exciting" || t == "scary" || t == "intense") {
+    concepts = {"violence", "action"};
+    if (ContainsIgnoreCase(context, "uncommon") ||
+        ContainsIgnoreCase(context, "real life")) {
+      concepts.push_back("suspense");
+    }
+  } else if (t == "boring" || t == "dull" || t == "plain") {
+    concepts = {"visual_dull"};
+  } else if (t == "romantic") {
+    concepts = {"romance"};
+  } else if (t == "calm" || t == "peaceful") {
+    concepts = {"calm"};
+  } else {
+    concepts = {"action"};
+  }
+  std::vector<std::string> keywords;
+  for (const auto& c : concepts) {
+    for (const auto& tok : lexicon.TokensOf(c)) {
+      keywords.push_back(tok);
+    }
+  }
+  // Keep the list prompt-sized: representative subset, stable order.
+  if (keywords.size() > 16) keywords.resize(16);
+  Charge("Generate a keyword list capturing '" + term +
+             "' given the user context: " + context,
+         Join(keywords, ", "));
+  return keywords;
+}
+
+std::string SimulatedLLM::ClassifyDependencyPattern(
+    const std::string& description) {
+  std::string d = ToLower(description);
+  std::string pattern;
+  if (ContainsIgnoreCase(d, "join") || ContainsIgnoreCase(d, "combine all") ||
+      ContainsIgnoreCase(d, "merge")) {
+    pattern = "many_to_many";
+  } else if (ContainsIgnoreCase(d, "rank") || ContainsIgnoreCase(d, "sort") ||
+             ContainsIgnoreCase(d, "aggregate") ||
+             ContainsIgnoreCase(d, "count") ||
+             ContainsIgnoreCase(d, "top")) {
+    pattern = "many_to_one";
+  } else if (ContainsIgnoreCase(d, "expand") ||
+             ContainsIgnoreCase(d, "extract each") ||
+             ContainsIgnoreCase(d, "split")) {
+    pattern = "one_to_many";
+  } else {
+    // score / classify / filter / select: one output row per input row.
+    pattern = "one_to_one";
+  }
+  Charge("Classify the dependency pattern (one_to_one, one_to_many, "
+         "many_to_one, many_to_many) of: " +
+             description,
+         pattern);
+  return pattern;
+}
+
+std::string SimulatedLLM::Summarize(const std::string& text) {
+  // Deterministic "summary": first clause, trimmed.
+  std::string out = text;
+  auto cut = out.find_first_of(".;\n");
+  if (cut != std::string::npos) out = out.substr(0, cut);
+  if (out.size() > 140) out = out.substr(0, 137) + "...";
+  Charge("Summarize: " + text, out);
+  return out;
+}
+
+}  // namespace kathdb::llm

@@ -1,0 +1,104 @@
+/// \file model.h
+/// \brief Simulated foundation models with token accounting.
+///
+/// Substitute for the hosted LLMs (GPT-4o in the paper's prototype). Every
+/// agentic component (sketch writer, plan writer/verifier, coder, profiler,
+/// critic, monitor, explainer) routes its "calls" through a SimulatedLLM so
+/// prompt/completion tokens and dollar cost are metered exactly as they
+/// would be against a hosted API, while content generation is deterministic
+/// and knowledge-base driven. The model tiers differ in cost and quality,
+/// which the cost-based optimizer exploits (cascades, E8).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kathdb::llm {
+
+/// Pricing & quality profile of one simulated model tier.
+struct ModelSpec {
+  std::string name;
+  double usd_per_1k_prompt = 0.0;
+  double usd_per_1k_completion = 0.0;
+  /// Task quality in [0,1]; drives simulated error rates in baselines and
+  /// cascade escalation decisions.
+  double quality = 1.0;
+};
+
+/// Built-in model tiers.
+ModelSpec KathLargeSpec();   ///< flagship: best quality, most expensive
+ModelSpec KathMiniSpec();    ///< cheap cascade tier
+ModelSpec KathVisionSpec();  ///< vision-language tier
+
+/// \brief Accumulates tokens and cost across all simulated calls.
+class UsageMeter {
+ public:
+  void Record(const ModelSpec& model, int prompt_tokens,
+              int completion_tokens);
+
+  int64_t total_calls() const { return total_calls_; }
+  int64_t total_prompt_tokens() const { return prompt_tokens_; }
+  int64_t total_completion_tokens() const { return completion_tokens_; }
+  int64_t total_tokens() const { return prompt_tokens_ + completion_tokens_; }
+  double total_cost_usd() const { return cost_usd_; }
+
+  /// Tokens attributed to one model tier.
+  int64_t tokens_for(const std::string& model_name) const;
+
+  void Reset();
+
+  /// "calls=12 tokens=8.4k cost=$0.031" summary line.
+  std::string Summary() const;
+
+ private:
+  int64_t total_calls_ = 0;
+  int64_t prompt_tokens_ = 0;
+  int64_t completion_tokens_ = 0;
+  double cost_usd_ = 0.0;
+  std::map<std::string, int64_t> per_model_tokens_;
+};
+
+/// \brief A deterministic simulated LLM endpoint.
+///
+/// `Charge` meters a prompt/completion pair; the knowledge-based helper
+/// methods implement the specific capabilities KathDB's agents need.
+class SimulatedLLM {
+ public:
+  SimulatedLLM(ModelSpec spec, UsageMeter* meter)
+      : spec_(std::move(spec)), meter_(meter) {}
+
+  const ModelSpec& spec() const { return spec_; }
+
+  /// Meters one simulated call (token counts approximated from text).
+  void Charge(const std::string& prompt, const std::string& completion);
+
+  /// Subjective/ambiguous terms found in `query` ("exciting", "boring",
+  /// "good", ...) that warrant a proactive clarification question.
+  std::vector<std::string> DetectAmbiguousTerms(const std::string& query);
+
+  /// Expands a subjective term (+ clarification context) into a keyword
+  /// list, e.g. "exciting" -> {gun, murder, chase, ...}. Reproduces the
+  /// LLM-generated keyword list of §6 step (4).
+  std::vector<std::string> GenerateKeywords(const std::string& term,
+                                            const std::string& context);
+
+  /// Classifies a function's dependency pattern from its description, as
+  /// the paper has the function-generating LLM do (Section 3).
+  /// Returns one of "one_to_one", "one_to_many", "many_to_one",
+  /// "many_to_many".
+  std::string ClassifyDependencyPattern(const std::string& description);
+
+  /// One-sentence NL gloss of a pipeline step, used by explainers.
+  std::string Summarize(const std::string& text);
+
+ private:
+  ModelSpec spec_;
+  UsageMeter* meter_;
+};
+
+}  // namespace kathdb::llm

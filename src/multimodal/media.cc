@@ -1,0 +1,131 @@
+#include "multimodal/media.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace kathdb::mm {
+
+Json SyntheticImage::ToJson() const {
+  Json j = Json::Object();
+  j.Set("uri", Json::Str(uri));
+  j.Set("format", Json::Str(format));
+  j.Set("width", Json::Int(width));
+  j.Set("height", Json::Int(height));
+  Json hist = Json::Array();
+  for (double h : color_hist) hist.Append(Json::Double(h));
+  j.Set("color_hist", hist);
+  j.Set("color_variance", Json::Double(color_variance));
+  Json objs = Json::Array();
+  for (const auto& o : objects) {
+    Json jo = Json::Object();
+    jo.Set("cls", Json::Str(o.cls));
+    jo.Set("x1", Json::Double(o.x1));
+    jo.Set("y1", Json::Double(o.y1));
+    jo.Set("x2", Json::Double(o.x2));
+    jo.Set("y2", Json::Double(o.y2));
+    Json attrs = Json::Array();
+    for (const auto& [k, v] : o.attrs) {
+      Json a = Json::Object();
+      a.Set("k", Json::Str(k));
+      a.Set("v", Json::Str(v));
+      attrs.Append(a);
+    }
+    jo.Set("attrs", attrs);
+    objs.Append(jo);
+  }
+  j.Set("objects", objs);
+  Json rels = Json::Array();
+  for (const auto& r : relationships) {
+    Json jr = Json::Object();
+    jr.Set("subject", Json::Int(r.subject));
+    jr.Set("predicate", Json::Str(r.predicate));
+    jr.Set("object", Json::Int(r.object));
+    rels.Append(jr);
+  }
+  j.Set("relationships", rels);
+  return j;
+}
+
+Result<SyntheticImage> SyntheticImage::FromJson(const Json& j) {
+  if (!j.is_object()) {
+    return Status::InvalidArgument("image JSON must be an object");
+  }
+  SyntheticImage img;
+  img.uri = j.GetString("uri");
+  img.format = j.GetString("format", "simg");
+  img.width = static_cast<int>(j.GetInt("width", 512));
+  img.height = static_cast<int>(j.GetInt("height", 768));
+  if (j.Has("color_hist")) {
+    const Json& hist = j.Get("color_hist");
+    for (size_t i = 0; i < hist.size() && i < img.color_hist.size(); ++i) {
+      img.color_hist[i] = hist.at(i).AsDouble();
+    }
+  }
+  img.color_variance = j.GetDouble("color_variance");
+  if (j.Has("objects")) {
+    for (const Json& jo : j.Get("objects").items()) {
+      LatentObject o;
+      o.cls = jo.GetString("cls");
+      o.x1 = jo.GetDouble("x1");
+      o.y1 = jo.GetDouble("y1");
+      o.x2 = jo.GetDouble("x2");
+      o.y2 = jo.GetDouble("y2");
+      if (jo.Has("attrs")) {
+        for (const Json& ja : jo.Get("attrs").items()) {
+          o.attrs.emplace_back(ja.GetString("k"), ja.GetString("v"));
+        }
+      }
+      img.objects.push_back(std::move(o));
+    }
+  }
+  if (j.Has("relationships")) {
+    for (const Json& jr : j.Get("relationships").items()) {
+      LatentRelationship r;
+      r.subject = static_cast<int>(jr.GetInt("subject"));
+      r.predicate = jr.GetString("predicate");
+      r.object = static_cast<int>(jr.GetInt("object"));
+      img.relationships.push_back(std::move(r));
+    }
+  }
+  return img;
+}
+
+Status SaveImage(const SyntheticImage& img, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out << img.ToJson().Dump(2);
+  return out.good() ? Status::OK()
+                    : Status::IOError("write failed for '" + path + "'");
+}
+
+Result<SyntheticImage> ImageLoader::Load(const std::string& path) const {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::IOError("cannot open image '" + path + "'");
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  KATHDB_ASSIGN_OR_RETURN(Json j, Json::Parse(buf.str()));
+  KATHDB_ASSIGN_OR_RETURN(SyntheticImage img, SyntheticImage::FromJson(j));
+  if (img.uri.empty()) img.uri = path;
+  return Decode(img);
+}
+
+Result<SyntheticImage> ImageLoader::Decode(const SyntheticImage& raw) const {
+  if (raw.format == "simg") return raw;
+  if (raw.format == "heic") {
+    if (!heic_supported_) {
+      return Status::SyntacticError(
+          "unsupported file format 'heic' for image '" + raw.uri +
+          "': decoder cannot read HEIC input");
+    }
+    SyntheticImage converted = raw;
+    converted.format = "simg";  // conversion step normalizes the format
+    return converted;
+  }
+  return Status::SyntacticError("unknown image format '" + raw.format + "'");
+}
+
+}  // namespace kathdb::mm

@@ -1,0 +1,92 @@
+/// \file media.h
+/// \brief Synthetic multimodal media: images, videos and documents.
+///
+/// The paper evaluates on MMQA (Wikipedia tables + text + images). Offline,
+/// we substitute a synthetic media model: a SyntheticImage carries *latent*
+/// scene annotations (objects, relationships, attributes) plus pixel-level
+/// statistics (color histogram / variance). The simulated VLM "perceives"
+/// the latent annotations with configurable noise, so the view-population
+/// code path is identical to running a real detector. Images serialize to
+/// `.simg` JSON files on disk so ingestion has real I/O and src_uri
+/// provenance; a `heic` format gate reproduces the paper's cv2/HEIC
+/// self-repair scenario.
+
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace kathdb::mm {
+
+/// A ground-truth object annotation inside an image.
+struct LatentObject {
+  std::string cls;  // e.g. "person", "gun", "motorcycle"
+  double x1 = 0.0, y1 = 0.0, x2 = 0.0, y2 = 0.0;
+  /// key/value attributes, e.g. {"color","black"}.
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// A ground-truth relationship between two objects (by index).
+struct LatentRelationship {
+  int subject = 0;
+  std::string predicate;  // e.g. "holding", "riding"
+  int object = 0;
+};
+
+/// \brief A synthetic image: pixels are summarized by color statistics,
+/// content by latent annotations.
+struct SyntheticImage {
+  std::string uri;          // file path or logical uri
+  std::string format = "simg";  // "simg" or "heic" (gate for self-repair)
+  int width = 512;
+  int height = 768;
+  /// 8-bin hue histogram, sums to ~1.
+  std::array<double, 8> color_hist{};
+  /// Pixel variance proxy; low variance reads as a "plain" poster.
+  double color_variance = 0.0;
+  std::vector<LatentObject> objects;
+  std::vector<LatentRelationship> relationships;
+
+  Json ToJson() const;
+  static Result<SyntheticImage> FromJson(const Json& j);
+};
+
+/// A video is an ordered list of frames, each a SyntheticImage payload.
+struct SyntheticVideo {
+  std::string uri;
+  std::vector<SyntheticImage> frames;
+};
+
+/// A text document (movie plot, article, ...).
+struct Document {
+  int64_t did = 0;
+  std::string uri;
+  std::string text;
+};
+
+/// Writes `img` to `path` as `.simg` JSON.
+Status SaveImage(const SyntheticImage& img, const std::string& path);
+
+/// \brief Loads `.simg` files; refuses `heic` unless conversion is enabled.
+///
+/// The refusal is the syntactic fault the execution monitor repairs in
+/// Section 5: the rewriter's patch is `EnableHeicConversion()`.
+class ImageLoader {
+ public:
+  Result<SyntheticImage> Load(const std::string& path) const;
+
+  /// Decodes an in-memory image, applying the same format gate.
+  Result<SyntheticImage> Decode(const SyntheticImage& raw) const;
+
+  void EnableHeicConversion() { heic_supported_ = true; }
+  bool heic_supported() const { return heic_supported_; }
+
+ private:
+  bool heic_supported_ = false;
+};
+
+}  // namespace kathdb::mm

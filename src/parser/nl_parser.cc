@@ -1,0 +1,272 @@
+#include "parser/nl_parser.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace kathdb::parser {
+
+const Criterion* QueryIntent::FindByRole(const std::string& role) const {
+  for (const auto& c : criteria) {
+    if (c.role == role) return &c;
+  }
+  return nullptr;
+}
+
+const Criterion* QueryIntent::FindByTerm(const std::string& term) const {
+  for (const auto& c : criteria) {
+    if (c.term == term) return &c;
+  }
+  return nullptr;
+}
+
+const Criterion* QueryIntent::TextRank() const {
+  for (const auto& c : criteria) {
+    if (c.role == "rank" && c.modality == "text") return &c;
+  }
+  return nullptr;
+}
+
+std::string QuerySketch::ToText() const {
+  std::string out = "Query sketch v" + std::to_string(version) + " for: \"" +
+                    query + "\"\n";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    out += "  " + std::to_string(i + 1) + ". " + steps[i] + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Words hinting that a nearby subjective term applies to images.
+bool NearImageWord(const std::vector<std::string>& toks, size_t pos) {
+  static const char* kImageWords[] = {"poster", "image", "picture", "photo",
+                                      "cover", "frame", "visual"};
+  size_t lo = pos >= 4 ? pos - 4 : 0;
+  size_t hi = std::min(toks.size(), pos + 5);
+  for (size_t i = lo; i < hi; ++i) {
+    for (const char* w : kImageWords) {
+      if (toks[i] == w) return true;
+    }
+  }
+  return false;
+}
+
+bool HasToken(const std::vector<std::string>& toks, const char* w) {
+  return std::find(toks.begin(), toks.end(), w) != toks.end();
+}
+
+}  // namespace
+
+Result<QueryIntent> NlParser::InterpretQuery(
+    const std::string& nl_query) const {
+  QueryIntent intent;
+  intent.raw_query = nl_query;
+  std::vector<std::string> toks = Tokenize(nl_query);
+  if (toks.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+
+  // Action.
+  if (HasToken(toks, "sort") || HasToken(toks, "rank") ||
+      HasToken(toks, "order")) {
+    intent.action = "sort";
+  } else if (HasToken(toks, "filter") || HasToken(toks, "only") ||
+             HasToken(toks, "keep")) {
+    intent.action = "filter";
+  } else {
+    intent.action = "find";
+  }
+
+  // Target relation: prefer a catalog table mentioned in the query, else
+  // the first base table.
+  if (catalog_ != nullptr) {
+    for (const auto& name : catalog_->ListNames()) {
+      if (catalog_->KindOf(name) != rel::RelationKind::kBaseTable) continue;
+      if (intent.table.empty()) intent.table = name;  // default
+      for (const auto& t : toks) {
+        if (ToLower(name) == t ||
+            ContainsIgnoreCase(name, t + "_table") ||
+            (t == "films" && ContainsIgnoreCase(name, "movie")) ||
+            (t == "movies" && ContainsIgnoreCase(name, "movie"))) {
+          intent.table = name;
+        }
+      }
+    }
+  }
+
+  // Criteria: subjective terms with modality + role.
+  std::vector<std::string> ambiguous = llm_->DetectAmbiguousTerms(nl_query);
+  // "but"/"where"/"should" introduce a constraint clause: subjective terms
+  // after the marker act as filters, before it as ranking criteria.
+  size_t clause_split = toks.size();
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i] == "but" || toks[i] == "where" || toks[i] == "should") {
+      clause_split = i;
+      break;
+    }
+  }
+  for (const auto& term : ambiguous) {
+    size_t pos = 0;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i] == term) {
+        pos = i;
+        break;
+      }
+    }
+    Criterion c;
+    c.term = term;
+    c.modality = NearImageWord(toks, pos) ? "image" : "text";
+    c.role = pos >= clause_split ? "filter" : "rank";
+    intent.criteria.push_back(std::move(c));
+  }
+  if (intent.criteria.empty()) {
+    // No subjective term: fall back to a metadata sort (year).
+    Criterion c;
+    c.term = "recent";
+    c.modality = "metadata";
+    c.role = "rank";
+    intent.criteria.push_back(std::move(c));
+  }
+  return intent;
+}
+
+QuerySketch NlParser::GenerateSketch(const QueryIntent& intent,
+                                     int version) const {
+  QuerySketch sketch;
+  sketch.version = version;
+  sketch.query = intent.raw_query;
+  auto& s = sketch.steps;
+
+  const Criterion* rank = intent.FindByRole("rank");
+  const Criterion* filter = intent.FindByRole("filter");
+  bool wants_recency = intent.FindByTerm("recent") != nullptr;
+
+  s.push_back("Check the schema of " + intent.table +
+              " and select the relevant columns (title, release year, plot "
+              "document id, poster image id).");
+  s.push_back("Join the relational view over each film's plot text "
+              "(entities, mentions) with " + intent.table + ".");
+  s.push_back("Join the relational view over each film's poster image "
+              "(scene-graph objects) with the result.");
+  if (rank != nullptr && rank->modality == "text") {
+    std::string meaning = rank->clarified_meaning.empty()
+                              ? ("'" + rank->term + "' content")
+                              : rank->clarified_meaning;
+    s.push_back("Assign an \"" + rank->term + " score\" to each film based "
+                "on how many and how intense the plot scenes matching the "
+                "user's meaning (" + meaning + ") are, using vector "
+                "similarity between an LLM-generated keyword list and the "
+                "entities extracted from the plot.");
+  }
+  if (wants_recency) {
+    s.push_back("Assign a \"recency score\" for each film based on the "
+                "release date, scaled so newer films score higher.");
+    s.push_back("Combine the " +
+                std::string(rank != nullptr ? rank->term : "content") +
+                " score and the recency score into a final score using a "
+                "weighted sum that favors the content score.");
+  }
+  if (filter != nullptr && filter->modality == "image") {
+    s.push_back("Analyze poster visual features using both extracted "
+                "objects and image pixels to determine if the poster "
+                "appears '" + filter->term + "' (e.g., lacks vivid colors, "
+                "few objects, little action, plain background).");
+    s.push_back("Filter the films so that only those whose poster is "
+                "classified '" + filter->term + "' remain.");
+  }
+  if (wants_recency) {
+    // Extra consolidation step once several score intermediates exist.
+    s.push_back("Join the intermediate results so each remaining film "
+                "carries its scores and poster classification.");
+  }
+  s.push_back("Rank the films by their " +
+              std::string(wants_recency ? "final combined" : "content") +
+              " score in descending order.");
+  s.push_back("Return the ranked film list with scores, flags and lineage "
+              "ids.");
+  return sketch;
+}
+
+bool NlParser::ApplyFeedback(const std::string& feedback,
+                             QueryIntent* intent) const {
+  std::string f = ToLower(feedback);
+  if (Trim(f) == "ok" || Trim(f).empty()) return false;
+  bool changed = false;
+  if ((ContainsIgnoreCase(f, "recent") || ContainsIgnoreCase(f, "newer")) &&
+      intent->FindByTerm("recent") == nullptr) {
+    Criterion c;
+    c.term = "recent";
+    c.modality = "metadata";
+    c.role = "rank";
+    c.weight = 0.3;
+    // The existing rank criterion keeps the dominant weight.
+    for (auto& existing : intent->criteria) {
+      if (existing.role == "rank") existing.weight = 0.7;
+    }
+    c.clarified_meaning = feedback;
+    intent->criteria.push_back(std::move(c));
+    changed = true;
+  }
+  // Clarifications that refine an existing term's meaning.
+  for (auto& c : intent->criteria) {
+    if (ContainsIgnoreCase(f, c.term) && c.clarified_meaning.empty()) {
+      c.clarified_meaning = feedback;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+Result<QuerySketch> NlParser::Parse(const std::string& nl_query) {
+  history_.clear();
+  KATHDB_ASSIGN_OR_RETURN(intent_, InterpretQuery(nl_query));
+
+  // ---- proactive clarification (reviewer agent) ----------------------
+  for (auto& c : intent_.criteria) {
+    if (c.role != "rank" || c.modality == "metadata") continue;
+    std::string question =
+        "What does '" + c.term + "' mean in this context?";
+    llm_->Charge("Reviewer: the query contains the subjective term '" +
+                     c.term + "'. Ask the user a focused question.",
+                 question);
+    KATHDB_ASSIGN_OR_RETURN(std::string answer,
+                            user_->Ask("parse", question));
+    if (ToLower(Trim(answer)) != "ok" && !answer.empty()) {
+      c.clarified_meaning = answer;
+    }
+  }
+
+  // ---- sketch generation + reactive correction loop ------------------
+  int version = 1;
+  QuerySketch sketch = GenerateSketch(intent_, version);
+  llm_->Charge("Sketch generator: decompose the query '" + nl_query +
+                   "' into steps.",
+               sketch.ToText());
+  history_.push_back(sketch);
+  constexpr int kMaxRounds = 5;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    KATHDB_ASSIGN_OR_RETURN(
+        std::string feedback,
+        user_->Ask("parse", sketch.ToText() +
+                                "Reply OK to accept the sketch, or describe "
+                                "a correction."));
+    if (ToLower(Trim(feedback)) == "ok" || feedback.empty()) {
+      return sketch;
+    }
+    if (ApplyFeedback(feedback, &intent_)) {
+      sketch = GenerateSketch(intent_, ++version);
+      llm_->Charge("Sketch generator: revise the sketch given feedback: " +
+                       feedback,
+                   sketch.ToText());
+      history_.push_back(sketch);
+    } else {
+      user_->Notify("parse",
+                    "Noted: \"" + feedback +
+                        "\" (no structural change to the sketch).");
+    }
+  }
+  return sketch;
+}
+
+}  // namespace kathdb::parser

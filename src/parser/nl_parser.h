@@ -1,0 +1,92 @@
+/// \file nl_parser.h
+/// \brief Interactive NL parser: reviewer + sketch generator (Figure 4).
+///
+/// The parser converts an ambiguous NL request into a *query sketch* — a
+/// step-by-step NL decomposition one abstraction level above the logical
+/// plan. Two interaction modes (Section 5):
+///  - proactive clarification: the reviewer agent detects subjective terms
+///    ("exciting") and asks the user a focused question before sketching;
+///  - reactive correction: the user reviews the sketch and requests changes
+///    ("I prefer more recent movies"); the sketch generator revises and
+///    resubmits until the user replies OK.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "llm/channel.h"
+#include "llm/model.h"
+#include "relational/catalog.h"
+
+namespace kathdb::parser {
+
+/// One ranking / filtering criterion extracted from the NL query.
+struct Criterion {
+  std::string term;      ///< surface term, e.g. "exciting"
+  std::string modality;  ///< "text", "image" or "metadata"
+  std::string role;      ///< "rank" or "filter"
+  std::string clarified_meaning;  ///< user's clarification, may be empty
+  double weight = 1.0;   ///< relative weight among rank criteria
+};
+
+/// Structured interpretation of the user's request.
+struct QueryIntent {
+  std::string raw_query;
+  std::string table;   ///< target relation (resolved against the catalog)
+  std::string action;  ///< "sort" | "filter" | "find"
+  std::vector<Criterion> criteria;
+
+  const Criterion* FindByRole(const std::string& role) const;
+  const Criterion* FindByTerm(const std::string& term) const;
+  /// First ranking criterion grounded in text content (nullptr when the
+  /// query ranks by metadata only or does not rank at all).
+  const Criterion* TextRank() const;
+};
+
+/// Chain-of-thought query sketch: numbered NL steps.
+struct QuerySketch {
+  int version = 1;
+  std::string query;
+  std::vector<std::string> steps;
+
+  std::string ToText() const;
+};
+
+/// \brief The NL parser with its two collaborative agents.
+class NlParser {
+ public:
+  NlParser(llm::SimulatedLLM* llm, llm::UserChannel* user,
+           const rel::Catalog* catalog)
+      : llm_(llm), user_(user), catalog_(catalog) {}
+
+  /// Full pipeline: interpret -> clarify (proactive) -> sketch -> review
+  /// loop (reactive) until the user accepts. The accepted sketch and final
+  /// intent are retained for the planner.
+  Result<QuerySketch> Parse(const std::string& nl_query);
+
+  /// Intent after clarification/corrections (valid after Parse).
+  const QueryIntent& intent() const { return intent_; }
+
+  /// All sketch versions produced (v1, v2, ...).
+  const std::vector<QuerySketch>& sketch_history() const { return history_; }
+
+  /// --- exposed for tests ---
+  /// Pattern-based intent extraction (no user interaction).
+  Result<QueryIntent> InterpretQuery(const std::string& nl_query) const;
+  /// Sketch generation from an intent (no user interaction).
+  QuerySketch GenerateSketch(const QueryIntent& intent, int version) const;
+  /// Applies one piece of user feedback to the intent; returns true if the
+  /// intent changed structurally (new sketch needed).
+  bool ApplyFeedback(const std::string& feedback, QueryIntent* intent) const;
+
+ private:
+  llm::SimulatedLLM* llm_;
+  llm::UserChannel* user_;
+  const rel::Catalog* catalog_;
+  QueryIntent intent_;
+  std::vector<QuerySketch> history_;
+};
+
+}  // namespace kathdb::parser

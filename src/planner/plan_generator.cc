@@ -1,0 +1,194 @@
+#include "planner/plan_generator.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace kathdb::planner {
+
+using fao::FunctionSignature;
+using fao::LogicalPlan;
+
+VerifierReport PlanVerifier::Verify(const LogicalPlan& plan) const {
+  VerifierReport report;
+  if (plan.nodes.empty()) {
+    report.hints.push_back("plan is empty");
+    return report;
+  }
+  std::set<std::string> available;
+  for (const auto& name : catalog_->ListNames()) available.insert(name);
+
+  std::set<std::string> outputs;
+  for (const auto& node : plan.nodes) {
+    if (node.name.empty()) {
+      report.hints.push_back("a node is missing its function name");
+    }
+    if (node.output.empty()) {
+      report.hints.push_back("node '" + node.name + "' declares no output");
+    }
+    if (outputs.count(node.output) > 0) {
+      report.hints.push_back("output '" + node.output +
+                             "' is produced twice");
+    }
+    for (const auto& in : node.inputs) {
+      if (available.count(in) == 0) {
+        report.hints.push_back(
+            "node '" + node.name + "' consumes '" + in +
+            "' which is neither a catalog relation nor a prior output");
+      }
+    }
+    // Join nodes: confirm their two relational inputs actually join.
+    if (ContainsIgnoreCase(node.name, "join") && node.inputs.size() == 2 &&
+        catalog_->Has(node.inputs[0]) && catalog_->Has(node.inputs[1])) {
+      tools_.CountInvocation();
+      std::string on;
+      if (!tools_.TestJoinability(node.inputs[0], node.inputs[1], &on)) {
+        report.hints.push_back("node '" + node.name + "': inputs '" +
+                               node.inputs[0] + "' and '" + node.inputs[1] +
+                               "' share no joinable column");
+      }
+    }
+    // Inspect a sample of each resolvable catalog input (the "snapshot").
+    for (const auto& in : node.inputs) {
+      if (catalog_->Has(in)) {
+        tools_.CountInvocation();
+        auto sample = tools_.SampleRows(in, 3);
+        if (!sample.ok()) {
+          report.hints.push_back("cannot sample input '" + in + "': " +
+                                 sample.status().ToString());
+        }
+      }
+    }
+    outputs.insert(node.output);
+    available.insert(node.output);
+  }
+  if (plan.FinalOutput().empty()) {
+    report.hints.push_back("plan has no final output");
+  }
+  report.approved = report.hints.empty();
+  llm_->Charge("Plan verifier: review draft logical plan with sample data.",
+               report.approved ? "approved" : Join(report.hints, "; "));
+  return report;
+}
+
+LogicalPlan LogicalPlanGenerator::DraftPlan(
+    const parser::QueryIntent& intent,
+    const std::vector<std::string>& hints) const {
+  LogicalPlan plan;
+  const parser::Criterion* rank = intent.TextRank();
+  const parser::Criterion* filter = intent.FindByRole("filter");
+  bool wants_recency = intent.FindByTerm("recent") != nullptr;
+  const std::string& base = intent.table;
+
+  auto add = [&](const std::string& name, const std::string& description,
+                 std::vector<std::string> inputs, const std::string& output) {
+    FunctionSignature sig;
+    sig.name = name;
+    sig.description = description;
+    sig.inputs = std::move(inputs);
+    sig.output = output;
+    plan.nodes.push_back(std::move(sig));
+  };
+
+  // Hints from a rejected round can rename a bad input reference; the
+  // only recoverable drafting mistake we model is using the bare table
+  // name "films" when the catalog calls it differently.
+  (void)hints;
+
+  add("select_columns",
+      "Select the relevant columns from " + base +
+          " (movie id, title, release year, plot document id, poster image "
+          "id).",
+      {base}, "films_selected");
+  std::string score_input = "films_selected";
+  // Views are only joined in when a criterion needs that modality.
+  if (rank != nullptr) {
+    add("join_text_graph",
+        "Join the relational view over plot text with the selected films, "
+        "associating each film with the entities extracted from its plot "
+        "description.",
+        {score_input, "text_entities"}, "films_with_text");
+    score_input = "films_with_text";
+  }
+  if (filter != nullptr && filter->modality == "image") {
+    add("join_scene_graph",
+        "Join the relational view over poster images with the films, "
+        "associating each film with the objects extracted from its poster.",
+        {score_input, "scene_objects"}, "films_with_image_scene");
+    score_input = "films_with_image_scene";
+  }
+  // Ranking column: text+recency -> combined; text only -> term score;
+  // recency only -> recency score; neither -> release year.
+  std::string rank_column = "year";
+  if (rank != nullptr) rank_column = rank->term + "_score";
+  if (rank == nullptr && wants_recency) rank_column = "recency_score";
+  if (rank != nullptr) {
+    add("gen_" + rank->term + "_score",
+        "Assign an " + rank->term + " score to each film by embedding an "
+        "LLM-generated keyword list (user meaning: " +
+            (rank->clarified_meaning.empty() ? "default"
+                                             : rank->clarified_meaning) +
+            ") and the entities extracted from the plot, computing their "
+            "vector similarity, and aggregating per movie.",
+        {score_input}, "films_with_" + rank->term);
+    score_input = "films_with_" + rank->term;
+  }
+  if (wants_recency) {
+    add("gen_recency_score",
+        "Assign a recency score to each film based on its release year, "
+        "scaled so newer films score higher.",
+        {score_input}, "films_with_recency");
+    score_input = "films_with_recency";
+    if (rank != nullptr) {
+      add("combine_scores",
+          "Combine the content score and the recency score into a final "
+          "score with a weighted sum per the user's preference.",
+          {score_input}, "films_with_final_score");
+      score_input = "films_with_final_score";
+      rank_column = "final_score";
+    }
+  }
+  if (filter != nullptr && filter->modality == "image") {
+    add("classify_" + filter->term,
+        "Analyze visual features of each film's poster (scene-graph "
+        "objects, color statistics, raw pixels) and flag whether the "
+        "poster is '" + filter->term + "'.",
+        {score_input}, "films_with_" + filter->term + "_flag");
+    add("filter_" + filter->term,
+        "Keep only the films whose poster was classified '" + filter->term +
+            "'.",
+        {"films_with_" + filter->term + "_flag"}, "films_filtered");
+    score_input = "films_filtered";
+  }
+  add("join_results",
+      "Join the intermediate results so every remaining film carries its "
+      "scores and classification flags.",
+      {score_input}, "films_joined");
+  add("rank_films",
+      "Rank these films by their " + rank_column +
+          " in descending order, highlighting the most notable among "
+          "those that passed the poster filter.",
+      {"films_joined"}, "films_ranked");
+  return plan;
+}
+
+Result<LogicalPlan> LogicalPlanGenerator::Generate(
+    const parser::QuerySketch& sketch, const parser::QueryIntent& intent) {
+  std::vector<std::string> hints;
+  constexpr int kMaxRounds = 3;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    LogicalPlan draft = DraftPlan(intent, hints);
+    llm_->Charge("Plan writer: draft logical plan for sketch:\n" +
+                     sketch.ToText() + "\nCatalog:\n" +
+                     catalog_->DescribeAll() +
+                     (hints.empty() ? "" : "\nHints: " + Join(hints, "; ")),
+                 draft.ToJson().Dump());
+    last_report_ = verifier_.Verify(draft);
+    if (last_report_.approved) return draft;
+    hints = last_report_.hints;
+  }
+  return Status::PlanRejected(
+      "plan verifier rejected all drafts: " + Join(last_report_.hints, "; "));
+}
+
+}  // namespace kathdb::planner

@@ -1,0 +1,97 @@
+/// \file plan_generator.h
+/// \brief Logical plan generator: plan writer + tool user + plan verifier.
+///
+/// Following the three-stage agentic workflow of Section 4, the *plan
+/// writer* combines catalog metadata with the query sketch to draft a tree
+/// of logical-plan nodes (function signatures only); the *plan verifier*
+/// judges the draft against sample data, invoking the *tool user*'s
+/// database utilities (row sampler, joinability tester) when the snapshot
+/// is not enough; rejected drafts go back to the writer with hints.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fao/signature.h"
+#include "llm/model.h"
+#include "parser/nl_parser.h"
+#include "relational/catalog.h"
+
+namespace kathdb::planner {
+
+/// \brief The verifier's small set of database utilities.
+class ToolUser {
+ public:
+  explicit ToolUser(const rel::Catalog* catalog) : catalog_(catalog) {}
+
+  /// Up-to-n sample rows of a relation.
+  Result<rel::Table> SampleRows(const std::string& relation, size_t n) const {
+    return catalog_->SampleRows(relation, n);
+  }
+
+  /// Whether two relations look joinable; outputs the join column.
+  bool TestJoinability(const std::string& left, const std::string& right,
+                       std::string* on_column) const {
+    return catalog_->Joinable(left, right, on_column);
+  }
+
+  int invocations() const { return invocations_; }
+  void CountInvocation() const { ++invocations_; }
+
+ private:
+  const rel::Catalog* catalog_;
+  mutable int invocations_ = 0;
+};
+
+/// Verifier verdict for one review round.
+struct VerifierReport {
+  bool approved = false;
+  std::vector<std::string> hints;  ///< writer guidance when rejected
+};
+
+/// \brief Checks a draft logical plan against catalog snapshots.
+class PlanVerifier {
+ public:
+  PlanVerifier(llm::SimulatedLLM* llm, const rel::Catalog* catalog)
+      : llm_(llm), tools_(catalog), catalog_(catalog) {}
+
+  /// Structural + data checks: every input resolvable (catalog relation or
+  /// a prior node's output), unique outputs, no forward references, a
+  /// final output exists, and join-ish nodes pass the joinability tool.
+  VerifierReport Verify(const fao::LogicalPlan& plan) const;
+
+  const ToolUser& tools() const { return tools_; }
+
+ private:
+  llm::SimulatedLLM* llm_;
+  ToolUser tools_;
+  const rel::Catalog* catalog_;
+};
+
+/// \brief Drafts logical plans from an accepted query sketch.
+class LogicalPlanGenerator {
+ public:
+  LogicalPlanGenerator(llm::SimulatedLLM* llm, const rel::Catalog* catalog)
+      : llm_(llm), catalog_(catalog), verifier_(llm, catalog) {}
+
+  /// Writer/verifier loop (max 3 rounds); PlanRejected if no draft passes.
+  Result<fao::LogicalPlan> Generate(const parser::QuerySketch& sketch,
+                                    const parser::QueryIntent& intent);
+
+  /// Last verifier report (valid after Generate).
+  const VerifierReport& last_report() const { return last_report_; }
+
+  /// --- exposed for tests ---
+  fao::LogicalPlan DraftPlan(const parser::QueryIntent& intent,
+                             const std::vector<std::string>& hints) const;
+
+ private:
+  llm::SimulatedLLM* llm_;
+  const rel::Catalog* catalog_;
+  PlanVerifier verifier_;
+  VerifierReport last_report_;
+};
+
+}  // namespace kathdb::planner

@@ -1,0 +1,117 @@
+#include "relational/catalog.h"
+
+#include <algorithm>
+#include <set>
+
+namespace kathdb::rel {
+
+Status Catalog::Register(TablePtr table, RelationKind kind) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  const std::string name = table->name();
+  if (entries_.count(name) > 0) {
+    return Status::AlreadyExists("relation '" + name +
+                                 "' already registered");
+  }
+  order_.push_back(name);
+  entries_[name] = Entry{std::move(table), kind};
+  return Status::OK();
+}
+
+void Catalog::Upsert(TablePtr table, RelationKind kind) {
+  if (table == nullptr) return;
+  const std::string name = table->name();
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    order_.push_back(name);
+  }
+  entries_[name] = Entry{std::move(table), kind};
+}
+
+Result<TablePtr> Catalog::Get(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("relation '" + name + "' not in catalog");
+  }
+  return it->second.table;
+}
+
+bool Catalog::Has(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+Status Catalog::Drop(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("relation '" + name + "' not in catalog");
+  }
+  entries_.erase(it);
+  order_.erase(std::remove(order_.begin(), order_.end(), name), order_.end());
+  return Status::OK();
+}
+
+RelationKind Catalog::KindOf(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? RelationKind::kIntermediate : it->second.kind;
+}
+
+std::vector<std::string> Catalog::ListNames() const { return order_; }
+
+Result<Table> Catalog::SampleRows(const std::string& name, size_t n) const {
+  KATHDB_ASSIGN_OR_RETURN(TablePtr t, Get(name));
+  return t->Head(n);
+}
+
+std::string Catalog::DescribeAll() const {
+  std::string out;
+  for (const auto& name : order_) {
+    const Entry& e = entries_.at(name);
+    out += name;
+    out += "(";
+    out += e.table->schema().ToString();
+    out += ") [";
+    switch (e.kind) {
+      case RelationKind::kBaseTable:
+        out += "base";
+        break;
+      case RelationKind::kView:
+        out += "view";
+        break;
+      case RelationKind::kIntermediate:
+        out += "intermediate";
+        break;
+    }
+    out += ", " + std::to_string(e.table->num_rows()) + " rows]\n";
+  }
+  return out;
+}
+
+bool Catalog::Joinable(const std::string& left, const std::string& right,
+                       std::string* on_column) const {
+  auto lit = entries_.find(left);
+  auto rit = entries_.find(right);
+  if (lit == entries_.end() || rit == entries_.end()) return false;
+  const Schema& ls = lit->second.table->schema();
+  const Schema& rs = rit->second.table->schema();
+  for (const auto& lc : ls.columns()) {
+    auto ri = rs.IndexOf(lc.name);
+    if (!ri.has_value()) continue;
+    if (rs.column(*ri).type != lc.type) continue;
+    // Require some value overlap on a sample to call it joinable.
+    const Table& lt = *lit->second.table;
+    const Table& rt = *rit->second.table;
+    std::set<std::string> lvals;
+    size_t li = *ls.IndexOf(lc.name);
+    for (size_t r = 0; r < std::min<size_t>(lt.num_rows(), 64); ++r) {
+      lvals.insert(lt.at(r, li).ToString());
+    }
+    for (size_t r = 0; r < std::min<size_t>(rt.num_rows(), 64); ++r) {
+      if (lvals.count(rt.at(r, *ri).ToString()) > 0) {
+        if (on_column != nullptr) *on_column = lc.name;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace kathdb::rel

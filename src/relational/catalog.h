@@ -1,0 +1,62 @@
+/// \file catalog.h
+/// \brief System catalog: registered base tables, views and intermediates.
+///
+/// The catalog is consulted by the logical plan generator (schema context
+/// for signature generation), the optimizer (sample rows for profiling) and
+/// the executor (resolving FAO `inputs` names to materialized tables).
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace kathdb::rel {
+
+/// Classification of a catalog entry; views are the relational semantic
+/// layer over multimodal content (Section 3 of the paper).
+enum class RelationKind { kBaseTable, kView, kIntermediate };
+
+/// \brief Name -> table registry with kind metadata and sampling utilities.
+class Catalog {
+ public:
+  /// Registers a table; AlreadyExists if the name is taken.
+  Status Register(TablePtr table, RelationKind kind = RelationKind::kBaseTable);
+  /// Registers or replaces (intermediates are overwritten across runs).
+  void Upsert(TablePtr table, RelationKind kind = RelationKind::kIntermediate);
+
+  Result<TablePtr> Get(const std::string& name) const;
+  bool Has(const std::string& name) const;
+  Status Drop(const std::string& name);
+
+  RelationKind KindOf(const std::string& name) const;
+
+  /// Names in registration order.
+  std::vector<std::string> ListNames() const;
+
+  /// Sample of up to `n` rows; NotFound if the relation is absent.
+  Result<Table> SampleRows(const std::string& name, size_t n) const;
+
+  /// Textual schema summary of all relations ("films(title:STRING, ...)")
+  /// used as LLM prompt context by the planner agents.
+  std::string DescribeAll() const;
+
+  /// Heuristic joinability check used by the plan verifier's tool user:
+  /// shared column names with equal types, or key-like overlap of values.
+  bool Joinable(const std::string& left, const std::string& right,
+                std::string* on_column) const;
+
+ private:
+  struct Entry {
+    TablePtr table;
+    RelationKind kind;
+  };
+  std::vector<std::string> order_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace kathdb::rel

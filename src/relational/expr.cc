@@ -1,0 +1,297 @@
+#include "relational/expr.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/strings.h"
+
+namespace kathdb::rel {
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Column(std::string name) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kColumnRef;
+  e->name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kBinary;
+  e->bop_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kUnary;
+  e->uop_ = op;
+  e->children_ = {std::move(operand)};
+  return e;
+}
+
+ExprPtr Expr::Call(std::string fn, std::vector<ExprPtr> args) {
+  auto e = ExprPtr(new Expr());
+  e->kind_ = ExprKind::kFunctionCall;
+  e->name_ = ToLower(fn);
+  e->children_ = std::move(args);
+  return e;
+}
+
+namespace {
+
+bool IsNumericBinary(BinaryOp op) {
+  return op == BinaryOp::kAdd || op == BinaryOp::kSub ||
+         op == BinaryOp::kMul || op == BinaryOp::kDiv;
+}
+
+Result<Value> EvalNumeric(BinaryOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (a.type() == DataType::kString || b.type() == DataType::kString) {
+    if (op == BinaryOp::kAdd) {
+      return Value::Str(a.ToString() + b.ToString());
+    }
+    return Status::SyntacticError("arithmetic on STRING operand");
+  }
+  bool both_int =
+      a.type() == DataType::kInt && b.type() == DataType::kInt;
+  double x = a.AsDouble();
+  double y = b.AsDouble();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return both_int ? Value::Int(a.AsInt() + b.AsInt())
+                      : Value::Double(x + y);
+    case BinaryOp::kSub:
+      return both_int ? Value::Int(a.AsInt() - b.AsInt())
+                      : Value::Double(x - y);
+    case BinaryOp::kMul:
+      return both_int ? Value::Int(a.AsInt() * b.AsInt())
+                      : Value::Double(x * y);
+    case BinaryOp::kDiv:
+      if (y == 0.0) return Status::SyntacticError("division by zero");
+      return Value::Double(x / y);
+    default:
+      return Status::RuntimeError("not a numeric op");
+  }
+}
+
+}  // namespace
+
+Result<Value> Expr::Eval(const Row& row, const Schema& schema) const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return literal_;
+    case ExprKind::kColumnRef: {
+      auto idx = schema.IndexOf(name_);
+      if (!idx.has_value()) {
+        return Status::SyntacticError("unknown column '" + name_ +
+                                      "' (schema: " + schema.ToString() + ")");
+      }
+      if (*idx >= row.size()) {
+        return Status::SyntacticError("row narrower than schema");
+      }
+      return row[*idx];
+    }
+    case ExprKind::kUnary: {
+      KATHDB_ASSIGN_OR_RETURN(Value v, children_[0]->Eval(row, schema));
+      if (uop_ == UnaryOp::kNot) {
+        if (v.is_null()) return Value::Null();
+        return Value::Bool(!v.AsBool());
+      }
+      if (v.is_null()) return Value::Null();
+      if (v.type() == DataType::kInt) return Value::Int(-v.AsInt());
+      return Value::Double(-v.AsDouble());
+    }
+    case ExprKind::kBinary: {
+      if (bop_ == BinaryOp::kAnd || bop_ == BinaryOp::kOr) {
+        KATHDB_ASSIGN_OR_RETURN(Value a, children_[0]->Eval(row, schema));
+        // Short-circuit.
+        if (bop_ == BinaryOp::kAnd && !a.is_null() && !a.AsBool()) {
+          return Value::Bool(false);
+        }
+        if (bop_ == BinaryOp::kOr && !a.is_null() && a.AsBool()) {
+          return Value::Bool(true);
+        }
+        KATHDB_ASSIGN_OR_RETURN(Value b, children_[1]->Eval(row, schema));
+        if (a.is_null() || b.is_null()) return Value::Null();
+        return Value::Bool(bop_ == BinaryOp::kAnd
+                               ? (a.AsBool() && b.AsBool())
+                               : (a.AsBool() || b.AsBool()));
+      }
+      KATHDB_ASSIGN_OR_RETURN(Value a, children_[0]->Eval(row, schema));
+      KATHDB_ASSIGN_OR_RETURN(Value b, children_[1]->Eval(row, schema));
+      if (IsNumericBinary(bop_)) return EvalNumeric(bop_, a, b);
+      // Comparisons: NULL compares as NULL (rendered false by filters).
+      if (a.is_null() || b.is_null()) return Value::Null();
+      int c = a.Compare(b);
+      switch (bop_) {
+        case BinaryOp::kEq:
+          return Value::Bool(c == 0);
+        case BinaryOp::kNe:
+          return Value::Bool(c != 0);
+        case BinaryOp::kLt:
+          return Value::Bool(c < 0);
+        case BinaryOp::kLe:
+          return Value::Bool(c <= 0);
+        case BinaryOp::kGt:
+          return Value::Bool(c > 0);
+        case BinaryOp::kGe:
+          return Value::Bool(c >= 0);
+        default:
+          return Status::RuntimeError("unexpected binary op");
+      }
+    }
+    case ExprKind::kFunctionCall: {
+      std::vector<Value> args;
+      args.reserve(children_.size());
+      for (const auto& c : children_) {
+        KATHDB_ASSIGN_OR_RETURN(Value v, c->Eval(row, schema));
+        args.push_back(std::move(v));
+      }
+      auto need = [&](size_t n) -> Status {
+        if (args.size() != n) {
+          return Status::SyntacticError("function " + name_ + " expects " +
+                                        std::to_string(n) + " args, got " +
+                                        std::to_string(args.size()));
+        }
+        return Status::OK();
+      };
+      if (name_ == "lower") {
+        KATHDB_RETURN_IF_ERROR(need(1));
+        return Value::Str(ToLower(args[0].ToString()));
+      }
+      if (name_ == "upper") {
+        KATHDB_RETURN_IF_ERROR(need(1));
+        std::string s = args[0].ToString();
+        for (auto& ch : s) ch = static_cast<char>(std::toupper(
+            static_cast<unsigned char>(ch)));
+        return Value::Str(std::move(s));
+      }
+      if (name_ == "length") {
+        KATHDB_RETURN_IF_ERROR(need(1));
+        return Value::Int(static_cast<int64_t>(args[0].ToString().size()));
+      }
+      if (name_ == "abs") {
+        KATHDB_RETURN_IF_ERROR(need(1));
+        if (args[0].type() == DataType::kInt) {
+          return Value::Int(std::abs(args[0].AsInt()));
+        }
+        return Value::Double(std::abs(args[0].AsDouble()));
+      }
+      if (name_ == "round") {
+        if (args.size() == 1) {
+          return Value::Double(std::round(args[0].AsDouble()));
+        }
+        KATHDB_RETURN_IF_ERROR(need(2));
+        double scale = std::pow(10.0, args[1].AsDouble());
+        return Value::Double(std::round(args[0].AsDouble() * scale) / scale);
+      }
+      if (name_ == "contains") {
+        KATHDB_RETURN_IF_ERROR(need(2));
+        return Value::Bool(ContainsIgnoreCase(args[0].ToString(),
+                                              args[1].ToString()));
+      }
+      if (name_ == "coalesce") {
+        for (const auto& a : args) {
+          if (!a.is_null()) return a;
+        }
+        return Value::Null();
+      }
+      if (name_ == "min2") {
+        KATHDB_RETURN_IF_ERROR(need(2));
+        return args[0].Compare(args[1]) <= 0 ? args[0] : args[1];
+      }
+      if (name_ == "max2") {
+        KATHDB_RETURN_IF_ERROR(need(2));
+        return args[0].Compare(args[1]) >= 0 ? args[0] : args[1];
+      }
+      if (name_ == "if") {
+        KATHDB_RETURN_IF_ERROR(need(3));
+        return (!args[0].is_null() && args[0].AsBool()) ? args[1] : args[2];
+      }
+      return Status::SyntacticError("unknown function '" + name_ + "'");
+    }
+  }
+  return Status::RuntimeError("corrupt expression node");
+}
+
+namespace {
+void CollectColumns(const Expr& e, std::set<std::string>* out) {
+  if (e.kind() == ExprKind::kColumnRef) {
+    out->insert(e.column_name());
+  }
+  for (const auto& c : e.children()) CollectColumns(*c, out);
+}
+
+const char* OpText(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+}  // namespace
+
+std::vector<std::string> Expr::ReferencedColumns() const {
+  std::set<std::string> cols;
+  CollectColumns(*this, &cols);
+  return {cols.begin(), cols.end()};
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      if (literal_.type() == DataType::kString) {
+        return "'" + literal_.ToString() + "'";
+      }
+      return literal_.ToString();
+    case ExprKind::kColumnRef:
+      return name_;
+    case ExprKind::kUnary:
+      return (uop_ == UnaryOp::kNot ? "NOT " : "-") +
+             children_[0]->ToString();
+    case ExprKind::kBinary:
+      return "(" + children_[0]->ToString() + " " + OpText(bop_) + " " +
+             children_[1]->ToString() + ")";
+    case ExprKind::kFunctionCall: {
+      std::string out = name_ + "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace kathdb::rel

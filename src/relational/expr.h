@@ -1,0 +1,87 @@
+/// \file expr.h
+/// \brief Scalar expression trees evaluated over rows.
+///
+/// Used by the SQL engine (WHERE/SELECT/ON clauses) and by FAO scalar-map
+/// function bodies. Expressions evaluate to Value and surface evaluation
+/// problems (unknown column, bad arity) as Status errors, which the agentic
+/// monitor classifies as syntactic faults.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/table.h"
+
+namespace kathdb::rel {
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kBinary,
+  kUnary,
+  kFunctionCall,
+};
+
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// \brief Immutable scalar expression node.
+class Expr {
+ public:
+  static ExprPtr Literal(Value v);
+  static ExprPtr Column(std::string name);
+  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand);
+  /// Built-in scalar functions: LOWER, UPPER, LENGTH, ABS, ROUND,
+  /// CONTAINS(haystack, needle), COALESCE(...), MIN2, MAX2, IF(c,a,b).
+  static ExprPtr Call(std::string fn, std::vector<ExprPtr> args);
+
+  ExprKind kind() const { return kind_; }
+  const Value& literal() const { return literal_; }
+  const std::string& column_name() const { return name_; }
+  BinaryOp binary_op() const { return bop_; }
+  UnaryOp unary_op() const { return uop_; }
+  const std::string& function_name() const { return name_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  /// Evaluates against one row. Errors if a referenced column is missing.
+  Result<Value> Eval(const Row& row, const Schema& schema) const;
+
+  /// Column names referenced anywhere in this tree (deduplicated).
+  std::vector<std::string> ReferencedColumns() const;
+
+  /// SQL-ish rendering for explanations and logs.
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+  ExprKind kind_ = ExprKind::kLiteral;
+  Value literal_;
+  std::string name_;  // column or function name
+  BinaryOp bop_ = BinaryOp::kEq;
+  UnaryOp uop_ = UnaryOp::kNot;
+  std::vector<ExprPtr> children_;
+};
+
+}  // namespace kathdb::rel

@@ -1,0 +1,222 @@
+#include "relational/io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace kathdb::rel {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void AppendCsvField(const std::string& s, std::string* out) {
+  if (!NeedsQuoting(s)) {
+    *out += s;
+    return;
+  }
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+/// Splits one CSV record (handles quoted fields with escaped quotes).
+/// Returns false on malformed quoting.
+bool SplitCsvLine(const std::string& line, std::vector<std::string>* fields,
+                  std::vector<bool>* quoted) {
+  fields->clear();
+  quoted->clear();
+  std::string cur;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"' && cur.empty()) {
+      in_quotes = true;
+      was_quoted = true;
+    } else if (c == ',') {
+      fields->push_back(std::move(cur));
+      quoted->push_back(was_quoted);
+      cur.clear();
+      was_quoted = false;
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (in_quotes) return false;
+  fields->push_back(std::move(cur));
+  quoted->push_back(was_quoted);
+  return true;
+}
+
+Result<DataType> ParseTypeName(const std::string& t) {
+  std::string u = ToLower(t);
+  if (u == "int") return DataType::kInt;
+  if (u == "double") return DataType::kDouble;
+  if (u == "string") return DataType::kString;
+  if (u == "bool") return DataType::kBool;
+  return Status::InvalidArgument("unknown column type '" + t + "' in CSV "
+                                 "header");
+}
+
+Value ParseCell(const std::string& cell, DataType type, bool was_quoted) {
+  if (cell.empty() && !was_quoted) return Value::Null();
+  switch (type) {
+    case DataType::kInt:
+      return Value::Int(std::strtoll(cell.c_str(), nullptr, 10));
+    case DataType::kDouble:
+      return Value::Double(std::strtod(cell.c_str(), nullptr));
+    case DataType::kBool:
+      return Value::Bool(cell == "true" || cell == "1" || cell == "TRUE");
+    default:
+      return Value::Str(cell);
+  }
+}
+
+}  // namespace
+
+std::string TableToCsv(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out += ",";
+    AppendCsvField(schema.column(c).name + ":" +
+                       DataTypeName(schema.column(c).type),
+                   &out);
+  }
+  out += "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out += ",";
+      const Value& v = table.at(r, c);
+      if (v.is_null()) continue;  // empty field = NULL
+      std::string cell = v.ToString();
+      // An empty non-null string must be quoted to differ from NULL.
+      if (cell.empty()) {
+        out += "\"\"";
+      } else {
+        AppendCsvField(cell, &out);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<Table> TableFromCsv(const std::string& csv, const std::string& name) {
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string> fields;
+  std::vector<bool> quoted;
+  if (!SplitCsvLine(line, &fields, &quoted)) {
+    return Status::InvalidArgument("malformed CSV header");
+  }
+  Schema schema;
+  for (const auto& f : fields) {
+    auto colon = f.rfind(':');
+    if (colon == std::string::npos) {
+      schema.AddColumn(f, DataType::kString);
+    } else {
+      KATHDB_ASSIGN_OR_RETURN(DataType t,
+                              ParseTypeName(f.substr(colon + 1)));
+      schema.AddColumn(f.substr(0, colon), t);
+    }
+  }
+  Table table(name, schema);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (!SplitCsvLine(line, &fields, &quoted)) {
+      return Status::InvalidArgument("malformed CSV at line " +
+                                     std::to_string(line_no));
+    }
+    if (fields.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          "CSV line " + std::to_string(line_no) + " has " +
+          std::to_string(fields.size()) + " fields, header has " +
+          std::to_string(schema.num_columns()));
+    }
+    Row row;
+    for (size_t c = 0; c < fields.size(); ++c) {
+      row.push_back(ParseCell(fields[c], schema.column(c).type, quoted[c]));
+    }
+    table.AppendRow(std::move(row));
+  }
+  return table;
+}
+
+Status SaveTableCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out << TableToCsv(table);
+  return out.good() ? Status::OK() : Status::IOError("write failed");
+}
+
+Result<Table> LoadTableCsv(const std::string& path, const std::string& name) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string table_name = name;
+  if (table_name.empty()) {
+    table_name = std::filesystem::path(path).stem().string();
+  }
+  return TableFromCsv(buf.str(), table_name);
+}
+
+Status SaveCatalogCsv(const Catalog& catalog, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create '" + dir + "': " + ec.message());
+  }
+  for (const auto& name : catalog.ListNames()) {
+    KATHDB_ASSIGN_OR_RETURN(TablePtr t, catalog.Get(name));
+    KATHDB_RETURN_IF_ERROR(SaveTableCsv(*t, dir + "/" + name + ".csv"));
+  }
+  return Status::OK();
+}
+
+Status LoadCatalogCsv(Catalog* catalog, const std::string& dir) {
+  std::error_code ec;
+  auto iter = std::filesystem::directory_iterator(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot read '" + dir + "': " + ec.message());
+  }
+  for (const auto& entry : iter) {
+    if (entry.path().extension() != ".csv") continue;
+    KATHDB_ASSIGN_OR_RETURN(Table t, LoadTableCsv(entry.path().string()));
+    catalog->Upsert(std::make_shared<Table>(std::move(t)));
+  }
+  return Status::OK();
+}
+
+}  // namespace kathdb::rel

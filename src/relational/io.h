@@ -1,0 +1,40 @@
+/// \file io.h
+/// \brief CSV import/export for tables and whole catalogs.
+///
+/// KathDB persists materialized intermediates and lets users load their
+/// own relational data. The format is RFC-4180-style CSV with a typed
+/// header line ("title:STRING,year:INT,...") so round-trips preserve
+/// column types; NULL cells are written as empty fields.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "relational/catalog.h"
+#include "relational/table.h"
+
+namespace kathdb::rel {
+
+/// Writes `table` to `path` (typed header + one line per row).
+Status SaveTableCsv(const Table& table, const std::string& path);
+
+/// Reads a table written by SaveTableCsv. The table name is taken from
+/// the file stem unless `name` is non-empty.
+Result<Table> LoadTableCsv(const std::string& path,
+                           const std::string& name = "");
+
+/// Serializes a table to a CSV string (used by tests and the blackbox
+/// baseline's prompt construction).
+std::string TableToCsv(const Table& table);
+
+/// Parses a CSV string produced by TableToCsv.
+Result<Table> TableFromCsv(const std::string& csv, const std::string& name);
+
+/// Saves every catalog relation as `<dir>/<name>.csv`.
+Status SaveCatalogCsv(const Catalog& catalog, const std::string& dir);
+
+/// Loads every `*.csv` in `dir` into `catalog` (upserting by file stem).
+Status LoadCatalogCsv(Catalog* catalog, const std::string& dir);
+
+}  // namespace kathdb::rel

@@ -1,0 +1,98 @@
+/// \file ops.h
+/// \brief Volcano-style physical operators over in-memory tables.
+///
+/// These are KathDB's classical relational operators. FAO function bodies
+/// of kind "SQL sub-query" lower to trees of these operators; the optimizer
+/// also uses them directly for rewrites such as predicate pushdown.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/expr.h"
+#include "relational/table.h"
+
+namespace kathdb::rel {
+
+/// \brief Pull-based operator interface: Open / Next / Close.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status Open() = 0;
+  /// Produces the next row into *row (and its lineage id into *lid, 0 when
+  /// untracked). Returns false when exhausted.
+  virtual Result<bool> Next(Row* row, int64_t* lid) = 0;
+  virtual void Close() = 0;
+
+  /// Output schema, valid after construction.
+  virtual const Schema& output_schema() const = 0;
+
+  /// One-line description for EXPLAIN-style rendering.
+  virtual std::string Describe() const = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Runs an operator tree to completion into a named table.
+Result<Table> Materialize(Operator* op, const std::string& name);
+
+/// Leaf scan over a materialized table.
+OperatorPtr MakeSeqScan(TablePtr table);
+
+/// Keeps rows where `predicate` evaluates to true (NULL drops the row).
+OperatorPtr MakeFilter(OperatorPtr child, ExprPtr predicate);
+
+/// Computes `exprs` per row; output columns named `names`. Output column
+/// types are inferred from the first produced row (STRING when unknown).
+OperatorPtr MakeProject(OperatorPtr child, std::vector<ExprPtr> exprs,
+                        std::vector<std::string> names);
+
+/// Equi-join: builds a hash table on `right_col` of the right input and
+/// probes with `left_col`. Output schema is Concat(left, right, right name).
+OperatorPtr MakeHashJoin(OperatorPtr left, OperatorPtr right,
+                         std::string left_col, std::string right_col,
+                         std::string right_prefix = "r");
+
+/// General theta-join evaluated over the concatenated row.
+OperatorPtr MakeNestedLoopJoin(OperatorPtr left, OperatorPtr right,
+                               ExprPtr predicate,
+                               std::string right_prefix = "r");
+
+/// Aggregate function tags for MakeAggregate.
+enum class AggFn { kCount, kSum, kAvg, kMin, kMax };
+
+struct AggSpec {
+  AggFn fn;
+  /// Input column; ignored for COUNT(*) (empty name).
+  std::string column;
+  std::string output_name;
+};
+
+/// Hash aggregation grouped by `group_cols` (may be empty = global).
+OperatorPtr MakeAggregate(OperatorPtr child,
+                          std::vector<std::string> group_cols,
+                          std::vector<AggSpec> aggs);
+
+struct SortKey {
+  std::string column;
+  bool descending = false;
+};
+
+/// Blocking stable sort.
+OperatorPtr MakeSort(OperatorPtr child, std::vector<SortKey> keys);
+
+/// Emits at most `limit` rows.
+OperatorPtr MakeLimit(OperatorPtr child, size_t limit);
+
+/// Removes duplicate rows (all columns).
+OperatorPtr MakeDistinct(OperatorPtr child);
+
+/// Concatenates two inputs with identical schemas.
+OperatorPtr MakeUnionAll(OperatorPtr left, OperatorPtr right);
+
+}  // namespace kathdb::rel

@@ -1,0 +1,60 @@
+#include "relational/schema.h"
+
+#include "common/strings.h"
+
+namespace kathdb::rel {
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  // Exact match first, then case-insensitive.
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name == name) return i;
+  }
+  std::string lname = ToLower(name);
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (ToLower(cols_[i].name) == lname) return i;
+  }
+  return std::nullopt;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right,
+                      const std::string& right_prefix) {
+  Schema out = left;
+  for (const auto& c : right.columns()) {
+    std::string name = c.name;
+    if (out.HasColumn(name) && !right_prefix.empty()) {
+      name = right_prefix + "." + name;
+    }
+    // Still clashing (or no prefix): add numeric suffix for uniqueness.
+    int suffix = 2;
+    std::string candidate = name;
+    while (out.HasColumn(candidate)) {
+      candidate = name + "_" + std::to_string(suffix++);
+    }
+    out.AddColumn(candidate, c.type);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += cols_[i].name;
+    out += ":";
+    out += DataTypeName(cols_[i].type);
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (cols_.size() != other.cols_.size()) return false;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name != other.cols_[i].name ||
+        cols_[i].type != other.cols_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace kathdb::rel

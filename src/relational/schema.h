@@ -1,0 +1,55 @@
+/// \file schema.h
+/// \brief Column and Schema descriptors for relational tables and views.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace kathdb::rel {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  DataType type = DataType::kString;
+};
+
+/// \brief Ordered list of columns; resolves names to positions.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> cols) : cols_(std::move(cols)) {}
+
+  size_t num_columns() const { return cols_.size(); }
+  const Column& column(size_t i) const { return cols_[i]; }
+  const std::vector<Column>& columns() const { return cols_; }
+
+  void AddColumn(std::string name, DataType type) {
+    cols_.push_back({std::move(name), type});
+  }
+
+  /// Case-insensitive lookup; nullopt when absent.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+  bool HasColumn(const std::string& name) const {
+    return IndexOf(name).has_value();
+  }
+
+  /// Concatenation used by joins; clashing names on the right side get the
+  /// prefix "<right_prefix>." when non-empty.
+  static Schema Concat(const Schema& left, const Schema& right,
+                       const std::string& right_prefix = "");
+
+  /// "name:TYPE, name:TYPE, ..." — for logs, catalog listings and prompts.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> cols_;
+};
+
+}  // namespace kathdb::rel

@@ -1,0 +1,93 @@
+#include "relational/table.h"
+
+#include <algorithm>
+
+namespace kathdb::rel {
+
+void Table::AppendRow(Row row, int64_t lid) {
+  rows_.push_back(std::move(row));
+  if (lid != 0 || !lids_.empty()) {
+    lids_.resize(rows_.size(), 0);
+    lids_[rows_.size() - 1] = lid;
+  }
+}
+
+void Table::set_row_lid(size_t i, int64_t lid) {
+  if (lids_.size() < rows_.size()) lids_.resize(rows_.size(), 0);
+  lids_[i] = lid;
+}
+
+Value Table::GetByName(size_t r, const std::string& col) const {
+  auto idx = schema_.IndexOf(col);
+  if (!idx.has_value()) return Value::Null();
+  return rows_[r][*idx];
+}
+
+Status Table::Validate() const {
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].size() != schema_.num_columns()) {
+      return Status::InvalidArgument(
+          "table '" + name_ + "' row " + std::to_string(i) + " has " +
+          std::to_string(rows_[i].size()) + " values, schema has " +
+          std::to_string(schema_.num_columns()));
+    }
+  }
+  return Status::OK();
+}
+
+Table Table::Head(size_t n) const {
+  Table out(name_ + "_sample", schema_);
+  size_t k = std::min(n, rows_.size());
+  for (size_t i = 0; i < k; ++i) {
+    out.AppendRow(rows_[i], row_lid(i));
+  }
+  return out;
+}
+
+std::string Table::ToText(size_t max_rows) const {
+  std::vector<size_t> widths(schema_.num_columns());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    widths[c] = schema_.column(c).name.size();
+  }
+  size_t shown = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row_cells;
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      std::string s = rows_[r][c].ToString();
+      if (s.size() > 40) s = s.substr(0, 37) + "...";
+      widths[c] = std::max(widths[c], s.size());
+      row_cells.push_back(std::move(s));
+    }
+    cells.push_back(std::move(row_cells));
+  }
+  auto pad = [](const std::string& s, size_t w) {
+    return s + std::string(w - s.size(), ' ');
+  };
+  std::string out;
+  out += "| ";
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    out += pad(schema_.column(c).name, widths[c]);
+    out += " | ";
+  }
+  out += "\n|-";
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    out += std::string(widths[c], '-');
+    out += c + 1 < schema_.num_columns() ? "-|-" : "-|";
+  }
+  out += "\n";
+  for (const auto& row_cells : cells) {
+    out += "| ";
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      out += pad(row_cells[c], widths[c]);
+      out += " | ";
+    }
+    out += "\n";
+  }
+  if (shown < rows_.size()) {
+    out += "... (" + std::to_string(rows_.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace kathdb::rel

@@ -1,0 +1,78 @@
+/// \file table.h
+/// \brief In-memory row table with per-row lineage ids.
+///
+/// Every materialized table (base relation, multimodal view, or FAO
+/// intermediate) is a Table. Rows optionally carry a lineage id (lid) so
+/// the provenance model of Section 3 can trace any output tuple back to
+/// its source records.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace kathdb::rel {
+
+using Row = std::vector<Value>;
+
+/// \brief A named relation: schema + rows + optional per-row lineage ids.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  Row* mutable_row(size_t i) { return &rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a row; lid 0 means "no lineage recorded".
+  void AppendRow(Row row, int64_t lid = 0);
+
+  /// Lineage id of row `i`; 0 when untracked.
+  int64_t row_lid(size_t i) const {
+    return i < lids_.size() ? lids_[i] : 0;
+  }
+  void set_row_lid(size_t i, int64_t lid);
+  /// Table-level lineage id (assigned when a wide-dependency function
+  /// produced this table); 0 when untracked.
+  int64_t table_lid() const { return table_lid_; }
+  void set_table_lid(int64_t lid) { table_lid_ = lid; }
+
+  /// Value at (row, column index).
+  const Value& at(size_t r, size_t c) const { return rows_[r][c]; }
+  /// Value by column name. Returns NULL value when column is absent.
+  Value GetByName(size_t r, const std::string& col) const;
+
+  /// Fails with InvalidArgument if any row width differs from the schema.
+  Status Validate() const;
+
+  /// First `n` rows as a new table (used by samplers / profilers).
+  Table Head(size_t n) const;
+
+  /// ASCII rendering with header, separator and up to `max_rows` rows.
+  std::string ToText(size_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<int64_t> lids_;
+  int64_t table_lid_ = 0;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace kathdb::rel

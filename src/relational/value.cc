@@ -1,0 +1,155 @@
+#include "relational/value.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace kathdb::rel {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt:
+      return "INT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+DataType Value::type() const {
+  switch (v_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kBool;
+    case 2:
+      return DataType::kInt;
+    case 3:
+      return DataType::kDouble;
+    default:
+      return DataType::kString;
+  }
+}
+
+bool Value::AsBool() const {
+  switch (type()) {
+    case DataType::kBool:
+      return std::get<bool>(v_);
+    case DataType::kInt:
+      return std::get<int64_t>(v_) != 0;
+    case DataType::kDouble:
+      return std::get<double>(v_) != 0.0;
+    default:
+      return false;
+  }
+}
+
+int64_t Value::AsInt() const {
+  switch (type()) {
+    case DataType::kBool:
+      return std::get<bool>(v_) ? 1 : 0;
+    case DataType::kInt:
+      return std::get<int64_t>(v_);
+    case DataType::kDouble:
+      return static_cast<int64_t>(std::get<double>(v_));
+    default:
+      return 0;
+  }
+}
+
+double Value::AsDouble() const {
+  switch (type()) {
+    case DataType::kBool:
+      return std::get<bool>(v_) ? 1.0 : 0.0;
+    case DataType::kInt:
+      return static_cast<double>(std::get<int64_t>(v_));
+    case DataType::kDouble:
+      return std::get<double>(v_);
+    default:
+      return 0.0;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return AsBool() ? "true" : "false";
+    case DataType::kInt:
+      return std::to_string(std::get<int64_t>(v_));
+    case DataType::kDouble:
+      return FormatDouble(std::get<double>(v_), 6);
+    case DataType::kString:
+      return std::get<std::string>(v_);
+  }
+  return "";
+}
+
+namespace {
+int TypeRank(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kBool:
+    case DataType::kInt:
+    case DataType::kDouble:
+      return 1;  // numerics compare with each other
+    case DataType::kString:
+      return 2;
+  }
+  return 3;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(type());
+  int rb = TypeRank(other.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (ra == 0) return 0;  // both NULL
+  if (ra == 1) {
+    double a = AsDouble();
+    double b = other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  const std::string& a = AsString();
+  const std::string& b = other.AsString();
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0x6b617468ULL;
+    case DataType::kBool:
+    case DataType::kInt:
+    case DataType::kDouble: {
+      double d = AsDouble();
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      // Hash integral doubles as their int64 value for == consistency.
+      if (std::floor(d) == d && std::abs(d) < 9.2e18) {
+        return SplitMix64(static_cast<uint64_t>(static_cast<int64_t>(d)));
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(d));
+      return SplitMix64(bits);
+    }
+    case DataType::kString:
+      return HashString(AsString());
+  }
+  return 0;
+}
+
+}  // namespace kathdb::rel

@@ -1,0 +1,63 @@
+/// \file value.h
+/// \brief Dynamically-typed cell value for KathDB's relational layer.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace kathdb::rel {
+
+/// Column / value type tags.
+enum class DataType { kNull, kBool, kInt, kDouble, kString };
+
+/// Human-readable type name ("INT", "DOUBLE", ...).
+const char* DataTypeName(DataType t);
+
+/// \brief A single relational cell: NULL, BOOL, INT64, DOUBLE or STRING.
+///
+/// Values order NULL first, then numerics by numeric value (INT and DOUBLE
+/// compare cross-type), then strings lexicographically.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Variant(b)); }
+  static Value Int(int64_t i) { return Value(Variant(i)); }
+  static Value Double(double d) { return Value(Variant(d)); }
+  static Value Str(std::string s) { return Value(Variant(std::move(s))); }
+
+  DataType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+
+  bool AsBool() const;
+  /// Numeric coercion: BOOL -> 0/1, DOUBLE -> truncated. Pre: not NULL/STRING.
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Renders for display; NULL renders as "NULL".
+  std::string ToString() const;
+
+  /// Three-way compare; NULL < everything, cross-numeric compares by value.
+  /// Comparing STRING against numeric orders numeric first (stable order).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable hash consistent with operator== (numeric 3 hashes same as 3.0).
+  uint64_t Hash() const;
+
+ private:
+  using Variant = std::variant<std::monostate, bool, int64_t, double,
+                               std::string>;
+  explicit Value(Variant v) : v_(std::move(v)) {}
+  Variant v_;
+};
+
+}  // namespace kathdb::rel

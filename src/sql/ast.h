@@ -1,0 +1,79 @@
+/// \file ast.h
+/// \brief Abstract syntax tree for KathDB's embedded SQL dialect.
+///
+/// Dialect: SELECT [DISTINCT] items FROM rel [JOIN rel ON expr]* [WHERE]
+/// [GROUP BY] [HAVING] [ORDER BY] [LIMIT]; CREATE TABLE; INSERT INTO.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/expr.h"
+#include "relational/schema.h"
+
+namespace kathdb::sql {
+
+/// One SELECT-list item: expression plus optional alias. A `*` item has a
+/// null expr.
+struct SelectItem {
+  rel::ExprPtr expr;  // null means '*'
+  std::string alias;  // empty -> derived from expression
+  /// Set when the item is an aggregate call (COUNT/SUM/AVG/MIN/MAX).
+  bool is_aggregate = false;
+  std::string agg_fn;     // upper-case name when is_aggregate
+  std::string agg_arg;    // column name; empty for COUNT(*)
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty -> table name
+  const std::string& effective_name() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+struct JoinClause {
+  TableRef table;
+  rel::ExprPtr on;  // null for CROSS JOIN
+};
+
+struct OrderItem {
+  std::string column;  // output column name (or alias)
+  bool descending = false;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  rel::ExprPtr where;  // may be null
+  std::vector<std::string> group_by;
+  rel::ExprPtr having;  // may be null
+  std::vector<OrderItem> order_by;
+  std::optional<size_t> limit;
+};
+
+struct CreateTableStmt {
+  std::string name;
+  rel::Schema schema;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<rel::Value>> rows;
+};
+
+enum class StmtKind { kSelect, kCreateTable, kInsert };
+
+struct Statement {
+  StmtKind kind = StmtKind::kSelect;
+  SelectStmt select;
+  CreateTableStmt create;
+  InsertStmt insert;
+};
+
+}  // namespace kathdb::sql

@@ -1,0 +1,409 @@
+#include "sql/engine.h"
+
+#include <set>
+
+#include "common/strings.h"
+#include "relational/ops.h"
+#include "sql/parser.h"
+
+namespace kathdb::sql {
+
+using rel::Expr;
+using rel::ExprPtr;
+using rel::OperatorPtr;
+using rel::Schema;
+using rel::Table;
+using rel::TablePtr;
+using rel::Value;
+
+namespace {
+
+/// Tracks how (qualifier, column) pairs map to physical column names in the
+/// schema produced by the chain of joins so far.
+class NameScope {
+ public:
+  void AddTable(const std::string& qualifier, const Schema& table_schema,
+                const Schema& combined_schema) {
+    // The freshly appended columns are the tail of combined_schema.
+    size_t offset = combined_schema.num_columns() - table_schema.num_columns();
+    for (size_t i = 0; i < table_schema.num_columns(); ++i) {
+      bindings_.push_back({ToLower(qualifier),
+                           ToLower(table_schema.column(i).name),
+                           combined_schema.column(offset + i).name});
+    }
+  }
+
+  /// Resolves a possibly-qualified reference to a physical column name.
+  Result<std::string> Resolve(const std::string& ref) const {
+    std::string lref = ToLower(ref);
+    auto dot = lref.rfind('.');
+    if (dot != std::string::npos) {
+      std::string q = lref.substr(0, dot);
+      std::string c = lref.substr(dot + 1);
+      for (const auto& b : bindings_) {
+        if (b.qualifier == q && b.column == c) return b.actual;
+      }
+      // Fall back to an exact physical name match (joins may synthesize
+      // dotted column names such as "p.title").
+      for (const auto& b : bindings_) {
+        if (ToLower(b.actual) == lref) return b.actual;
+      }
+      return Status::SyntacticError("unknown column reference '" + ref + "'");
+    }
+    std::vector<std::string> hits;
+    for (const auto& b : bindings_) {
+      if (b.column == lref) hits.push_back(b.actual);
+    }
+    if (hits.empty()) {
+      return Status::SyntacticError("unknown column '" + ref + "'");
+    }
+    if (hits.size() > 1) {
+      // Identical physical name means the same column (self-consistent).
+      std::set<std::string> uniq(hits.begin(), hits.end());
+      if (uniq.size() > 1) {
+        return Status::SyntacticError("ambiguous column '" + ref +
+                                      "'; qualify with a table alias");
+      }
+    }
+    return hits[0];
+  }
+
+ private:
+  struct Binding {
+    std::string qualifier;  // lower-cased table alias
+    std::string column;     // lower-cased source column name
+    std::string actual;     // physical name in the combined schema
+  };
+  std::vector<Binding> bindings_;
+};
+
+/// Rebuilds an expression with every column reference resolved via scope.
+Result<ExprPtr> ResolveRefs(const ExprPtr& e, const NameScope& scope) {
+  switch (e->kind()) {
+    case rel::ExprKind::kLiteral:
+      return e;
+    case rel::ExprKind::kColumnRef: {
+      KATHDB_ASSIGN_OR_RETURN(std::string actual,
+                              scope.Resolve(e->column_name()));
+      return Expr::Column(actual);
+    }
+    case rel::ExprKind::kUnary: {
+      KATHDB_ASSIGN_OR_RETURN(ExprPtr c, ResolveRefs(e->children()[0], scope));
+      return Expr::Unary(e->unary_op(), c);
+    }
+    case rel::ExprKind::kBinary: {
+      KATHDB_ASSIGN_OR_RETURN(ExprPtr a, ResolveRefs(e->children()[0], scope));
+      KATHDB_ASSIGN_OR_RETURN(ExprPtr b, ResolveRefs(e->children()[1], scope));
+      return Expr::Binary(e->binary_op(), a, b);
+    }
+    case rel::ExprKind::kFunctionCall: {
+      std::vector<ExprPtr> args;
+      for (const auto& c : e->children()) {
+        KATHDB_ASSIGN_OR_RETURN(ExprPtr r, ResolveRefs(c, scope));
+        args.push_back(r);
+      }
+      return Expr::Call(e->function_name(), std::move(args));
+    }
+  }
+  return Status::RuntimeError("corrupt expression");
+}
+
+/// If `on` is `a = b` with both sides column refs, extract the pair.
+bool ExtractEquiJoin(const ExprPtr& on, std::string* left_ref,
+                     std::string* right_ref) {
+  if (on == nullptr || on->kind() != rel::ExprKind::kBinary ||
+      on->binary_op() != rel::BinaryOp::kEq) {
+    return false;
+  }
+  const auto& l = on->children()[0];
+  const auto& r = on->children()[1];
+  if (l->kind() != rel::ExprKind::kColumnRef ||
+      r->kind() != rel::ExprKind::kColumnRef) {
+    return false;
+  }
+  *left_ref = l->column_name();
+  *right_ref = r->column_name();
+  return true;
+}
+
+struct PlannedFrom {
+  OperatorPtr op;
+  NameScope scope;
+};
+
+Result<PlannedFrom> PlanFromClause(rel::Catalog* catalog,
+                                   const SelectStmt& stmt) {
+  PlannedFrom out;
+  KATHDB_ASSIGN_OR_RETURN(TablePtr base, catalog->Get(stmt.from.table));
+  out.op = rel::MakeSeqScan(base);
+  out.scope.AddTable(stmt.from.effective_name(), base->schema(),
+                     base->schema());
+
+  for (const auto& jc : stmt.joins) {
+    KATHDB_ASSIGN_OR_RETURN(TablePtr rt, catalog->Get(jc.table.table));
+    const std::string& rq = jc.table.effective_name();
+    Schema combined =
+        Schema::Concat(out.op->output_schema(), rt->schema(), rq);
+
+    // Scope for resolving the ON clause: previous bindings + right table.
+    NameScope joined_scope = out.scope;
+    joined_scope.AddTable(rq, rt->schema(), combined);
+
+    std::string lref, rref;
+    if (ExtractEquiJoin(jc.on, &lref, &rref)) {
+      // Figure out which side each ref belongs to; swap if needed.
+      auto in_left = [&](const std::string& ref) {
+        return out.scope.Resolve(ref).ok();
+      };
+      std::string l = lref;
+      std::string r = rref;
+      if (!in_left(l) && in_left(r)) std::swap(l, r);
+      auto lres = out.scope.Resolve(l);
+      if (lres.ok()) {
+        // Resolve the right ref against the right table alone.
+        NameScope right_scope;
+        right_scope.AddTable(rq, rt->schema(), rt->schema());
+        auto rres = right_scope.Resolve(r);
+        if (rres.ok()) {
+          out.op = rel::MakeHashJoin(std::move(out.op),
+                                     rel::MakeSeqScan(rt), lres.value(),
+                                     rres.value(), rq);
+          out.scope = joined_scope;
+          continue;
+        }
+      }
+    }
+    // General theta join (or CROSS JOIN with constant-true predicate).
+    ExprPtr pred = jc.on != nullptr ? jc.on
+                                    : Expr::Literal(Value::Bool(true));
+    KATHDB_ASSIGN_OR_RETURN(ExprPtr resolved, ResolveRefs(pred, joined_scope));
+    out.op = rel::MakeNestedLoopJoin(std::move(out.op), rel::MakeSeqScan(rt),
+                                     resolved, rq);
+    out.scope = joined_scope;
+  }
+  return out;
+}
+
+rel::AggFn ToAggFn(const std::string& name) {
+  if (name == "COUNT") return rel::AggFn::kCount;
+  if (name == "SUM") return rel::AggFn::kSum;
+  if (name == "AVG") return rel::AggFn::kAvg;
+  if (name == "MIN") return rel::AggFn::kMin;
+  return rel::AggFn::kMax;
+}
+
+}  // namespace
+
+Result<Table> SqlEngine::ExecuteSelect(const SelectStmt& stmt,
+                                       const std::string& result_name) {
+  KATHDB_ASSIGN_OR_RETURN(PlannedFrom planned, PlanFromClause(catalog_, stmt));
+  OperatorPtr op = std::move(planned.op);
+  NameScope& scope = planned.scope;
+
+  if (stmt.where != nullptr) {
+    KATHDB_ASSIGN_OR_RETURN(ExprPtr pred, ResolveRefs(stmt.where, scope));
+    op = rel::MakeFilter(std::move(op), pred);
+  }
+
+  bool has_agg = !stmt.group_by.empty();
+  for (const auto& it : stmt.items) has_agg |= it.is_aggregate;
+  bool pre_sorted = false;
+
+  if (has_agg) {
+    std::vector<std::string> group_cols;
+    for (const auto& g : stmt.group_by) {
+      KATHDB_ASSIGN_OR_RETURN(std::string actual, scope.Resolve(g));
+      group_cols.push_back(actual);
+    }
+    std::vector<rel::AggSpec> aggs;
+    for (const auto& it : stmt.items) {
+      if (!it.is_aggregate) continue;
+      rel::AggSpec spec;
+      spec.fn = ToAggFn(it.agg_fn);
+      if (!it.agg_arg.empty()) {
+        KATHDB_ASSIGN_OR_RETURN(spec.column, scope.Resolve(it.agg_arg));
+      }
+      spec.output_name = it.alias;
+      aggs.push_back(std::move(spec));
+    }
+    op = rel::MakeAggregate(std::move(op), group_cols, aggs);
+
+    if (stmt.having != nullptr) {
+      // HAVING references aggregate aliases / group columns directly.
+      op = rel::MakeFilter(std::move(op), stmt.having);
+    }
+
+    // Final projection in SELECT-list order.
+    std::vector<ExprPtr> exprs;
+    std::vector<std::string> names;
+    for (const auto& it : stmt.items) {
+      if (it.is_aggregate) {
+        exprs.push_back(Expr::Column(it.alias));
+        names.push_back(it.alias);
+      } else {
+        if (it.expr == nullptr) {
+          return Status::InvalidArgument("SELECT * with GROUP BY");
+        }
+        if (it.expr->kind() != rel::ExprKind::kColumnRef) {
+          return Status::InvalidArgument(
+              "non-aggregate SELECT item must be a grouped column");
+        }
+        KATHDB_ASSIGN_OR_RETURN(std::string actual,
+                                scope.Resolve(it.expr->column_name()));
+        bool grouped = false;
+        for (const auto& g : group_cols) grouped |= (g == actual);
+        if (!grouped) {
+          return Status::InvalidArgument("column '" + actual +
+                                         "' is not in GROUP BY");
+        }
+        exprs.push_back(Expr::Column(actual));
+        names.push_back(it.alias);
+      }
+    }
+    op = rel::MakeProject(std::move(op), exprs, names);
+  } else {
+    // ORDER BY may reference columns the projection drops (standard SQL);
+    // in that case sort before projecting.
+    if (!stmt.order_by.empty()) {
+      std::set<std::string> projected;
+      for (const auto& it : stmt.items) {
+        if (it.expr == nullptr) {
+          for (const auto& col : op->output_schema().columns()) {
+            projected.insert(ToLower(col.name));
+          }
+        } else {
+          projected.insert(ToLower(it.alias));
+        }
+      }
+      bool all_projected = true;
+      for (const auto& oi : stmt.order_by) {
+        all_projected &= projected.count(ToLower(oi.column)) > 0;
+      }
+      if (!all_projected) {
+        std::vector<rel::SortKey> keys;
+        bool resolvable = true;
+        for (const auto& oi : stmt.order_by) {
+          auto r = scope.Resolve(oi.column);
+          if (!r.ok()) {
+            resolvable = false;
+            break;
+          }
+          keys.push_back({r.value(), oi.descending});
+        }
+        if (resolvable) {
+          op = rel::MakeSort(std::move(op), keys);
+          pre_sorted = true;
+        }
+      }
+    }
+    // Plain projection (unless a lone '*').
+    bool star_only = stmt.items.size() == 1 && stmt.items[0].expr == nullptr;
+    if (!star_only) {
+      std::vector<ExprPtr> exprs;
+      std::vector<std::string> names;
+      for (const auto& it : stmt.items) {
+        if (it.expr == nullptr) {
+          // '*' expands to all current columns.
+          for (const auto& col : op->output_schema().columns()) {
+            exprs.push_back(Expr::Column(col.name));
+            names.push_back(col.name);
+          }
+          continue;
+        }
+        KATHDB_ASSIGN_OR_RETURN(ExprPtr resolved,
+                                ResolveRefs(it.expr, scope));
+        exprs.push_back(resolved);
+        names.push_back(it.alias);
+      }
+      op = rel::MakeProject(std::move(op), exprs, names);
+    }
+  }
+
+  if (stmt.distinct) op = rel::MakeDistinct(std::move(op));
+
+  if (!stmt.order_by.empty() && !pre_sorted) {
+    std::vector<rel::SortKey> keys;
+    for (const auto& oi : stmt.order_by) {
+      // Order by output column name; fall back to resolving via scope.
+      std::string col = oi.column;
+      if (!op->output_schema().HasColumn(col)) {
+        auto r = scope.Resolve(col);
+        if (r.ok()) col = r.value();
+      }
+      keys.push_back({col, oi.descending});
+    }
+    op = rel::MakeSort(std::move(op), keys);
+  }
+  if (stmt.limit.has_value()) op = rel::MakeLimit(std::move(op), *stmt.limit);
+
+  return rel::Materialize(op.get(), result_name);
+}
+
+Result<Table> SqlEngine::Execute(const std::string& sql) {
+  KATHDB_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  switch (stmt.kind) {
+    case StmtKind::kSelect:
+      return ExecuteSelect(stmt.select);
+    case StmtKind::kCreateTable: {
+      auto table = std::make_shared<Table>(stmt.create.name,
+                                           stmt.create.schema);
+      KATHDB_RETURN_IF_ERROR(catalog_->Register(table));
+      return Table("ok", Schema{});
+    }
+    case StmtKind::kInsert: {
+      KATHDB_ASSIGN_OR_RETURN(TablePtr table, catalog_->Get(stmt.insert.table));
+      const Schema& schema = table->schema();
+      for (const auto& row : stmt.insert.rows) {
+        if (row.size() != schema.num_columns()) {
+          return Status::InvalidArgument(
+              "INSERT arity mismatch for table '" + stmt.insert.table + "'");
+        }
+        rel::Row coerced;
+        for (size_t i = 0; i < row.size(); ++i) {
+          const Value& v = row[i];
+          switch (schema.column(i).type) {
+            case rel::DataType::kDouble:
+              coerced.push_back(v.is_null() ? v : Value::Double(v.AsDouble()));
+              break;
+            case rel::DataType::kInt:
+              coerced.push_back(v.is_null() ? v : Value::Int(v.AsInt()));
+              break;
+            case rel::DataType::kBool:
+              coerced.push_back(v.is_null() ? v : Value::Bool(v.AsBool()));
+              break;
+            default:
+              coerced.push_back(v.is_null() ? v : Value::Str(v.ToString()));
+          }
+        }
+        table->AppendRow(std::move(coerced));
+      }
+      return Table("ok", Schema{});
+    }
+  }
+  return Status::RuntimeError("unknown statement kind");
+}
+
+Result<std::string> SqlEngine::Explain(const std::string& sql) {
+  KATHDB_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  if (stmt.kind != StmtKind::kSelect) {
+    return Status::NotSupported("EXPLAIN supports SELECT only");
+  }
+  // Build the plan but describe instead of executing. We reuse the planner
+  // by materializing against a zero-row snapshot? Simplest faithful output:
+  // run the planner and describe the final operator chain breadth-first.
+  KATHDB_ASSIGN_OR_RETURN(PlannedFrom planned,
+                          PlanFromClause(catalog_, stmt.select));
+  std::string out = planned.op->Describe();
+  if (stmt.select.where != nullptr) {
+    out = "Filter(" + stmt.select.where->ToString() + ")\n  " + out;
+  }
+  if (!stmt.select.order_by.empty()) {
+    out = "Sort(...)\n  " + out;
+  }
+  if (stmt.select.limit.has_value()) {
+    out = "Limit(" + std::to_string(*stmt.select.limit) + ")\n  " + out;
+  }
+  return out;
+}
+
+}  // namespace kathdb::sql

@@ -1,0 +1,427 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "sql/token.h"
+
+namespace kathdb::sql {
+
+using rel::BinaryOp;
+using rel::DataType;
+using rel::Expr;
+using rel::ExprPtr;
+using rel::UnaryOp;
+using rel::Value;
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    if (PeekKeyword("SELECT")) {
+      stmt.kind = StmtKind::kSelect;
+      KATHDB_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+    } else if (PeekKeyword("CREATE")) {
+      stmt.kind = StmtKind::kCreateTable;
+      KATHDB_ASSIGN_OR_RETURN(stmt.create, ParseCreate());
+    } else if (PeekKeyword("INSERT")) {
+      stmt.kind = StmtKind::kInsert;
+      KATHDB_ASSIGN_OR_RETURN(stmt.insert, ParseInsert());
+    } else {
+      return Err("expected SELECT, CREATE or INSERT");
+    }
+    ConsumeSymbol(";");
+    if (!AtEnd()) return Err("trailing tokens after statement");
+    return stmt;
+  }
+
+ private:
+  // ------------------------------------------------------------ utilities
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+  bool PeekKeyword(const std::string& kw, size_t ahead = 0) const {
+    return Peek(ahead).type == TokenType::kKeyword && Peek(ahead).text == kw;
+  }
+  bool ConsumeKeyword(const std::string& kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool PeekSymbol(const std::string& s) const {
+    return Peek().type == TokenType::kSymbol && Peek().text == s;
+  }
+  bool ConsumeSymbol(const std::string& s) {
+    if (PeekSymbol(s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("SQL parse error at position " +
+                                   std::to_string(Peek().pos) + ": " + msg +
+                                   " (near '" + Peek().text + "')");
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().type != TokenType::kIdent) return Err("expected identifier");
+    return toks_[pos_++].text;
+  }
+  Status ExpectSymbol(const std::string& s) {
+    if (!ConsumeSymbol(s)) return Err("expected '" + s + "'");
+    return Status::OK();
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!ConsumeKeyword(kw)) return Err("expected " + kw);
+    return Status::OK();
+  }
+
+  // ---------------------------------------------------------- expressions
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    KATHDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (ConsumeKeyword("OR")) {
+      KATHDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Binary(BinaryOp::kOr, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    KATHDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (ConsumeKeyword("AND")) {
+      KATHDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::Binary(BinaryOp::kAnd, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      KATHDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      return Expr::Unary(UnaryOp::kNot, inner);
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    KATHDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    // IS [NOT] NULL
+    if (ConsumeKeyword("IS")) {
+      bool neg = ConsumeKeyword("NOT");
+      KATHDB_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      // Encode as equality with NULL via coalesce trick: IS NULL becomes
+      // NOT coalesce(true_if_value,...) — simplest: use dedicated function.
+      ExprPtr isnull = Expr::Binary(
+          BinaryOp::kEq,
+          Expr::Call("coalesce", {lhs, Expr::Literal(Value::Str(
+                                           "\x01__kathdb_null__"))}),
+          Expr::Literal(Value::Str("\x01__kathdb_null__")));
+      return neg ? Expr::Unary(UnaryOp::kNot, isnull) : isnull;
+    }
+    if (ConsumeKeyword("LIKE")) {
+      KATHDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      // LIKE '%foo%' is lowered to CONTAINS (suffices for this dialect).
+      if (rhs->kind() == rel::ExprKind::kLiteral &&
+          rhs->literal().type() == DataType::kString) {
+        std::string pat = rhs->literal().AsString();
+        std::string needle;
+        for (char c : pat) {
+          if (c != '%') needle.push_back(c);
+        }
+        return Expr::Call("contains",
+                          {lhs, Expr::Literal(Value::Str(needle))});
+      }
+      return Expr::Call("contains", {lhs, rhs});
+    }
+    struct OpMap {
+      const char* sym;
+      BinaryOp op;
+    };
+    static const OpMap kOps[] = {{"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe},
+                                 {"<>", BinaryOp::kNe}, {"!=", BinaryOp::kNe},
+                                 {"=", BinaryOp::kEq},  {"<", BinaryOp::kLt},
+                                 {">", BinaryOp::kGt}};
+    for (const auto& om : kOps) {
+      if (PeekSymbol(om.sym)) {
+        ++pos_;
+        KATHDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return Expr::Binary(om.op, lhs, rhs);
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    KATHDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (PeekSymbol("+") || PeekSymbol("-")) {
+      BinaryOp op = PeekSymbol("+") ? BinaryOp::kAdd : BinaryOp::kSub;
+      ++pos_;
+      KATHDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::Binary(op, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    KATHDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (PeekSymbol("*") || PeekSymbol("/")) {
+      BinaryOp op = PeekSymbol("*") ? BinaryOp::kMul : BinaryOp::kDiv;
+      ++pos_;
+      KATHDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::Binary(op, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (ConsumeSymbol("-")) {
+      KATHDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      return Expr::Unary(UnaryOp::kNeg, inner);
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kNumber: {
+        ++pos_;
+        if (t.text.find('.') != std::string::npos ||
+            t.text.find('e') != std::string::npos ||
+            t.text.find('E') != std::string::npos) {
+          return Expr::Literal(Value::Double(std::strtod(t.text.c_str(),
+                                                         nullptr)));
+        }
+        return Expr::Literal(
+            Value::Int(std::strtoll(t.text.c_str(), nullptr, 10)));
+      }
+      case TokenType::kString:
+        ++pos_;
+        return Expr::Literal(Value::Str(t.text));
+      case TokenType::kKeyword:
+        if (ConsumeKeyword("TRUE")) return Expr::Literal(Value::Bool(true));
+        if (ConsumeKeyword("FALSE")) return Expr::Literal(Value::Bool(false));
+        if (ConsumeKeyword("NULL")) return Expr::Literal(Value::Null());
+        return Err("unexpected keyword in expression");
+      case TokenType::kIdent: {
+        std::string name = t.text;
+        ++pos_;
+        if (ConsumeSymbol("(")) {
+          std::vector<ExprPtr> args;
+          if (!ConsumeSymbol(")")) {
+            while (true) {
+              KATHDB_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+              args.push_back(arg);
+              if (ConsumeSymbol(")")) break;
+              KATHDB_RETURN_IF_ERROR(ExpectSymbol(","));
+            }
+          }
+          return Expr::Call(name, std::move(args));
+        }
+        return Expr::Column(name);
+      }
+      case TokenType::kSymbol:
+        if (ConsumeSymbol("(")) {
+          KATHDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          KATHDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return inner;
+        }
+        return Err("unexpected symbol in expression");
+      case TokenType::kEnd:
+        return Err("unexpected end of input in expression");
+    }
+    return Err("unexpected token");
+  }
+
+  // -------------------------------------------------------------- SELECT
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (ConsumeSymbol("*")) {
+      item.expr = nullptr;
+      return item;
+    }
+    // Aggregate calls are keywords in our tokenizer.
+    static const char* kAggs[] = {"COUNT", "SUM", "AVG", "MIN", "MAX"};
+    for (const char* agg : kAggs) {
+      if (PeekKeyword(agg) && Peek(1).type == TokenType::kSymbol &&
+          Peek(1).text == "(") {
+        ++pos_;  // agg keyword
+        ++pos_;  // '('
+        item.is_aggregate = true;
+        item.agg_fn = agg;
+        if (ConsumeSymbol("*")) {
+          item.agg_arg.clear();
+        } else {
+          KATHDB_ASSIGN_OR_RETURN(item.agg_arg, ExpectIdent());
+        }
+        KATHDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+        item.alias = ToLower(item.agg_fn) +
+                     (item.agg_arg.empty() ? "" : "_" + item.agg_arg);
+        if (ConsumeKeyword("AS")) {
+          KATHDB_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+        }
+        return item;
+      }
+    }
+    KATHDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (ConsumeKeyword("AS")) {
+      KATHDB_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+    } else if (item.expr->kind() == rel::ExprKind::kColumnRef) {
+      // Default alias: unqualified column name.
+      std::string n = item.expr->column_name();
+      auto dot = n.rfind('.');
+      item.alias = dot == std::string::npos ? n : n.substr(dot + 1);
+    } else {
+      item.alias = "expr";
+    }
+    return item;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    KATHDB_ASSIGN_OR_RETURN(ref.table, ExpectIdent());
+    if (ConsumeKeyword("AS")) {
+      KATHDB_ASSIGN_OR_RETURN(ref.alias, ExpectIdent());
+    } else if (Peek().type == TokenType::kIdent && !PeekSymbol("(")) {
+      // Bare alias only when followed by a clause keyword or end; keep
+      // simple: accept bare identifier alias.
+      KATHDB_ASSIGN_OR_RETURN(ref.alias, ExpectIdent());
+    }
+    return ref;
+  }
+
+  Result<SelectStmt> ParseSelect() {
+    SelectStmt sel;
+    KATHDB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    sel.distinct = ConsumeKeyword("DISTINCT");
+    while (true) {
+      KATHDB_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      sel.items.push_back(std::move(item));
+      if (!ConsumeSymbol(",")) break;
+    }
+    KATHDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    KATHDB_ASSIGN_OR_RETURN(sel.from, ParseTableRef());
+    while (PeekKeyword("JOIN") || PeekKeyword("INNER") ||
+           PeekKeyword("CROSS")) {
+      bool cross = ConsumeKeyword("CROSS");
+      ConsumeKeyword("INNER");
+      KATHDB_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+      JoinClause jc;
+      KATHDB_ASSIGN_OR_RETURN(jc.table, ParseTableRef());
+      if (!cross) {
+        KATHDB_RETURN_IF_ERROR(ExpectKeyword("ON"));
+        KATHDB_ASSIGN_OR_RETURN(jc.on, ParseExpr());
+      }
+      sel.joins.push_back(std::move(jc));
+    }
+    if (ConsumeKeyword("WHERE")) {
+      KATHDB_ASSIGN_OR_RETURN(sel.where, ParseExpr());
+    }
+    if (ConsumeKeyword("GROUP")) {
+      KATHDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        KATHDB_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        sel.group_by.push_back(std::move(col));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (ConsumeKeyword("HAVING")) {
+      KATHDB_ASSIGN_OR_RETURN(sel.having, ParseExpr());
+    }
+    if (ConsumeKeyword("ORDER")) {
+      KATHDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        OrderItem oi;
+        KATHDB_ASSIGN_OR_RETURN(oi.column, ExpectIdent());
+        if (ConsumeKeyword("DESC")) {
+          oi.descending = true;
+        } else {
+          ConsumeKeyword("ASC");
+        }
+        sel.order_by.push_back(std::move(oi));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kNumber) return Err("expected number");
+      sel.limit = static_cast<size_t>(
+          std::strtoll(Peek().text.c_str(), nullptr, 10));
+      ++pos_;
+    }
+    return sel;
+  }
+
+  // -------------------------------------------------- CREATE TABLE/INSERT
+  Result<CreateTableStmt> ParseCreate() {
+    CreateTableStmt ct;
+    KATHDB_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    KATHDB_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    KATHDB_ASSIGN_OR_RETURN(ct.name, ExpectIdent());
+    KATHDB_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      KATHDB_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+      DataType t;
+      if (ConsumeKeyword("INT")) {
+        t = DataType::kInt;
+      } else if (ConsumeKeyword("DOUBLE")) {
+        t = DataType::kDouble;
+      } else if (ConsumeKeyword("STRING")) {
+        t = DataType::kString;
+      } else if (ConsumeKeyword("BOOL")) {
+        t = DataType::kBool;
+      } else {
+        return Err("expected column type (INT/DOUBLE/STRING/BOOL)");
+      }
+      ct.schema.AddColumn(col, t);
+      if (ConsumeSymbol(")")) break;
+      KATHDB_RETURN_IF_ERROR(ExpectSymbol(","));
+    }
+    return ct;
+  }
+
+  Result<InsertStmt> ParseInsert() {
+    InsertStmt ins;
+    KATHDB_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    KATHDB_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    KATHDB_ASSIGN_OR_RETURN(ins.table, ExpectIdent());
+    KATHDB_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    while (true) {
+      KATHDB_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<Value> row;
+      while (true) {
+        KATHDB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        // Literal-only rows: evaluate against an empty schema.
+        static const rel::Schema kEmpty;
+        KATHDB_ASSIGN_OR_RETURN(Value v, e->Eval({}, kEmpty));
+        row.push_back(std::move(v));
+        if (ConsumeSymbol(")")) break;
+        KATHDB_RETURN_IF_ERROR(ExpectSymbol(","));
+      }
+      ins.rows.push_back(std::move(row));
+      if (!ConsumeSymbol(",")) break;
+    }
+    return ins;
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseSql(const std::string& sql) {
+  KATHDB_ASSIGN_OR_RETURN(std::vector<Token> toks, Tokenize(sql));
+  return Parser(std::move(toks)).ParseStatement();
+}
+
+}  // namespace kathdb::sql

@@ -1,0 +1,16 @@
+/// \file parser.h
+/// \brief Recursive-descent parser for KathDB's SQL dialect.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace kathdb::sql {
+
+/// Parses one statement. Errors are InvalidArgument with byte position.
+Result<Statement> ParseSql(const std::string& sql);
+
+}  // namespace kathdb::sql

@@ -1,0 +1,110 @@
+#include "sql/token.h"
+
+#include <cctype>
+#include <set>
+
+namespace kathdb::sql {
+
+namespace {
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kw = {
+      "SELECT", "FROM",  "WHERE",  "GROUP",  "BY",     "HAVING", "ORDER",
+      "LIMIT",  "JOIN",  "INNER",  "ON",     "AS",     "AND",    "OR",
+      "NOT",    "ASC",   "DESC",   "CREATE", "TABLE",  "INSERT", "INTO",
+      "VALUES", "TRUE",  "FALSE",  "NULL",   "DISTINCT", "UNION", "ALL",
+      "INT",    "DOUBLE", "STRING", "BOOL",  "COUNT",  "SUM",    "AVG",
+      "MIN",    "MAX",   "LIKE",   "IS",     "CROSS"};
+  return kw;
+}
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_' || sql[i] == '.')) {
+        word.push_back(sql[i++]);
+      }
+      std::string upper = word;
+      for (auto& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      if (Keywords().count(upper) > 0) {
+        out.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        out.push_back({TokenType::kIdent, word, start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      std::string num;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E')) {
+        num.push_back(sql[i++]);
+      }
+      out.push_back({TokenType::kNumber, num, start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string str;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            str.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        str.push_back(sql[i++]);
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(start));
+      }
+      out.push_back({TokenType::kString, str, start});
+      continue;
+    }
+    // Multi-char symbols.
+    if ((c == '<' || c == '>' || c == '!') && i + 1 < n &&
+        (sql[i + 1] == '=' || (c == '<' && sql[i + 1] == '>'))) {
+      out.push_back({TokenType::kSymbol, sql.substr(i, 2), start});
+      i += 2;
+      continue;
+    }
+    static const std::string kSingles = "(),*=<>+-/.;";
+    if (kSingles.find(c) != std::string::npos) {
+      out.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at " +
+                                   std::to_string(start));
+  }
+  out.push_back({TokenType::kEnd, "", n});
+  return out;
+}
+
+}  // namespace kathdb::sql

@@ -1,0 +1,31 @@
+/// \file token.h
+/// \brief SQL tokenizer for KathDB's embedded SQL dialect.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kathdb::sql {
+
+enum class TokenType {
+  kKeyword,   // SELECT, FROM, WHERE, ... (upper-cased)
+  kIdent,     // possibly qualified: films.title
+  kNumber,    // integer or decimal literal
+  kString,    // 'single quoted'
+  kSymbol,    // ( ) , * = <> <= >= < > + - / .
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // keywords upper-cased; idents as written
+  size_t pos = 0;    // byte offset, for error messages
+};
+
+/// Tokenizes `sql`. Keywords are recognized case-insensitively.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace kathdb::sql

@@ -1,0 +1,143 @@
+#include "vector/embedding.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace kathdb::vec {
+
+float CosineSimilarity(const Embedding& a, const Embedding& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0f;
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0f;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+void Normalize(Embedding* e) {
+  double n = 0.0;
+  for (float v : *e) n += static_cast<double>(v) * v;
+  if (n == 0.0) return;
+  float inv = static_cast<float>(1.0 / std::sqrt(n));
+  for (float& v : *e) v *= inv;
+}
+
+void ConceptLexicon::Add(const std::string& concept_name,
+                         const std::string& token) {
+  token_to_concept_.emplace_back(ToLower(token), ToLower(concept_name));
+}
+
+std::string ConceptLexicon::ConceptOf(const std::string& token) const {
+  std::string t = ToLower(token);
+  for (const auto& [tok, con] : token_to_concept_) {
+    if (tok == t) return con;
+  }
+  return "";
+}
+
+std::vector<std::string> ConceptLexicon::TokensOf(
+    const std::string& concept_name) const {
+  std::string c = ToLower(concept_name);
+  std::vector<std::string> out;
+  for (const auto& [tok, con] : token_to_concept_) {
+    if (con == c) out.push_back(tok);
+  }
+  return out;
+}
+
+ConceptLexicon ConceptLexicon::BuiltIn() {
+  ConceptLexicon lex;
+  auto add_all = [&](const std::string& concept_name,
+                     std::initializer_list<const char*> tokens) {
+    for (const char* t : tokens) lex.Add(concept_name, t);
+  };
+  // Concepts driving the "exciting plot" scoring of the running example.
+  add_all("violence", {"gun", "guns", "weapon", "weapons", "murder", "kill",
+                       "killing", "killer", "shootout", "shooting", "knife",
+                       "bomb", "assault", "attack", "war", "blood", "threat",
+                       "death", "gunfight", "hostage", "sniper", "execution"});
+  add_all("action", {"chase", "explosion", "explosions", "crash", "jump",
+                     "jumped", "escape", "fight", "fighting", "race",
+                     "motorcycle", "helicopter", "stunt", "plane", "danger",
+                     "dangerous", "rooftop", "heist", "pursuit", "collision"});
+  add_all("suspense", {"conspiracy", "blacklist", "suspicion", "spy",
+                       "betrayal", "interrogation", "accused", "secret",
+                       "surveillance", "fugitive", "trial", "witness",
+                       "informant", "paranoia", "investigation"});
+  add_all("calm", {"meadow", "quiet", "garden", "tea", "walk", "gentle",
+                   "peaceful", "stroll", "knitting", "picnic", "sunset",
+                   "orchard", "library", "lake", "breeze", "nap", "bakery"});
+  add_all("romance", {"love", "kiss", "wedding", "romance", "heart",
+                      "sweetheart", "courtship", "embrace", "longing"});
+  add_all("recovery", {"rehab", "sober", "addiction", "cocaine", "relapse",
+                       "recovery", "counselor", "dependency", "withdrawal"});
+  add_all("visual_dull", {"plain", "beige", "gray", "monochrome", "empty",
+                          "minimal", "bland", "boring", "dull", "static"});
+  add_all("visual_vivid", {"vivid", "colorful", "neon", "bright", "dynamic",
+                           "fiery", "saturated", "flashy"});
+  return lex;
+}
+
+Embedding TextEmbedder::HashVector(const std::string& seed_text) const {
+  Embedding e(dim_);
+  uint64_t state = HashString(seed_text);
+  for (size_t i = 0; i < dim_; ++i) {
+    state = SplitMix64(state);
+    // Map to [-1, 1).
+    e[i] = static_cast<float>(
+        static_cast<double>(state >> 11) / 4503599627370496.0 - 1.0);
+  }
+  Normalize(&e);
+  return e;
+}
+
+Embedding TextEmbedder::EmbedToken(const std::string& token) const {
+  std::string t = ToLower(token);
+  Embedding base = HashVector("tok:" + t);
+  std::string concept_name = lexicon_.ConceptOf(t);
+  if (concept_name.empty()) return base;
+  Embedding cvec = HashVector("concept_name:" + concept_name);
+  // Blend strongly toward the concept_name so same-concept_name tokens correlate
+  // (~0.8 cosine) while staying distinguishable.
+  Embedding out(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    out[i] = 0.9f * cvec[i] + 0.35f * base[i];
+  }
+  Normalize(&out);
+  return out;
+}
+
+Embedding TextEmbedder::EmbedText(const std::string& text) const {
+  std::vector<std::string> toks = Tokenize(text);
+  Embedding sum(dim_, 0.0f);
+  if (toks.empty()) return sum;
+  for (const auto& t : toks) {
+    Embedding e = EmbedToken(t);
+    for (size_t i = 0; i < dim_; ++i) sum[i] += e[i];
+  }
+  Normalize(&sum);
+  return sum;
+}
+
+float TextEmbedder::KeywordSetSimilarity(
+    const std::vector<std::string>& keywords,
+    const std::vector<std::string>& candidates) const {
+  float best = 0.0f;
+  for (const auto& k : keywords) {
+    Embedding ke = EmbedToken(k);
+    for (const auto& c : candidates) {
+      float s = CosineSimilarity(ke, EmbedToken(c));
+      if (s > best) best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace kathdb::vec

@@ -1,0 +1,79 @@
+/// \file embedding.h
+/// \brief Deterministic text embeddings for semantic similarity.
+///
+/// Substitute for the hosted embedding model the paper uses in step (4) of
+/// the example pipeline (vector similarity between an LLM-generated keyword
+/// list and extracted entities). Token vectors are hash-derived, but tokens
+/// that share a lexicon concept_name ("gun" and "weapon" both map to concept_name
+/// "violence") are blended toward the concept_name vector, so related words
+/// measurably correlate while the whole pipeline stays reproducible.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kathdb::vec {
+
+using Embedding = std::vector<float>;
+
+/// Cosine similarity in [-1, 1]; 0 when either vector is all-zero.
+float CosineSimilarity(const Embedding& a, const Embedding& b);
+
+/// L2-normalizes in place (no-op for the zero vector).
+void Normalize(Embedding* e);
+
+/// \brief Maps tokens to semantic concepts. Ships with a built-in lexicon
+/// covering the movie domain of the paper's running example (violence /
+/// action / calm / romance / recency ...); callers can extend it.
+class ConceptLexicon {
+ public:
+  /// Lexicon with the built-in movie-domain concepts.
+  static ConceptLexicon BuiltIn();
+
+  /// Adds `token` to `concept_name` (both lower-cased).
+  void Add(const std::string& concept_name, const std::string& token);
+
+  /// Concept of `token`, or "" when unmapped.
+  std::string ConceptOf(const std::string& token) const;
+
+  /// All tokens registered under `concept_name`.
+  std::vector<std::string> TokensOf(const std::string& concept_name) const;
+
+  size_t size() const { return token_to_concept_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> token_to_concept_;
+};
+
+/// \brief Deterministic text embedder: hash vectors + concept_name blending.
+class TextEmbedder {
+ public:
+  explicit TextEmbedder(size_t dim = 64,
+                        ConceptLexicon lexicon = ConceptLexicon::BuiltIn())
+      : dim_(dim), lexicon_(std::move(lexicon)) {}
+
+  size_t dim() const { return dim_; }
+  const ConceptLexicon& lexicon() const { return lexicon_; }
+
+  /// Unit-norm embedding of one token.
+  Embedding EmbedToken(const std::string& token) const;
+
+  /// Unit-norm embedding of a text: mean of token embeddings.
+  Embedding EmbedText(const std::string& text) const;
+
+  /// Max cosine similarity between any keyword and any candidate token;
+  /// the building block of the excitement-score FAO.
+  float KeywordSetSimilarity(const std::vector<std::string>& keywords,
+                             const std::vector<std::string>& candidates) const;
+
+ private:
+  Embedding HashVector(const std::string& seed_text) const;
+
+  size_t dim_;
+  ConceptLexicon lexicon_;
+};
+
+}  // namespace kathdb::vec

@@ -1,0 +1,150 @@
+#include "vector/index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace kathdb::vec {
+
+namespace {
+
+void TopKInsert(std::vector<SearchHit>* heap, size_t k, SearchHit hit) {
+  heap->push_back(hit);
+  std::push_heap(heap->begin(), heap->end(),
+                 [](const SearchHit& a, const SearchHit& b) {
+                   return a.score > b.score;  // min-heap on score
+                 });
+  if (heap->size() > k) {
+    std::pop_heap(heap->begin(), heap->end(),
+                  [](const SearchHit& a, const SearchHit& b) {
+                    return a.score > b.score;
+                  });
+    heap->pop_back();
+  }
+}
+
+void FinishTopK(std::vector<SearchHit>* heap) {
+  std::sort(heap->begin(), heap->end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- BruteForce
+
+Status BruteForceIndex::Add(int64_t id, const Embedding& v) {
+  if (v.size() != dim_) {
+    return Status::InvalidArgument("vector dim " + std::to_string(v.size()) +
+                                   " != index dim " + std::to_string(dim_));
+  }
+  ids_.push_back(id);
+  vecs_.push_back(v);
+  return Status::OK();
+}
+
+Result<std::vector<SearchHit>> BruteForceIndex::Search(const Embedding& query,
+                                                       size_t k) const {
+  if (query.size() != dim_) {
+    return Status::InvalidArgument("query dim mismatch");
+  }
+  std::vector<SearchHit> heap;
+  heap.reserve(k + 1);
+  for (size_t i = 0; i < vecs_.size(); ++i) {
+    TopKInsert(&heap, k, {ids_[i], CosineSimilarity(query, vecs_[i])});
+  }
+  FinishTopK(&heap);
+  return heap;
+}
+
+// ------------------------------------------------------------------ IVF
+
+Status IvfIndex::Add(int64_t id, const Embedding& v) {
+  if (v.size() != dim_) {
+    return Status::InvalidArgument("vector dim mismatch");
+  }
+  if (built_) return Status::RuntimeError("IvfIndex already built");
+  ids_.push_back(id);
+  vecs_.push_back(v);
+  return Status::OK();
+}
+
+Status IvfIndex::Build() {
+  if (vecs_.empty()) {
+    built_ = true;
+    return Status::OK();
+  }
+  size_t k = std::min(num_clusters_, vecs_.size());
+  // Seed centroids deterministically from the data.
+  Rng rng(seed_);
+  centroids_.clear();
+  for (size_t c = 0; c < k; ++c) {
+    centroids_.push_back(
+        vecs_[static_cast<size_t>(rng.NextInt(0, vecs_.size() - 1))]);
+  }
+  clusters_.assign(k, {});
+  // A few Lloyd iterations suffice for probe routing quality.
+  std::vector<size_t> assign(vecs_.size(), 0);
+  for (int iter = 0; iter < 5; ++iter) {
+    for (size_t i = 0; i < vecs_.size(); ++i) {
+      float best = -2.0f;
+      size_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        float s = CosineSimilarity(vecs_[i], centroids_[c]);
+        if (s > best) {
+          best = s;
+          best_c = c;
+        }
+      }
+      assign[i] = best_c;
+    }
+    // Recompute centroids.
+    std::vector<Embedding> sums(k, Embedding(dim_, 0.0f));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < vecs_.size(); ++i) {
+      for (size_t d = 0; d < dim_; ++d) sums[assign[i]][d] += vecs_[i][d];
+      ++counts[assign[i]];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      Normalize(&sums[c]);
+      centroids_[c] = sums[c];
+    }
+  }
+  for (auto& cl : clusters_) cl.clear();
+  for (size_t i = 0; i < vecs_.size(); ++i) {
+    clusters_[assign[i]].push_back(i);
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<SearchHit>> IvfIndex::Search(const Embedding& query,
+                                                size_t k) const {
+  if (!built_) return Status::RuntimeError("IvfIndex::Build not called");
+  if (query.size() != dim_) {
+    return Status::InvalidArgument("query dim mismatch");
+  }
+  // Rank centroids by similarity, probe the best nprobe clusters.
+  std::vector<std::pair<float, size_t>> ranked;
+  ranked.reserve(centroids_.size());
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    ranked.emplace_back(CosineSimilarity(query, centroids_[c]), c);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<SearchHit> heap;
+  size_t probes = std::min(nprobe_, ranked.size());
+  for (size_t p = 0; p < probes; ++p) {
+    for (size_t i : clusters_[ranked[p].second]) {
+      TopKInsert(&heap, k, {ids_[i], CosineSimilarity(query, vecs_[i])});
+    }
+  }
+  FinishTopK(&heap);
+  return heap;
+}
+
+}  // namespace kathdb::vec

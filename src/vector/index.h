@@ -1,0 +1,89 @@
+/// \file index.h
+/// \brief Vector similarity indexes: brute force and IVF.
+///
+/// The optimizer can choose between a brute-force scan (exact, O(n)) and an
+/// inverted-file index (approximate, probes a few clusters) as alternative
+/// *physical implementations* of the same similarity-search logical
+/// operator — exactly the FAO physical-choice pattern of Section 4.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "vector/embedding.h"
+
+namespace kathdb::vec {
+
+struct SearchHit {
+  int64_t id = 0;
+  float score = 0.0f;  // cosine similarity
+};
+
+/// \brief Interface shared by all vector indexes.
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  /// Adds a vector under `id`. Vectors must share one dimension.
+  virtual Status Add(int64_t id, const Embedding& v) = 0;
+
+  /// Builds internal structures; must be called after the last Add and
+  /// before the first Search (brute force treats it as a no-op).
+  virtual Status Build() = 0;
+
+  /// Top-k most cosine-similar vectors, best first.
+  virtual Result<std::vector<SearchHit>> Search(const Embedding& query,
+                                                size_t k) const = 0;
+
+  virtual size_t size() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Exact linear scan.
+class BruteForceIndex : public VectorIndex {
+ public:
+  explicit BruteForceIndex(size_t dim) : dim_(dim) {}
+
+  Status Add(int64_t id, const Embedding& v) override;
+  Status Build() override { return Status::OK(); }
+  Result<std::vector<SearchHit>> Search(const Embedding& query,
+                                        size_t k) const override;
+  size_t size() const override { return ids_.size(); }
+  std::string name() const override { return "brute_force"; }
+
+ private:
+  size_t dim_;
+  std::vector<int64_t> ids_;
+  std::vector<Embedding> vecs_;
+};
+
+/// Inverted-file index: k-means-style centroids, probes the closest
+/// `nprobe` clusters. Approximate but sub-linear for large collections.
+class IvfIndex : public VectorIndex {
+ public:
+  IvfIndex(size_t dim, size_t num_clusters, size_t nprobe, uint64_t seed = 42)
+      : dim_(dim), num_clusters_(num_clusters), nprobe_(nprobe), seed_(seed) {}
+
+  Status Add(int64_t id, const Embedding& v) override;
+  Status Build() override;
+  Result<std::vector<SearchHit>> Search(const Embedding& query,
+                                        size_t k) const override;
+  size_t size() const override { return ids_.size(); }
+  std::string name() const override { return "ivf"; }
+
+ private:
+  size_t dim_;
+  size_t num_clusters_;
+  size_t nprobe_;
+  uint64_t seed_;
+  bool built_ = false;
+  std::vector<int64_t> ids_;
+  std::vector<Embedding> vecs_;
+  std::vector<Embedding> centroids_;
+  std::vector<std::vector<size_t>> clusters_;  // centroid -> vector indexes
+};
+
+}  // namespace kathdb::vec

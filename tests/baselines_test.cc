@@ -1,0 +1,144 @@
+// Unit tests for src/baselines: metrics + the two comparison systems.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "baselines/metrics.h"
+
+namespace kathdb::baseline {
+namespace {
+
+// ----------------------------------------------------------------- metrics
+
+TEST(KendallTauTest, PerfectAgreement) {
+  EXPECT_DOUBLE_EQ(KendallTau({1, 2, 3, 4}, {1, 2, 3, 4}), 1.0);
+}
+
+TEST(KendallTauTest, PerfectDisagreement) {
+  EXPECT_DOUBLE_EQ(KendallTau({1, 2, 3, 4}, {4, 3, 2, 1}), -1.0);
+}
+
+TEST(KendallTauTest, PartialAgreement) {
+  double tau = KendallTau({1, 2, 3, 4}, {2, 1, 3, 4});
+  EXPECT_GT(tau, 0.0);
+  EXPECT_LT(tau, 1.0);
+}
+
+TEST(KendallTauTest, IgnoresNonCommonIds) {
+  // Only {1,2} are common; both orders agree on them.
+  EXPECT_DOUBLE_EQ(KendallTau({1, 9, 2}, {1, 2, 7}), 1.0);
+}
+
+TEST(KendallTauTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(KendallTau({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau({1}, {1}), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau({1, 2}, {3, 4}), 1.0);  // no overlap
+}
+
+TEST(CompareSetsTest, ExactMatch) {
+  SetQuality q = CompareSets({1, 2, 3}, {3, 2, 1});
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.f1, 1.0);
+}
+
+TEST(CompareSetsTest, PartialOverlap) {
+  SetQuality q = CompareSets({1, 2}, {2, 3, 4});
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);
+  EXPECT_NEAR(q.recall, 1.0 / 3.0, 1e-9);
+  EXPECT_GT(q.f1, 0.0);
+}
+
+TEST(CompareSetsTest, EmptyPrediction) {
+  SetQuality q = CompareSets({}, {1});
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+  EXPECT_DOUBLE_EQ(q.f1, 0.0);
+}
+
+// --------------------------------------------------------------- baselines
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::DatasetOptions opts;
+    opts.num_movies = 24;
+    auto ds = data::GenerateMovieDataset(opts);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::move(ds).value();
+  }
+
+  std::vector<int64_t> TruthBoringMids() const {
+    std::vector<int64_t> out;
+    for (const auto& t : dataset_.truth) {
+      if (t.boring_poster) out.push_back(t.mid);
+    }
+    return out;
+  }
+
+  data::MovieDataset dataset_;
+};
+
+TEST_F(BaselineFixture, BlackboxPerfectQualityMatchesTruth) {
+  BlackboxLlmBaseline perfect(1.0);
+  auto out = perfect.Run(dataset_);
+  ASSERT_TRUE(out.ok());
+  SetQuality q = CompareSets(out->kept, TruthBoringMids());
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  // Anchor movies lead the ranking (they're the exciting boring-poster
+  // films).
+  ASSERT_GE(out->ranking.size(), 2u);
+  EXPECT_TRUE(out->ranking[0] == 1 || out->ranking[0] == 2);
+}
+
+TEST_F(BaselineFixture, BlackboxLowQualityDegrades) {
+  BlackboxLlmBaseline poor(0.3, 5);
+  auto out = poor.Run(dataset_);
+  ASSERT_TRUE(out.ok());
+  SetQuality q = CompareSets(out->kept, TruthBoringMids());
+  EXPECT_LT(q.f1, 0.95);
+}
+
+TEST_F(BaselineFixture, BlackboxTokensScaleWithDatabaseSize) {
+  BlackboxLlmBaseline model(0.9);
+  auto small = model.Run(dataset_);
+  ASSERT_TRUE(small.ok());
+
+  data::DatasetOptions big_opts;
+  big_opts.num_movies = 96;
+  auto big_ds = data::GenerateMovieDataset(big_opts);
+  ASSERT_TRUE(big_ds.ok());
+  BlackboxLlmBaseline model2(0.9);
+  auto big = model2.Run(big_ds.value());
+  ASSERT_TRUE(big.ok());
+  EXPECT_GT(big->tokens_used, small->tokens_used * 2);
+}
+
+TEST_F(BaselineFixture, BlackboxIsNotExplainable) {
+  BlackboxLlmBaseline model(0.9);
+  auto out = model.Run(dataset_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->explainable);
+  EXPECT_EQ(out->user_authored_statements, 0);
+}
+
+TEST_F(BaselineFixture, SqlUdfMatchesGroundTruthExactly) {
+  engine::KathDB db;
+  ASSERT_TRUE(data::IngestDataset(dataset_, &db).ok());
+  SqlUdfBaseline expert;
+  auto out = expert.Run(&db, dataset_);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  SetQuality q = CompareSets(out->kept, TruthBoringMids());
+  // Noiseless substrate: the expert pipeline is exact.
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  // Guilty by Suspicion tops the expert ranking too.
+  ASSERT_FALSE(out->ranking.empty());
+  EXPECT_EQ(out->ranking[0], 1);
+  // But it costs authored statements.
+  EXPECT_GE(out->user_authored_statements, 6);
+  EXPECT_TRUE(out->explainable);
+}
+
+}  // namespace
+}  // namespace kathdb::baseline

@@ -1,0 +1,220 @@
+// Unit tests for src/common: Status/Result, strings, JSON, RNG.
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace kathdb {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing table");
+  EXPECT_EQ(s.ToString(), "NotFound: missing table");
+}
+
+TEST(StatusTest, SyntacticVsSemanticClassification) {
+  EXPECT_TRUE(Status::SyntacticError("x").IsSyntacticError());
+  EXPECT_FALSE(Status::SyntacticError("x").IsSemanticError());
+  EXPECT_TRUE(Status::SemanticError("x").IsSemanticError());
+  EXPECT_FALSE(Status::SemanticError("x").IsSyntacticError());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IOError("disk gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+Result<int> Doubled(Result<int> in) {
+  KATHDB_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubled(21).value(), 42);
+  Result<int> err = Doubled(Status::NotFound("nope"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+// --------------------------------------------------------------- strings
+
+TEST(StringsTest, ToLower) { EXPECT_EQ(ToLower("AbC-9"), "abc-9"); }
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  hi \n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join({"x", "y"}, "--"), "x--y");
+}
+
+TEST(StringsTest, SplitAnyDropsEmpty) {
+  auto parts = SplitAny("a, b;;c", ", ;");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StringsTest, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("Guilty by Suspicion", "SUSPICION"));
+  EXPECT_FALSE(ContainsIgnoreCase("abc", "abd"));
+  EXPECT_TRUE(ContainsIgnoreCase("anything", ""));
+}
+
+TEST(StringsTest, TokenizeLowercasesAndStripsPunct) {
+  auto toks = Tokenize("The movie's plot: GUNS, explosions!");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0], "the");
+  EXPECT_EQ(toks[2], "s");
+  EXPECT_EQ(toks[4], "guns");
+}
+
+TEST(StringsTest, ApproxTokenCountCountsWordsAndPunct) {
+  EXPECT_EQ(ApproxTokenCount("hello world"), 2);
+  EXPECT_EQ(ApproxTokenCount(""), 0);
+  EXPECT_GT(ApproxTokenCount("a, b, c"), 3);
+}
+
+TEST(StringsTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(0.5, 6), "0.5");
+  EXPECT_EQ(FormatDouble(2.0, 6), "2");
+  EXPECT_EQ(FormatDouble(0.999999, 6), "0.999999");
+}
+
+// ------------------------------------------------------------------ JSON
+
+TEST(JsonTest, BuildAndDumpObjectPreservesKeyOrder) {
+  Json obj = Json::Object();
+  obj.Set("name", Json::Str("classify_boring"));
+  obj.Set("inputs", Json::Array());
+  obj.Set("output", Json::Str("films_with_boring_flag"));
+  std::string s = obj.Dump();
+  EXPECT_LT(s.find("name"), s.find("inputs"));
+  EXPECT_LT(s.find("inputs"), s.find("output"));
+}
+
+TEST(JsonTest, RoundTripNested) {
+  Json arr = Json::Array();
+  arr.Append(Json::Int(1));
+  arr.Append(Json::Double(2.5));
+  arr.Append(Json::Bool(false));
+  arr.Append(Json::Null());
+  Json obj = Json::Object();
+  obj.Set("xs", arr);
+  obj.Set("s", Json::Str("quote\" and \\slash\nnewline"));
+
+  auto parsed = Json::Parse(obj.Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json& p = parsed.value();
+  EXPECT_EQ(p.Get("xs").size(), 4u);
+  EXPECT_EQ(p.Get("xs").at(0).AsInt(), 1);
+  EXPECT_DOUBLE_EQ(p.Get("xs").at(1).AsDouble(), 2.5);
+  EXPECT_FALSE(p.Get("xs").at(2).AsBool());
+  EXPECT_TRUE(p.Get("xs").at(3).is_null());
+  EXPECT_EQ(p.GetString("s"), "quote\" and \\slash\nnewline");
+}
+
+TEST(JsonTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Json::Parse("{\"a\": }").ok());
+  EXPECT_FALSE(Json::Parse("[1, 2").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(Json::Parse("'single'").ok());
+}
+
+TEST(JsonTest, ParseAcceptsWhitespaceAndUnicodeEscapes) {
+  auto r = Json::Parse("  { \"k\" : \"\\u0041\" }  ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().GetString("k"), "A");
+}
+
+TEST(JsonTest, GettersWithDefaults) {
+  auto r = Json::Parse(R"({"i": 7, "d": 1.5, "b": true, "s": "x"})");
+  ASSERT_TRUE(r.ok());
+  const Json& j = r.value();
+  EXPECT_EQ(j.GetInt("i"), 7);
+  EXPECT_EQ(j.GetInt("missing", -1), -1);
+  EXPECT_DOUBLE_EQ(j.GetDouble("d"), 1.5);
+  EXPECT_TRUE(j.GetBool("b"));
+  EXPECT_EQ(j.GetString("s"), "x");
+  EXPECT_EQ(j.GetString("missing", "def"), "def");
+}
+
+// ------------------------------------------------------------------- RNG
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextIntRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.NextInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, GaussianRoughlyCentered) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += r.NextGaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+TEST(RngTest, HashStringStableAndSpread) {
+  EXPECT_EQ(HashString("kathdb"), HashString("kathdb"));
+  EXPECT_NE(HashString("kathdb"), HashString("kathdc"));
+}
+
+}  // namespace
+}  // namespace kathdb

@@ -1,0 +1,181 @@
+// Unit tests for src/data: the synthetic MMQA-like movie corpus.
+
+#include <gtest/gtest.h>
+
+#include "data/movie_dataset.h"
+
+namespace kathdb::data {
+namespace {
+
+TEST(DatasetTest, DeterministicForSameSeed) {
+  DatasetOptions opts;
+  opts.num_movies = 20;
+  auto a = GenerateMovieDataset(opts);
+  auto b = GenerateMovieDataset(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->movie_table->num_rows(), b->movie_table->num_rows());
+  for (size_t r = 0; r < a->movie_table->num_rows(); ++r) {
+    EXPECT_EQ(a->movie_table->at(r, 1).AsString(),
+              b->movie_table->at(r, 1).AsString());
+  }
+  EXPECT_EQ(a->plots[5].text, b->plots[5].text);
+}
+
+TEST(DatasetTest, DifferentSeedsDiffer) {
+  DatasetOptions a_opts;
+  a_opts.num_movies = 20;
+  a_opts.seed = 1;
+  DatasetOptions b_opts = a_opts;
+  b_opts.seed = 2;
+  auto a = GenerateMovieDataset(a_opts);
+  auto b = GenerateMovieDataset(b_opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  int diff = 0;
+  for (size_t r = 2; r < 20; ++r) {  // skip anchors
+    if (a->movie_table->at(r, 1).AsString() !=
+        b->movie_table->at(r, 1).AsString()) {
+      ++diff;
+    }
+  }
+  EXPECT_GT(diff, 5);
+}
+
+TEST(DatasetTest, AnchorsPresentAndMostRecent) {
+  DatasetOptions opts;
+  opts.num_movies = 30;
+  auto ds = GenerateMovieDataset(opts);
+  ASSERT_TRUE(ds.ok());
+  const rel::Table& t = *ds->movie_table;
+  EXPECT_EQ(t.at(0, 1).AsString(), "Guilty by Suspicion");
+  EXPECT_EQ(t.at(0, 2).AsInt(), 1991);
+  EXPECT_EQ(t.at(1, 1).AsString(), "Clean and Sober");
+  EXPECT_EQ(t.at(1, 2).AsInt(), 1988);
+  // 1991 is the corpus maximum so the anchor's recency score is 1.0.
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_LE(t.at(r, 2).AsInt(), 1991);
+  }
+}
+
+TEST(DatasetTest, TruthLabelsConsistentWithConstruction) {
+  DatasetOptions opts;
+  opts.num_movies = 40;
+  auto ds = GenerateMovieDataset(opts);
+  ASSERT_TRUE(ds.ok());
+  // Anchors: exciting + boring.
+  const MovieTruth* gbs = ds->TruthOf(1);
+  ASSERT_NE(gbs, nullptr);
+  EXPECT_TRUE(gbs->exciting_plot);
+  EXPECT_TRUE(gbs->boring_poster);
+  // Non-anchor movies never combine exciting plot with boring poster
+  // (keeps the anchors as the unique Figure-6 top-2).
+  for (const auto& truth : ds->truth) {
+    if (truth.mid <= 2) continue;
+    EXPECT_FALSE(truth.exciting_plot && truth.boring_poster);
+  }
+  EXPECT_EQ(ds->TruthOf(999), nullptr);
+}
+
+TEST(DatasetTest, PosterStatsMatchTruth) {
+  DatasetOptions opts;
+  opts.num_movies = 40;
+  auto ds = GenerateMovieDataset(opts);
+  ASSERT_TRUE(ds.ok());
+  for (const auto& truth : ds->truth) {
+    // Resolve the movie's vid.
+    int64_t vid = 0;
+    for (size_t r = 0; r < ds->movie_table->num_rows(); ++r) {
+      if (ds->movie_table->at(r, 0).AsInt() == truth.mid) {
+        vid = ds->movie_table->at(r, 4).AsInt();
+      }
+    }
+    auto it = ds->posters.find(vid);
+    if (it == ds->posters.end()) continue;  // shared poster
+    if (truth.boring_poster) {
+      EXPECT_LT(it->second.color_variance, 0.055);
+    } else {
+      EXPECT_GT(it->second.color_variance, 0.055);
+    }
+  }
+}
+
+TEST(DatasetTest, HeicFractionProducesHeicPosters) {
+  DatasetOptions opts;
+  opts.num_movies = 40;
+  opts.heic_fraction = 0.5;
+  auto ds = GenerateMovieDataset(opts);
+  ASSERT_TRUE(ds.ok());
+  int heic = 0;
+  for (const auto& [vid, poster] : ds->posters) {
+    if (poster.format == "heic") ++heic;
+  }
+  EXPECT_GT(heic, 5);
+  EXPECT_LT(heic, 35);
+}
+
+TEST(DatasetTest, DuplicatePostersShareVids) {
+  DatasetOptions opts;
+  opts.num_movies = 40;
+  opts.duplicate_poster_fraction = 0.5;
+  auto ds = GenerateMovieDataset(opts);
+  ASSERT_TRUE(ds.ok());
+  std::map<int64_t, int> vid_counts;
+  for (size_t r = 0; r < ds->movie_table->num_rows(); ++r) {
+    ++vid_counts[ds->movie_table->at(r, 4).AsInt()];
+  }
+  int shared = 0;
+  for (const auto& [vid, count] : vid_counts) {
+    if (count > 1) ++shared;
+  }
+  EXPECT_GT(shared, 0);
+}
+
+TEST(DatasetTest, TooSmallRejected) {
+  DatasetOptions opts;
+  opts.num_movies = 1;
+  EXPECT_FALSE(GenerateMovieDataset(opts).ok());
+}
+
+TEST(DatasetTest, NoAnchorsOption) {
+  DatasetOptions opts;
+  opts.num_movies = 10;
+  opts.include_anchors = false;
+  auto ds = GenerateMovieDataset(opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->movie_table->num_rows(), 10u);
+  for (size_t r = 0; r < ds->movie_table->num_rows(); ++r) {
+    EXPECT_NE(ds->movie_table->at(r, 1).AsString(), "Guilty by Suspicion");
+  }
+}
+
+// Sweep: corpus size scales cleanly.
+class DatasetSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatasetSizeSweep, AllModalitiesAligned) {
+  DatasetOptions opts;
+  opts.num_movies = GetParam();
+  opts.duplicate_poster_fraction = 0.0;
+  auto ds = GenerateMovieDataset(opts);
+  ASSERT_TRUE(ds.ok());
+  size_t n = static_cast<size_t>(GetParam());
+  EXPECT_EQ(ds->movie_table->num_rows(), n);
+  EXPECT_EQ(ds->plots.size(), n);
+  EXPECT_EQ(ds->posters.size(), n);  // unique posters
+  EXPECT_EQ(ds->truth.size(), n);
+  // Every movie's did/vid resolve to a plot and poster.
+  for (size_t r = 0; r < n; ++r) {
+    int64_t did = ds->movie_table->at(r, 3).AsInt();
+    int64_t vid = ds->movie_table->at(r, 4).AsInt();
+    bool has_plot = false;
+    for (const auto& p : ds->plots) has_plot |= (p.did == did);
+    EXPECT_TRUE(has_plot);
+    EXPECT_TRUE(ds->posters.count(vid) > 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DatasetSizeSweep,
+                         ::testing::Values(2, 5, 25, 100, 400));
+
+}  // namespace
+}  // namespace kathdb::data

@@ -1,0 +1,201 @@
+// End-to-end integration tests: the full §6 pipeline over the synthetic
+// MMQA corpus, reproducing the Figure 4/6 behaviour.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "data/movie_dataset.h"
+#include "engine/kathdb.h"
+
+namespace kathdb {
+namespace {
+
+using data::DatasetOptions;
+using data::GenerateMovieDataset;
+using data::IngestDataset;
+using engine::KathDB;
+using engine::KathDBOptions;
+using engine::QueryOutcome;
+
+constexpr const char* kPaperQuery =
+    "Sort the given films in the table by how exciting they are, but the "
+    "poster should be 'boring'";
+
+class E2ETest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatasetOptions opts;
+    opts.num_movies = 30;
+    auto ds = GenerateMovieDataset(opts);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = std::move(ds).value();
+    db_ = std::make_unique<KathDB>();
+    ASSERT_TRUE(IngestDataset(dataset_, db_.get()).ok());
+  }
+
+  Result<QueryOutcome> RunPaperQuery() {
+    // §6 scripted user: clarification reply, then the recency correction,
+    // then acceptance.
+    user_ = std::make_unique<llm::ScriptedUser>(std::vector<std::string>{
+        "The movie plot contains scenes that are uncommon in real life",
+        "I prefer more recent movies when scoring", "OK"});
+    return db_->Query(kPaperQuery, user_.get());
+  }
+
+  data::MovieDataset dataset_;
+  std::unique_ptr<KathDB> db_;
+  std::unique_ptr<llm::ScriptedUser> user_;
+};
+
+TEST_F(E2ETest, IngestionPopulatesViews) {
+  EXPECT_TRUE(db_->catalog()->Has("movie_table"));
+  EXPECT_TRUE(db_->catalog()->Has("text_entities"));
+  EXPECT_TRUE(db_->catalog()->Has("scene_objects"));
+  auto ents = db_->catalog()->Get("text_entities");
+  ASSERT_TRUE(ents.ok());
+  EXPECT_GT(ents.value()->num_rows(), 30u);  // >1 entity per plot
+  auto objs = db_->catalog()->Get("scene_objects");
+  ASSERT_TRUE(objs.ok());
+  EXPECT_GT(objs.value()->num_rows(), 20u);
+}
+
+TEST_F(E2ETest, PaperQueryRunsEndToEnd) {
+  auto outcome = RunPaperQuery();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const rel::Table& result = outcome->result;
+  ASSERT_GT(result.num_rows(), 0u);
+  // Everything that survived the filter has a boring poster.
+  auto bidx = result.schema().IndexOf("boring_poster");
+  ASSERT_TRUE(bidx.has_value());
+  for (size_t r = 0; r < result.num_rows(); ++r) {
+    EXPECT_TRUE(result.at(r, *bidx).AsBool());
+  }
+}
+
+TEST_F(E2ETest, Figure6TopTwoAreTheAnchors) {
+  auto outcome = RunPaperQuery();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const rel::Table& result = outcome->result;
+  ASSERT_GE(result.num_rows(), 2u);
+  auto tidx = result.schema().IndexOf("title");
+  ASSERT_TRUE(tidx.has_value());
+  EXPECT_EQ(result.at(0, *tidx).AsString(), "Guilty by Suspicion");
+  EXPECT_EQ(result.at(1, *tidx).AsString(), "Clean and Sober");
+  // Scores ordered and near the paper's magnitudes (0.999… vs 0.973…).
+  auto fidx = result.schema().IndexOf("final_score");
+  ASSERT_TRUE(fidx.has_value());
+  double s0 = result.at(0, *fidx).AsDouble();
+  double s1 = result.at(1, *fidx).AsDouble();
+  EXPECT_GT(s0, s1);
+  EXPECT_GT(s0, 0.95);
+  EXPECT_GT(s1, 0.90);
+}
+
+TEST_F(E2ETest, SketchGrowsFrom8To11Steps) {
+  auto outcome = RunPaperQuery();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  // Final (accepted) sketch is v2 with 11 steps (Figure 4 / §6).
+  EXPECT_EQ(outcome->sketch.version, 2);
+  EXPECT_EQ(outcome->sketch.steps.size(), 11u);
+}
+
+TEST_F(E2ETest, LogicalPlanHasTenNodes) {
+  auto outcome = RunPaperQuery();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  // §6: view population is pre-registered, leaving 10 plan nodes.
+  EXPECT_EQ(outcome->logical_plan.nodes.size(), 10u);
+  EXPECT_NE(outcome->logical_plan.ProducerOf("films_with_boring_flag"),
+            nullptr);
+}
+
+TEST_F(E2ETest, ResultRowsCarryLineage) {
+  auto outcome = RunPaperQuery();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const rel::Table& result = outcome->result;
+  ASSERT_GT(result.num_rows(), 0u);
+  int64_t lid = result.row_lid(0);
+  ASSERT_NE(lid, 0);
+  // The top tuple traces back to external sources.
+  auto chain = db_->lineage()->TraceToSources(lid);
+  EXPECT_GT(chain.size(), 2u);
+  bool reaches_source = false;
+  for (const auto& e : chain) {
+    if (!e.src_uri.empty()) reaches_source = true;
+  }
+  EXPECT_TRUE(reaches_source);
+}
+
+TEST_F(E2ETest, ExplanationsRender) {
+  auto outcome = RunPaperQuery();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  auto coarse = db_->ExplainPipeline();
+  ASSERT_TRUE(coarse.ok()) << coarse.status().ToString();
+  EXPECT_NE(coarse.value().find("rank_films"), std::string::npos);
+
+  int64_t lid = outcome->result.row_lid(0);
+  auto fine = db_->ExplainTuple(lid);
+  ASSERT_TRUE(fine.ok()) << fine.status().ToString();
+  EXPECT_NE(fine.value().find("final_score"), std::string::npos);
+  EXPECT_NE(fine.value().find("weighted sum"), std::string::npos);
+
+  auto nl = db_->AskExplanation("Explain tuple " + std::to_string(lid) +
+                                " please");
+  ASSERT_TRUE(nl.ok()) << nl.status().ToString();
+}
+
+TEST_F(E2ETest, TokensAreMetered) {
+  auto outcome = RunPaperQuery();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(db_->meter()->total_calls(), 10);
+  EXPECT_GT(db_->meter()->total_tokens(), 500);
+  EXPECT_GT(db_->meter()->total_cost_usd(), 0.0);
+}
+
+TEST_F(E2ETest, FunctionsPersistToDisk) {
+  auto outcome = RunPaperQuery();
+  ASSERT_TRUE(outcome.ok());
+  std::string dir = ::testing::TempDir() + "/kathdb_funcs";
+  ASSERT_TRUE(db_->SaveFunctions(dir).ok());
+  fao::FunctionRegistry loaded;
+  ASSERT_TRUE(loaded.LoadFromDir(dir).ok());
+  EXPECT_EQ(loaded.num_functions(), db_->registry()->num_functions());
+  auto rank = loaded.Latest("rank_films");
+  ASSERT_TRUE(rank.ok());
+  EXPECT_EQ(rank.value().template_id, "sql");
+}
+
+TEST_F(E2ETest, UserSawClarificationAndCorrectionQuestions) {
+  auto outcome = RunPaperQuery();
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_GE(user_->history().size(), 2u);
+  EXPECT_NE(user_->history()[0].question.find("exciting"),
+            std::string::npos);
+  EXPECT_NE(user_->history()[0].question.find("mean in this context"),
+            std::string::npos);
+}
+
+// ---- baselines over the same corpus ------------------------------------
+
+TEST_F(E2ETest, BaselinesProduceComparableOutcomes) {
+  auto kath = RunPaperQuery();
+  ASSERT_TRUE(kath.ok());
+
+  baseline::BlackboxLlmBaseline blackbox(0.8);
+  auto bb = blackbox.Run(dataset_);
+  ASSERT_TRUE(bb.ok()) << bb.status().ToString();
+  EXPECT_FALSE(bb->explainable);
+  EXPECT_GT(bb->tokens_used, 500);
+
+  baseline::SqlUdfBaseline sqludf;
+  auto su = sqludf.Run(db_.get(), dataset_);
+  ASSERT_TRUE(su.ok()) << su.status().ToString();
+  EXPECT_GT(su->user_authored_statements, 4);
+  ASSERT_GE(su->ranking.size(), 2u);
+  // The expert pipeline finds the same top movie.
+  auto midx = kath->result.schema().IndexOf("mid");
+  ASSERT_TRUE(midx.has_value());
+  EXPECT_EQ(su->ranking[0], kath->result.at(0, *midx).AsInt());
+}
+
+}  // namespace
+}  // namespace kathdb

@@ -1,0 +1,97 @@
+// Tests for the NL explanation question dispatcher: comparative and
+// operator questions (Section 5: "how a particular tuple was derived or
+// why an operator behaved as it did").
+
+#include <gtest/gtest.h>
+
+#include "data/movie_dataset.h"
+#include "engine/kathdb.h"
+
+namespace kathdb::engine {
+namespace {
+
+class ExplainNl : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::DatasetOptions opts;
+    opts.num_movies = 16;
+    auto ds = data::GenerateMovieDataset(opts);
+    ASSERT_TRUE(ds.ok());
+    db_ = std::make_unique<KathDB>();
+    ASSERT_TRUE(data::IngestDataset(ds.value(), db_.get()).ok());
+    llm::ScriptedUser user({"uncommon scenes", "prefer recent", "OK"});
+    auto outcome = db_->Query(
+        "Sort the given films in the table by how exciting they are, but "
+        "the poster should be 'boring'",
+        &user);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    result_ = outcome->result;
+  }
+
+  std::unique_ptr<KathDB> db_;
+  rel::Table result_;
+};
+
+TEST_F(ExplainNl, ComparativeQuestionContrastsScores) {
+  ASSERT_GE(result_.num_rows(), 2u);
+  int64_t a = result_.row_lid(0);
+  int64_t b = result_.row_lid(1);
+  auto text = db_->AskExplanation("Why is tuple " + std::to_string(a) +
+                                  " ranked above tuple " +
+                                  std::to_string(b) + "?");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text.value().find("Guilty by Suspicion"), std::string::npos);
+  EXPECT_NE(text.value().find("Clean and Sober"), std::string::npos);
+  EXPECT_NE(text.value().find("final_score"), std::string::npos);
+  EXPECT_NE(text.value().find("advantage Guilty by Suspicion"),
+            std::string::npos);
+}
+
+TEST_F(ExplainNl, ComparisonWithUnknownLidFails) {
+  auto text = db_->AskExplanation("why is tuple 999999 above tuple 1?");
+  EXPECT_FALSE(text.ok());
+}
+
+TEST_F(ExplainNl, OperatorQuestionShowsBodyAndRows) {
+  auto text = db_->AskExplanation("Why did filter_boring remove films?");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text.value().find("Operator filter_boring"), std::string::npos);
+  EXPECT_NE(text.value().find("implementation: sql"), std::string::npos);
+  EXPECT_NE(text.value().find("output rows"), std::string::npos);
+}
+
+TEST_F(ExplainNl, OperatorQuestionWithVersionHistory) {
+  // Trigger a repair so the operator accumulates versions, then ask.
+  data::DatasetOptions opts;
+  opts.num_movies = 12;
+  opts.heic_fraction = 0.5;
+  KathDBOptions db_opts;
+  db_opts.optimizer.boring_impl = "pixels";
+  auto ds = data::GenerateMovieDataset(opts);
+  ASSERT_TRUE(ds.ok());
+  KathDB db(db_opts);
+  ASSERT_TRUE(data::IngestDataset(ds.value(), &db).ok());
+  llm::ScriptedUser user({"uncommon scenes", "recent", "OK"});
+  ASSERT_TRUE(db.Query("Sort the given films in the table by how exciting "
+                       "they are, but the poster should be 'boring'",
+                       &user)
+                  .ok());
+  auto text = db.AskExplanation("explain the classify_boring operator");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text.value().find("version history"), std::string::npos);
+  EXPECT_NE(text.value().find("automatic repair"), std::string::npos);
+}
+
+TEST_F(ExplainNl, SingleTupleStillRoutesToFineGrained) {
+  int64_t lid = result_.row_lid(0);
+  auto text = db_->AskExplanation("explain row " + std::to_string(lid));
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text.value().find("derivation"), std::string::npos);
+}
+
+TEST_F(ExplainNl, UnknownQuestionRejected) {
+  EXPECT_FALSE(db_->AskExplanation("make me a sandwich").ok());
+}
+
+}  // namespace
+}  // namespace kathdb::engine

@@ -1,0 +1,131 @@
+// Tests for the KathDB facade edge cases and executor option knobs.
+
+#include <gtest/gtest.h>
+
+#include "data/movie_dataset.h"
+#include "engine/kathdb.h"
+
+namespace kathdb::engine {
+namespace {
+
+TEST(FacadeTest, QueryOnEmptyDbFailsCleanly) {
+  KathDB db;
+  llm::ScriptedUser user;
+  auto outcome = db.Query("Sort the films by how exciting they are", &user);
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST(FacadeTest, NullTableRejected) {
+  KathDB db;
+  EXPECT_FALSE(db.RegisterTable(nullptr).ok());
+}
+
+TEST(FacadeTest, DuplicateTableRejected) {
+  KathDB db;
+  auto t = std::make_shared<rel::Table>(
+      "t", rel::Schema({{"x", rel::DataType::kInt}}));
+  ASSERT_TRUE(db.RegisterTable(t).ok());
+  EXPECT_FALSE(db.RegisterTable(t).ok());
+}
+
+TEST(FacadeTest, RegisteredTableGetsIngestLineage) {
+  KathDB db;
+  auto t = std::make_shared<rel::Table>(
+      "t", rel::Schema({{"x", rel::DataType::kInt}}));
+  ASSERT_TRUE(db.RegisterTable(t).ok());
+  ASSERT_NE(t->table_lid(), 0);
+  auto edges = db.lineage()->EdgesOf(t->table_lid());
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].src_uri, "table://t");
+  EXPECT_EQ(edges[0].func_id, "load_data");
+}
+
+TEST(FacadeTest, ContextWiredToComponents) {
+  KathDB db;
+  fao::ExecContext ctx = db.MakeContext();
+  EXPECT_EQ(ctx.catalog, db.catalog());
+  EXPECT_EQ(ctx.lineage, db.lineage());
+  EXPECT_EQ(ctx.meter, db.meter());
+  EXPECT_EQ(ctx.images, db.images());
+  EXPECT_EQ(ctx.image_loader, db.image_loader());
+}
+
+TEST(ExecutorOptionsTest, ZeroRepairAttemptsFailsOnHeic) {
+  data::DatasetOptions opts;
+  opts.num_movies = 10;
+  opts.heic_fraction = 1.0;  // every poster is HEIC
+  KathDBOptions db_opts;
+  db_opts.optimizer.boring_impl = "pixels";
+  db_opts.executor.max_repair_attempts = 0;
+  auto ds = data::GenerateMovieDataset(opts);
+  ASSERT_TRUE(ds.ok());
+  KathDB db(db_opts);
+  ASSERT_TRUE(data::IngestDataset(ds.value(), &db).ok());
+  llm::ScriptedUser user({"uncommon scenes", "recent", "OK"});
+  auto outcome = db.Query(
+      "Sort the given films in the table by how exciting they are, but "
+      "the poster should be 'boring'",
+      &user);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.status().IsSyntacticError());
+}
+
+TEST(ExecutorOptionsTest, RepairAllowedSucceedsOnSameInput) {
+  data::DatasetOptions opts;
+  opts.num_movies = 10;
+  opts.heic_fraction = 1.0;
+  KathDBOptions db_opts;
+  db_opts.optimizer.boring_impl = "pixels";
+  db_opts.executor.max_repair_attempts = 2;  // default-style
+  auto ds = data::GenerateMovieDataset(opts);
+  ASSERT_TRUE(ds.ok());
+  KathDB db(db_opts);
+  ASSERT_TRUE(data::IngestDataset(ds.value(), &db).ok());
+  llm::ScriptedUser user({"uncommon scenes", "recent", "OK"});
+  auto outcome = db.Query(
+      "Sort the given films in the table by how exciting they are, but "
+      "the poster should be 'boring'",
+      &user);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->report.total_repairs, 1);
+}
+
+TEST(FacadeTest, MeterAccumulatesAcrossQueries) {
+  data::DatasetOptions opts;
+  opts.num_movies = 10;
+  auto ds = data::GenerateMovieDataset(opts);
+  ASSERT_TRUE(ds.ok());
+  KathDB db;
+  ASSERT_TRUE(data::IngestDataset(ds.value(), &db).ok());
+  llm::ScriptedUser u1({"uncommon scenes", "recent", "OK"});
+  ASSERT_TRUE(db.Query("Sort the given films in the table by how exciting "
+                       "they are, but the poster should be 'boring'",
+                       &u1)
+                  .ok());
+  int64_t after_first = db.meter()->total_tokens();
+  llm::ScriptedUser u2;
+  ASSERT_TRUE(
+      db.Query("Find the films where the poster should be 'boring'", &u2)
+          .ok());
+  EXPECT_GT(db.meter()->total_tokens(), after_first);
+}
+
+TEST(FacadeTest, LastOutcomeRetainedForExplanations) {
+  data::DatasetOptions opts;
+  opts.num_movies = 10;
+  auto ds = data::GenerateMovieDataset(opts);
+  ASSERT_TRUE(ds.ok());
+  KathDB db;
+  ASSERT_TRUE(data::IngestDataset(ds.value(), &db).ok());
+  EXPECT_FALSE(db.last_outcome().has_value());
+  llm::ScriptedUser user({"uncommon scenes", "recent", "OK"});
+  ASSERT_TRUE(db.Query("Sort the given films in the table by how exciting "
+                       "they are, but the poster should be 'boring'",
+                       &user)
+                  .ok());
+  ASSERT_TRUE(db.last_outcome().has_value());
+  EXPECT_EQ(db.last_outcome()->physical_plan.nodes.size(), 10u);
+}
+
+}  // namespace
+}  // namespace kathdb::engine

@@ -1,0 +1,99 @@
+// Unit tests for src/relational/io: CSV import/export with typed headers.
+
+#include <gtest/gtest.h>
+
+#include "relational/io.h"
+
+namespace kathdb::rel {
+namespace {
+
+Table SampleTable() {
+  Table t("movies", Schema({{"title", DataType::kString},
+                            {"year", DataType::kInt},
+                            {"score", DataType::kDouble},
+                            {"boring", DataType::kBool}}));
+  t.AppendRow({Value::Str("Guilty by Suspicion"), Value::Int(1991),
+               Value::Double(0.999997), Value::Bool(true)});
+  t.AppendRow({Value::Str("Comma, The \"Movie\""), Value::Int(1970),
+               Value::Null(), Value::Bool(false)});
+  t.AppendRow({Value::Str(""), Value::Null(), Value::Double(-1.5),
+               Value::Bool(true)});
+  return t;
+}
+
+TEST(CsvTest, RoundTripPreservesTypesAndNulls) {
+  Table t = SampleTable();
+  auto rt = TableFromCsv(TableToCsv(t), "movies");
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  const Table& r = rt.value();
+  ASSERT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.schema().column(1).type, DataType::kInt);
+  EXPECT_EQ(r.schema().column(2).type, DataType::kDouble);
+  EXPECT_EQ(r.schema().column(3).type, DataType::kBool);
+  EXPECT_EQ(r.at(0, 0).AsString(), "Guilty by Suspicion");
+  EXPECT_EQ(r.at(0, 1).AsInt(), 1991);
+  EXPECT_NEAR(r.at(0, 2).AsDouble(), 0.999997, 1e-9);
+  EXPECT_TRUE(r.at(0, 3).AsBool());
+  // Quoted field with comma and escaped quotes survives.
+  EXPECT_EQ(r.at(1, 0).AsString(), "Comma, The \"Movie\"");
+  // NULL (empty unquoted) vs empty string (quoted) are distinguished.
+  EXPECT_TRUE(r.at(1, 2).is_null());
+  EXPECT_FALSE(r.at(2, 0).is_null());
+  EXPECT_EQ(r.at(2, 0).AsString(), "");
+  EXPECT_TRUE(r.at(2, 1).is_null());
+  EXPECT_NEAR(r.at(2, 2).AsDouble(), -1.5, 1e-9);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/movies_io.csv";
+  ASSERT_TRUE(SaveTableCsv(SampleTable(), path).ok());
+  auto loaded = LoadTableCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().name(), "movies_io");  // from the file stem
+  EXPECT_EQ(loaded.value().num_rows(), 3u);
+}
+
+TEST(CsvTest, MissingFileFails) {
+  EXPECT_FALSE(LoadTableCsv("/nonexistent/x.csv").ok());
+}
+
+TEST(CsvTest, MalformedInputsRejected) {
+  EXPECT_FALSE(TableFromCsv("", "t").ok());
+  EXPECT_FALSE(TableFromCsv("a:INT\n\"unterminated\n", "t").ok());
+  EXPECT_FALSE(TableFromCsv("a:INT,b:INT\n1\n", "t").ok());   // arity
+  EXPECT_FALSE(TableFromCsv("a:WIDGET\n1\n", "t").ok());      // bad type
+}
+
+TEST(CsvTest, HeaderWithoutTypesDefaultsToString) {
+  auto r = TableFromCsv("name,city\nann,oslo\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().schema().column(0).type, DataType::kString);
+  EXPECT_EQ(r.value().at(0, 1).AsString(), "oslo");
+}
+
+TEST(CsvTest, CatalogRoundTrip) {
+  Catalog catalog;
+  catalog.Upsert(std::make_shared<Table>(SampleTable()));
+  Table other("ratings", Schema({{"stars", DataType::kInt}}));
+  other.AppendRow({Value::Int(5)});
+  catalog.Upsert(std::make_shared<Table>(std::move(other)));
+
+  std::string dir = ::testing::TempDir() + "/catalog_csv";
+  ASSERT_TRUE(SaveCatalogCsv(catalog, dir).ok());
+
+  Catalog loaded;
+  ASSERT_TRUE(LoadCatalogCsv(&loaded, dir).ok());
+  ASSERT_TRUE(loaded.Has("movies"));
+  ASSERT_TRUE(loaded.Has("ratings"));
+  EXPECT_EQ(loaded.Get("movies").value()->num_rows(), 3u);
+  EXPECT_EQ(loaded.Get("ratings").value()->at(0, 0).AsInt(), 5);
+}
+
+TEST(CsvTest, CrlfLineEndingsAccepted) {
+  auto r = TableFromCsv("a:INT\r\n7\r\n", "t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().at(0, 0).AsInt(), 7);
+}
+
+}  // namespace
+}  // namespace kathdb::rel

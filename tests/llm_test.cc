@@ -1,0 +1,147 @@
+// Unit tests for src/llm: model specs, usage metering, capabilities,
+// user channels.
+
+#include <gtest/gtest.h>
+
+#include "llm/channel.h"
+#include "llm/model.h"
+
+namespace kathdb::llm {
+namespace {
+
+TEST(ModelSpecTest, TiersAreOrderedByCostAndQuality) {
+  ModelSpec large = KathLargeSpec();
+  ModelSpec mini = KathMiniSpec();
+  EXPECT_GT(large.usd_per_1k_prompt, mini.usd_per_1k_prompt);
+  EXPECT_GT(large.quality, mini.quality);
+  EXPECT_EQ(KathVisionSpec().name, "kath-vision");
+}
+
+TEST(UsageMeterTest, RecordsTokensAndCost) {
+  UsageMeter meter;
+  meter.Record(KathLargeSpec(), 1000, 500);
+  EXPECT_EQ(meter.total_calls(), 1);
+  EXPECT_EQ(meter.total_prompt_tokens(), 1000);
+  EXPECT_EQ(meter.total_completion_tokens(), 500);
+  EXPECT_EQ(meter.total_tokens(), 1500);
+  // 1.0 * 0.0025 + 0.5 * 0.0100
+  EXPECT_NEAR(meter.total_cost_usd(), 0.0025 + 0.005, 1e-9);
+  EXPECT_EQ(meter.tokens_for("kath-large"), 1500);
+  EXPECT_EQ(meter.tokens_for("kath-mini"), 0);
+}
+
+TEST(UsageMeterTest, ResetClears) {
+  UsageMeter meter;
+  meter.Record(KathMiniSpec(), 100, 100);
+  meter.Reset();
+  EXPECT_EQ(meter.total_calls(), 0);
+  EXPECT_EQ(meter.total_tokens(), 0);
+  EXPECT_EQ(meter.total_cost_usd(), 0.0);
+}
+
+TEST(UsageMeterTest, SummaryMentionsCost) {
+  UsageMeter meter;
+  meter.Record(KathLargeSpec(), 2000, 1000);
+  std::string s = meter.Summary();
+  EXPECT_NE(s.find("calls=1"), std::string::npos);
+  EXPECT_NE(s.find("cost=$"), std::string::npos);
+}
+
+TEST(SimulatedLlmTest, ChargeMetersApproxTokens) {
+  UsageMeter meter;
+  SimulatedLLM llm(KathLargeSpec(), &meter);
+  llm.Charge("three word prompt", "two words");
+  EXPECT_EQ(meter.total_prompt_tokens(), 3);
+  EXPECT_EQ(meter.total_completion_tokens(), 2);
+}
+
+TEST(SimulatedLlmTest, NullMeterIsSafe) {
+  SimulatedLLM llm(KathLargeSpec(), nullptr);
+  EXPECT_NO_FATAL_FAILURE(llm.Charge("p", "c"));
+}
+
+TEST(SimulatedLlmTest, DetectsSubjectiveTerms) {
+  UsageMeter meter;
+  SimulatedLLM llm(KathLargeSpec(), &meter);
+  auto terms = llm.DetectAmbiguousTerms(
+      "Sort the films by how exciting they are, but the poster should be "
+      "'boring'.");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], "exciting");
+  EXPECT_EQ(terms[1], "boring");
+  EXPECT_GT(meter.total_calls(), 0);
+}
+
+TEST(SimulatedLlmTest, NoFalseAmbiguityOnPlainQueries) {
+  SimulatedLLM llm(KathLargeSpec(), nullptr);
+  auto terms = llm.DetectAmbiguousTerms("List films released after 1990");
+  EXPECT_TRUE(terms.empty());
+}
+
+TEST(SimulatedLlmTest, KeywordGenerationMatchesConcepts) {
+  SimulatedLLM llm(KathLargeSpec(), nullptr);
+  auto kws = llm.GenerateKeywords(
+      "exciting", "plots with scenes uncommon in real life");
+  ASSERT_FALSE(kws.empty());
+  ASSERT_LE(kws.size(), 16u);
+  bool has_gun = false;
+  for (const auto& k : kws) has_gun |= (k == "gun");
+  EXPECT_TRUE(has_gun);
+
+  auto boring = llm.GenerateKeywords("boring", "");
+  bool has_plain = false;
+  for (const auto& k : boring) has_plain |= (k == "plain");
+  EXPECT_TRUE(has_plain);
+}
+
+TEST(SimulatedLlmTest, DependencyPatternClassification) {
+  SimulatedLLM llm(KathLargeSpec(), nullptr);
+  EXPECT_EQ(llm.ClassifyDependencyPattern(
+                "Join the relational view over plot text with movies"),
+            "many_to_many");
+  EXPECT_EQ(llm.ClassifyDependencyPattern("Rank the films by score"),
+            "many_to_one");
+  EXPECT_EQ(llm.ClassifyDependencyPattern(
+                "Assign an excitement score to each film"),
+            "one_to_one");
+  EXPECT_EQ(llm.ClassifyDependencyPattern(
+                "Split the document and extract each sentence"),
+            "one_to_many");
+}
+
+TEST(SimulatedLlmTest, SummarizeTruncatesAtClause) {
+  SimulatedLLM llm(KathLargeSpec(), nullptr);
+  EXPECT_EQ(llm.Summarize("Filter the films. Then sort them."),
+            "Filter the films");
+}
+
+// ---------------------------------------------------------------- channel
+
+TEST(ScriptedUserTest, RepliesInOrderThenOk) {
+  ScriptedUser user({"first", "second"});
+  EXPECT_EQ(user.Ask("parse", "q1").value(), "first");
+  EXPECT_EQ(user.Ask("parse", "q2").value(), "second");
+  EXPECT_EQ(user.Ask("parse", "q3").value(), "OK");
+  EXPECT_EQ(user.questions_asked(), 3u);
+}
+
+TEST(ScriptedUserTest, HistoryLogsQuestionsAndNotifications) {
+  ScriptedUser user({"yes"});
+  (void)user.Ask("execute", "anomaly?");
+  user.Notify("execute", "repaired");
+  ASSERT_EQ(user.history().size(), 2u);
+  EXPECT_EQ(user.history()[0].stage, "execute");
+  EXPECT_EQ(user.history()[0].answer, "yes");
+  EXPECT_EQ(user.history()[1].question, "repaired");
+  EXPECT_EQ(user.history()[1].answer, "");
+  EXPECT_EQ(user.questions_asked(), 1u);  // notify is not a question
+}
+
+TEST(ScriptedUserTest, PushAppendsReplies) {
+  ScriptedUser user;
+  user.Push("later");
+  EXPECT_EQ(user.Ask("parse", "q").value(), "later");
+}
+
+}  // namespace
+}  // namespace kathdb::llm

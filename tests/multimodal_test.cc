@@ -1,0 +1,300 @@
+// Unit tests for src/multimodal: media, scene graphs, text graphs.
+
+#include <gtest/gtest.h>
+
+#include "multimodal/media.h"
+#include "multimodal/scene_graph.h"
+#include "multimodal/text_graph.h"
+
+namespace kathdb::mm {
+namespace {
+
+SyntheticImage ActionPoster() {
+  SyntheticImage img;
+  img.uri = "file://posters/action.simg";
+  img.color_variance = 0.2;
+  img.objects.push_back({"person", 0.1, 0.1, 0.5, 0.9,
+                         {{"color", "red"}, {"pose", "running"}}});
+  img.objects.push_back({"gun", 0.4, 0.4, 0.5, 0.5, {}});
+  img.objects.push_back({"motorcycle", 0.5, 0.5, 0.9, 0.9, {}});
+  img.relationships.push_back({0, "holding", 1});
+  img.relationships.push_back({0, "riding", 2});
+  return img;
+}
+
+// ------------------------------------------------------------------ media
+
+TEST(MediaTest, ImageJsonRoundTrip) {
+  SyntheticImage img = ActionPoster();
+  auto parsed = SyntheticImage::FromJson(img.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const SyntheticImage& p = parsed.value();
+  EXPECT_EQ(p.uri, img.uri);
+  ASSERT_EQ(p.objects.size(), 3u);
+  EXPECT_EQ(p.objects[0].cls, "person");
+  ASSERT_EQ(p.objects[0].attrs.size(), 2u);
+  EXPECT_EQ(p.objects[0].attrs[1].second, "running");
+  ASSERT_EQ(p.relationships.size(), 2u);
+  EXPECT_EQ(p.relationships[1].predicate, "riding");
+  EXPECT_DOUBLE_EQ(p.color_variance, 0.2);
+}
+
+TEST(MediaTest, SaveAndLoadFile) {
+  SyntheticImage img = ActionPoster();
+  std::string path = ::testing::TempDir() + "/poster.simg";
+  ASSERT_TRUE(SaveImage(img, path).ok());
+  ImageLoader loader;
+  auto loaded = loader.Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().objects.size(), 3u);
+}
+
+TEST(MediaTest, LoadMissingFileIsIOError) {
+  ImageLoader loader;
+  auto r = loader.Load("/nonexistent/nope.simg");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(MediaTest, HeicRefusedUntilConversionEnabled) {
+  SyntheticImage img = ActionPoster();
+  img.format = "heic";
+  ImageLoader loader;
+  auto r1 = loader.Decode(img);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_TRUE(r1.status().IsSyntacticError());
+  EXPECT_NE(r1.status().message().find("heic"), std::string::npos);
+
+  loader.EnableHeicConversion();
+  auto r2 = loader.Decode(img);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().format, "simg");  // converted
+}
+
+TEST(MediaTest, UnknownFormatRejected) {
+  SyntheticImage img = ActionPoster();
+  img.format = "webp";
+  ImageLoader loader;
+  EXPECT_FALSE(loader.Decode(img).ok());
+}
+
+// ------------------------------------------------------------ scene graph
+
+TEST(SceneGraphTest, ViewsMatchTable1Schema) {
+  rel::Catalog catalog;
+  ASSERT_TRUE(EnsureSceneGraphViews(&catalog).ok());
+  auto objects = catalog.Get("scene_objects");
+  ASSERT_TRUE(objects.ok());
+  EXPECT_EQ(objects.value()->schema().ToString(),
+            "vid:INT, fid:INT, oid:INT, lid:INT, cid:STRING, x_1:DOUBLE, "
+            "y_1:DOUBLE, x_2:DOUBLE, y_2:DOUBLE");
+  auto rels = catalog.Get("scene_relationships");
+  ASSERT_TRUE(rels.ok());
+  EXPECT_EQ(rels.value()->schema().ToString(),
+            "vid:INT, fid:INT, rid:INT, lid:INT, oid_i:INT, pid:STRING, "
+            "oid_j:INT");
+  auto attrs = catalog.Get("scene_attributes");
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs.value()->schema().ToString(),
+            "vid:INT, fid:INT, oid:INT, lid:INT, k:STRING, v:STRING");
+  auto frames = catalog.Get("scene_frames");
+  ASSERT_TRUE(frames.ok());
+  EXPECT_EQ(frames.value()->schema().ToString(),
+            "vid:INT, fid:INT, lid:INT, pixels:STRING");
+}
+
+TEST(SceneGraphTest, NoiselessVlmDetectsEverything) {
+  rel::Catalog catalog;
+  lineage::LineageStore lineage;
+  SimulatedVlm vlm;  // zero noise
+  ASSERT_TRUE(vlm.PopulateFromImage(7, ActionPoster(), &catalog, &lineage)
+                  .ok());
+  auto objects = catalog.Get("scene_objects").value();
+  EXPECT_EQ(objects->num_rows(), 3u);
+  auto rels = catalog.Get("scene_relationships").value();
+  EXPECT_EQ(rels->num_rows(), 2u);
+  auto attrs = catalog.Get("scene_attributes").value();
+  EXPECT_EQ(attrs->num_rows(), 2u);
+  // Every derived row carries a lineage id tracing to the image uri.
+  int64_t lid = objects->row_lid(0);
+  ASSERT_NE(lid, 0);
+  auto chain = lineage.TraceToSources(lid);
+  bool reaches_image = false;
+  for (const auto& e : chain) {
+    if (e.src_uri == "file://posters/action.simg") reaches_image = true;
+  }
+  EXPECT_TRUE(reaches_image);
+  EXPECT_GT(vlm.tokens_used(), 0);
+}
+
+TEST(SceneGraphTest, DetectionDropNoiseLosesObjects) {
+  rel::Catalog catalog;
+  lineage::LineageStore lineage;
+  VlmConfig config;
+  config.detection_drop_prob = 0.95;
+  config.seed = 3;
+  SimulatedVlm vlm(config);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(vlm.PopulateFromImage(i, ActionPoster(), &catalog, &lineage)
+                    .ok());
+  }
+  auto objects = catalog.Get("scene_objects").value();
+  // 90 latent objects, 95% dropped: far fewer survive.
+  EXPECT_LT(objects->num_rows(), 30u);
+  EXPECT_GT(objects->num_rows(), 0u);
+}
+
+TEST(SceneGraphTest, VideoFramesGetDistinctFids) {
+  rel::Catalog catalog;
+  lineage::LineageStore lineage;
+  SimulatedVlm vlm;
+  SyntheticVideo video;
+  video.frames.push_back(ActionPoster());
+  video.frames.push_back(ActionPoster());
+  video.frames.push_back(ActionPoster());
+  ASSERT_TRUE(vlm.PopulateFromVideo(1, video, &catalog, &lineage).ok());
+  auto frames = catalog.Get("scene_frames").value();
+  ASSERT_EQ(frames->num_rows(), 3u);
+  EXPECT_EQ(frames->at(0, 1).AsInt(), 0);
+  EXPECT_EQ(frames->at(2, 1).AsInt(), 2);
+}
+
+TEST(SceneGraphTest, FrameStatsReflectContent) {
+  rel::Catalog catalog;
+  lineage::LineageStore lineage;
+  SimulatedVlm vlm;
+  ASSERT_TRUE(vlm.PopulateFromImage(1, ActionPoster(), &catalog, &lineage)
+                  .ok());
+  auto stats = ComputeFrameStats(1, 0, catalog);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_objects, 3);
+  EXPECT_EQ(stats->num_relationships, 2);
+  EXPECT_EQ(stats->num_action_objects, 2);  // gun + motorcycle
+  EXPECT_NEAR(stats->color_variance, 0.2, 1e-3);
+}
+
+// ------------------------------------------------------------- text graph
+
+TEST(TextGraphTest, ViewsMatchTable2Schema) {
+  rel::Catalog catalog;
+  ASSERT_TRUE(EnsureTextGraphViews(&catalog).ok());
+  EXPECT_EQ(catalog.Get("text_entities").value()->schema().ToString(),
+            "did:INT, eid:INT, lid:INT, cid:STRING");
+  EXPECT_EQ(catalog.Get("text_mentions").value()->schema().ToString(),
+            "did:INT, sid:INT, mid:INT, lid:INT, eid:INT, span1:INT, "
+            "span2:INT");
+  EXPECT_EQ(catalog.Get("texts").value()->schema().ToString(),
+            "did:INT, lid:INT, chars:STRING");
+}
+
+class TextGraphFixture : public ::testing::Test {
+ protected:
+  void Populate(const std::string& text, NerConfig config = {}) {
+    SimulatedNer ner(config);
+    Document doc;
+    doc.did = 5;
+    doc.uri = "doc://5";
+    doc.text = text;
+    ASSERT_TRUE(ner.PopulateFromDocument(doc, &catalog_, &lineage_).ok());
+  }
+  rel::Catalog catalog_;
+  lineage::LineageStore lineage_;
+};
+
+TEST_F(TextGraphFixture, NamedEntitiesExtracted) {
+  Populate("Taylor Swift released an album. The gun was a prop.");
+  auto ents = catalog_.Get("text_entities").value();
+  // "taylor swift" (named) + "gun" (concept).
+  ASSERT_GE(ents->num_rows(), 2u);
+  bool has_named = false;
+  bool has_violence = false;
+  for (size_t r = 0; r < ents->num_rows(); ++r) {
+    std::string cid = ents->at(r, 3).AsString();
+    if (cid == "named_entity") has_named = true;
+    if (cid == "violence") has_violence = true;
+  }
+  EXPECT_TRUE(has_named);
+  EXPECT_TRUE(has_violence);
+}
+
+TEST_F(TextGraphFixture, CoreferenceSharesEid) {
+  Populate("Taylor Swift sang. Mrs. Swift smiled. She bowed.");
+  auto mentions = catalog_.Get("text_mentions").value();
+  // All three mentions resolve to the same entity id.
+  ASSERT_GE(mentions->num_rows(), 3u);
+  std::set<int64_t> eids;
+  for (size_t r = 0; r < mentions->num_rows(); ++r) {
+    eids.insert(mentions->at(r, 4).AsInt());
+  }
+  EXPECT_EQ(eids.size(), 1u);
+}
+
+TEST_F(TextGraphFixture, MentionSpansSliceTheText) {
+  std::string text = "Walter Cross met Harriet Vane.";
+  Populate(text);
+  auto mentions = catalog_.Get("text_mentions").value();
+  ASSERT_GE(mentions->num_rows(), 2u);
+  size_t s1 = static_cast<size_t>(mentions->at(0, 5).AsInt());
+  size_t s2 = static_cast<size_t>(mentions->at(0, 6).AsInt());
+  EXPECT_EQ(text.substr(s1, s2 - s1), "Walter Cross");
+}
+
+TEST_F(TextGraphFixture, CoOccurrenceRelationships) {
+  Populate("Walter Cross met Harriet Vane at the station.");
+  auto rels = catalog_.Get("text_relationships").value();
+  ASSERT_EQ(rels->num_rows(), 1u);
+  EXPECT_EQ(rels->at(0, 5).AsString(), "co_occurs_with");
+}
+
+TEST_F(TextGraphFixture, BudgetAttributePattern) {
+  Populate("Guilty Pictures spent a budget of 13000000 dollars.");
+  auto attrs = catalog_.Get("text_attributes").value();
+  ASSERT_EQ(attrs->num_rows(), 1u);
+  EXPECT_EQ(attrs->at(0, 4).AsString(), "budget");
+  EXPECT_EQ(attrs->at(0, 5).AsString(), "13000000");
+}
+
+TEST_F(TextGraphFixture, EntityTokensReadableThroughViews) {
+  Populate("Eleanor Finch dodged the explosion near the bridge.");
+  auto tokens = EntityTokensOf(5, catalog_);
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  bool has_explosion = false;
+  bool has_eleanor = false;
+  for (const auto& t : tokens.value()) {
+    if (t == "explosion") has_explosion = true;
+    if (t == "eleanor") has_eleanor = true;
+  }
+  EXPECT_TRUE(has_explosion);
+  EXPECT_TRUE(has_eleanor);
+}
+
+TEST_F(TextGraphFixture, EntityTokensForUnknownDocFails) {
+  Populate("Some text.");
+  EXPECT_FALSE(EntityTokensOf(999, catalog_).ok());
+}
+
+TEST_F(TextGraphFixture, MentionDropNoiseReducesMentions) {
+  NerConfig noisy;
+  noisy.mention_drop_prob = 0.9;
+  noisy.seed = 4;
+  Populate("A gun, a knife, a bomb, a chase, an explosion, a murder, "
+           "a hostage, a sniper, a shootout and a war.",
+           noisy);
+  auto mentions = catalog_.Get("text_mentions").value();
+  EXPECT_LT(mentions->num_rows(), 6u);
+}
+
+TEST_F(TextGraphFixture, AliasMapMergesEntities) {
+  NerConfig config;
+  config.aliases["the boss"] = "walter cross";
+  Populate("Walter Cross runs the firm.");
+  auto ents = catalog_.Get("text_entities").value();
+  size_t named = 0;
+  for (size_t r = 0; r < ents->num_rows(); ++r) {
+    if (ents->at(r, 3).AsString() == "named_entity") ++named;
+  }
+  EXPECT_EQ(named, 1u);
+}
+
+}  // namespace
+}  // namespace kathdb::mm

@@ -1,0 +1,194 @@
+// Unit tests for src/parser: NL intent extraction, sketch generation,
+// proactive clarification and reactive correction (Figure 4).
+
+#include <gtest/gtest.h>
+
+#include "parser/nl_parser.h"
+
+namespace kathdb::parser {
+namespace {
+
+constexpr const char* kPaperQuery =
+    "Sort the given films in the table by how exciting they are, but the "
+    "poster should be 'boring'";
+
+class ParserFixture : public ::testing::Test {
+ protected:
+  ParserFixture() : llm_(llm::KathLargeSpec(), &meter_) {
+    auto movies = std::make_shared<rel::Table>(
+        "movie_table", rel::Schema({{"mid", rel::DataType::kInt},
+                                    {"title", rel::DataType::kString},
+                                    {"year", rel::DataType::kInt}}));
+    movies->AppendRow({rel::Value::Int(1), rel::Value::Str("X"),
+                       rel::Value::Int(1990)});
+    (void)catalog_.Register(movies);
+  }
+
+  llm::UsageMeter meter_;
+  llm::SimulatedLLM llm_;
+  rel::Catalog catalog_;
+};
+
+TEST_F(ParserFixture, InterpretsThePaperQuery) {
+  llm::ScriptedUser user;
+  NlParser parser(&llm_, &user, &catalog_);
+  auto intent = parser.InterpretQuery(kPaperQuery);
+  ASSERT_TRUE(intent.ok()) << intent.status().ToString();
+  EXPECT_EQ(intent->action, "sort");
+  EXPECT_EQ(intent->table, "movie_table");
+  const Criterion* rank = intent->FindByRole("rank");
+  ASSERT_NE(rank, nullptr);
+  EXPECT_EQ(rank->term, "exciting");
+  EXPECT_EQ(rank->modality, "text");
+  const Criterion* filter = intent->FindByRole("filter");
+  ASSERT_NE(filter, nullptr);
+  EXPECT_EQ(filter->term, "boring");
+  EXPECT_EQ(filter->modality, "image");
+}
+
+TEST_F(ParserFixture, EmptyQueryRejected) {
+  llm::ScriptedUser user;
+  NlParser parser(&llm_, &user, &catalog_);
+  EXPECT_FALSE(parser.InterpretQuery("").ok());
+}
+
+TEST_F(ParserFixture, PlainMetadataQueryGetsRecencyCriterion) {
+  llm::ScriptedUser user;
+  NlParser parser(&llm_, &user, &catalog_);
+  auto intent = parser.InterpretQuery("Sort the films in the table");
+  ASSERT_TRUE(intent.ok());
+  const Criterion* rank = intent->FindByRole("rank");
+  ASSERT_NE(rank, nullptr);
+  EXPECT_EQ(rank->modality, "metadata");
+}
+
+TEST_F(ParserFixture, SketchV1HasEightSteps) {
+  llm::ScriptedUser user;
+  NlParser parser(&llm_, &user, &catalog_);
+  auto intent = parser.InterpretQuery(kPaperQuery);
+  ASSERT_TRUE(intent.ok());
+  QuerySketch sketch = parser.GenerateSketch(intent.value(), 1);
+  EXPECT_EQ(sketch.steps.size(), 8u);  // §6: initial sketch has 8 steps
+  EXPECT_EQ(sketch.version, 1);
+}
+
+TEST_F(ParserFixture, RecencyFeedbackGrowsSketchToEleven) {
+  llm::ScriptedUser user;
+  NlParser parser(&llm_, &user, &catalog_);
+  auto intent = parser.InterpretQuery(kPaperQuery);
+  ASSERT_TRUE(intent.ok());
+  QueryIntent updated = intent.value();
+  EXPECT_TRUE(parser.ApplyFeedback("I prefer more recent movies when "
+                                   "scoring",
+                                   &updated));
+  QuerySketch sketch = parser.GenerateSketch(updated, 2);
+  EXPECT_EQ(sketch.steps.size(), 11u);  // §6: updated sketch has 11 steps
+  // Weights follow the correction: content 0.7, recency 0.3.
+  const Criterion* rank = updated.FindByRole("rank");
+  const Criterion* rec = updated.FindByTerm("recent");
+  ASSERT_NE(rank, nullptr);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_DOUBLE_EQ(rank->weight, 0.7);
+  EXPECT_DOUBLE_EQ(rec->weight, 0.3);
+}
+
+TEST_F(ParserFixture, OkFeedbackChangesNothing) {
+  llm::ScriptedUser user;
+  NlParser parser(&llm_, &user, &catalog_);
+  auto intent = parser.InterpretQuery(kPaperQuery);
+  ASSERT_TRUE(intent.ok());
+  QueryIntent updated = intent.value();
+  EXPECT_FALSE(parser.ApplyFeedback("OK", &updated));
+  EXPECT_FALSE(parser.ApplyFeedback("  ok  ", &updated));
+}
+
+TEST_F(ParserFixture, DuplicateRecencyFeedbackIsIdempotent) {
+  llm::ScriptedUser user;
+  NlParser parser(&llm_, &user, &catalog_);
+  auto intent = parser.InterpretQuery(kPaperQuery);
+  ASSERT_TRUE(intent.ok());
+  QueryIntent updated = intent.value();
+  ASSERT_TRUE(parser.ApplyFeedback("prefer recent ones", &updated));
+  size_t criteria = updated.criteria.size();
+  EXPECT_FALSE(parser.ApplyFeedback("again, newer please", &updated));
+  EXPECT_EQ(updated.criteria.size(), criteria);
+}
+
+TEST_F(ParserFixture, ProactiveClarificationStoresTheAnswer) {
+  llm::ScriptedUser user({"plots with uncommon scenes", "OK"});
+  NlParser parser(&llm_, &user, &catalog_);
+  auto sketch = parser.Parse(kPaperQuery);
+  ASSERT_TRUE(sketch.ok()) << sketch.status().ToString();
+  const Criterion* rank = parser.intent().FindByRole("rank");
+  ASSERT_NE(rank, nullptr);
+  EXPECT_EQ(rank->clarified_meaning, "plots with uncommon scenes");
+  // The first question was the focused clarification of Figure 4.
+  ASSERT_FALSE(user.history().empty());
+  EXPECT_EQ(user.history()[0].question,
+            "What does 'exciting' mean in this context?");
+}
+
+TEST_F(ParserFixture, ReactiveCorrectionProducesSecondSketchVersion) {
+  llm::ScriptedUser user({"uncommon scenes", "I prefer more recent movies",
+                          "OK"});
+  NlParser parser(&llm_, &user, &catalog_);
+  auto sketch = parser.Parse(kPaperQuery);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_EQ(sketch->version, 2);
+  ASSERT_EQ(parser.sketch_history().size(), 2u);
+  EXPECT_EQ(parser.sketch_history()[0].steps.size(), 8u);
+  EXPECT_EQ(parser.sketch_history()[1].steps.size(), 11u);
+}
+
+TEST_F(ParserFixture, NonStructuralFeedbackIsAcknowledged) {
+  llm::ScriptedUser user({"uncommon scenes",
+                          "please be quick about it",  // no-op feedback
+                          "OK"});
+  NlParser parser(&llm_, &user, &catalog_);
+  auto sketch = parser.Parse(kPaperQuery);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_EQ(sketch->version, 1);  // no structural change
+  bool notified = false;
+  for (const auto& e : user.history()) {
+    if (e.question.find("Noted") != std::string::npos) notified = true;
+  }
+  EXPECT_TRUE(notified);
+}
+
+TEST_F(ParserFixture, SketchTextRendersNumberedSteps) {
+  llm::ScriptedUser user;
+  NlParser parser(&llm_, &user, &catalog_);
+  auto intent = parser.InterpretQuery(kPaperQuery);
+  ASSERT_TRUE(intent.ok());
+  std::string text = parser.GenerateSketch(intent.value(), 1).ToText();
+  EXPECT_NE(text.find("1. "), std::string::npos);
+  EXPECT_NE(text.find("8. "), std::string::npos);
+  EXPECT_NE(text.find("exciting"), std::string::npos);
+}
+
+// Sweep: different subjective rank terms all produce valid sketches.
+class TermSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TermSweep, SketchGeneratedForAnySubjectiveTerm) {
+  llm::UsageMeter meter;
+  llm::SimulatedLLM llm(llm::KathLargeSpec(), &meter);
+  rel::Catalog catalog;
+  auto movies = std::make_shared<rel::Table>(
+      "movie_table", rel::Schema({{"title", rel::DataType::kString}}));
+  (void)catalog.Register(movies);
+  llm::ScriptedUser user;
+  NlParser parser(&llm, &user, &catalog);
+  std::string query = std::string("Sort the films by how ") + GetParam() +
+                      " they are";
+  auto intent = parser.InterpretQuery(query);
+  ASSERT_TRUE(intent.ok());
+  QuerySketch sketch = parser.GenerateSketch(intent.value(), 1);
+  EXPECT_GE(sketch.steps.size(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Terms, TermSweep,
+                         ::testing::Values("exciting", "scary", "fun",
+                                           "memorable", "interesting"));
+
+}  // namespace
+}  // namespace kathdb::parser

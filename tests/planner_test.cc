@@ -1,0 +1,196 @@
+// Unit tests for src/planner: plan writer, tool user, plan verifier.
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "parser/nl_parser.h"
+#include "planner/plan_generator.h"
+
+namespace kathdb::planner {
+namespace {
+
+using fao::FunctionSignature;
+using fao::LogicalPlan;
+
+class PlannerFixture : public ::testing::Test {
+ protected:
+  PlannerFixture() : llm_(llm::KathLargeSpec(), &meter_) {
+    auto movies = std::make_shared<rel::Table>(
+        "movie_table", rel::Schema({{"mid", rel::DataType::kInt},
+                                    {"title", rel::DataType::kString},
+                                    {"year", rel::DataType::kInt},
+                                    {"did", rel::DataType::kInt},
+                                    {"vid", rel::DataType::kInt}}));
+    movies->AppendRow({rel::Value::Int(1), rel::Value::Str("A"),
+                       rel::Value::Int(1991), rel::Value::Int(1),
+                       rel::Value::Int(1)});
+    (void)catalog_.Register(movies);
+    auto ents = std::make_shared<rel::Table>(
+        "text_entities", rel::Schema({{"did", rel::DataType::kInt},
+                                      {"eid", rel::DataType::kInt}}));
+    ents->AppendRow({rel::Value::Int(1), rel::Value::Int(10)});
+    (void)catalog_.Register(ents, rel::RelationKind::kView);
+    auto objs = std::make_shared<rel::Table>(
+        "scene_objects", rel::Schema({{"vid", rel::DataType::kInt},
+                                      {"oid", rel::DataType::kInt}}));
+    objs->AppendRow({rel::Value::Int(1), rel::Value::Int(20)});
+    (void)catalog_.Register(objs, rel::RelationKind::kView);
+  }
+
+  parser::QueryIntent PaperIntent(bool with_recency) {
+    parser::QueryIntent intent;
+    intent.raw_query = "sort by exciting, boring poster";
+    intent.table = "movie_table";
+    intent.action = "sort";
+    parser::Criterion rank{"exciting", "text", "rank", "uncommon scenes",
+                           0.7};
+    parser::Criterion filter{"boring", "image", "filter", "", 1.0};
+    intent.criteria = {rank, filter};
+    if (with_recency) {
+      parser::Criterion rec{"recent", "metadata", "rank", "", 0.3};
+      // Keep "rank" unique for FindByRole: recency uses term lookup.
+      rec.role = "rank_recency";
+      intent.criteria.push_back(rec);
+      intent.criteria.back().term = "recent";
+    }
+    return intent;
+  }
+
+  llm::UsageMeter meter_;
+  llm::SimulatedLLM llm_;
+  rel::Catalog catalog_;
+};
+
+TEST_F(PlannerFixture, DraftPlanHasTenNodesForFullIntent) {
+  LogicalPlanGenerator gen(&llm_, &catalog_);
+  auto intent = PaperIntent(true);
+  LogicalPlan plan = gen.DraftPlan(intent, {});
+  // §6: 10 logical plan nodes.
+  EXPECT_EQ(plan.nodes.size(), 10u);
+  EXPECT_EQ(plan.nodes.front().name, "select_columns");
+  EXPECT_EQ(plan.nodes.back().name, "rank_films");
+  EXPECT_EQ(plan.FinalOutput(), "films_ranked");
+}
+
+TEST_F(PlannerFixture, DraftPlanWithoutRecencySkipsCombine) {
+  LogicalPlanGenerator gen(&llm_, &catalog_);
+  auto intent = PaperIntent(false);
+  LogicalPlan plan = gen.DraftPlan(intent, {});
+  for (const auto& n : plan.nodes) {
+    EXPECT_NE(n.name, "combine_scores");
+    EXPECT_NE(n.name, "gen_recency_score");
+  }
+}
+
+TEST_F(PlannerFixture, VerifierApprovesGoodPlan) {
+  LogicalPlanGenerator gen(&llm_, &catalog_);
+  PlanVerifier verifier(&llm_, &catalog_);
+  LogicalPlan plan = gen.DraftPlan(PaperIntent(true), {});
+  VerifierReport report = verifier.Verify(plan);
+  EXPECT_TRUE(report.approved) << kathdb::Join(report.hints, "; ");
+  // The verifier consulted the tool user (sampler / joinability).
+  EXPECT_GT(verifier.tools().invocations(), 0);
+}
+
+TEST_F(PlannerFixture, VerifierRejectsUnknownInput) {
+  PlanVerifier verifier(&llm_, &catalog_);
+  LogicalPlan plan;
+  FunctionSignature sig;
+  sig.name = "select";
+  sig.inputs = {"ghost_table"};
+  sig.output = "out";
+  plan.nodes.push_back(sig);
+  VerifierReport report = verifier.Verify(plan);
+  EXPECT_FALSE(report.approved);
+  ASSERT_FALSE(report.hints.empty());
+  EXPECT_NE(report.hints[0].find("ghost_table"), std::string::npos);
+}
+
+TEST_F(PlannerFixture, VerifierRejectsForwardReference) {
+  PlanVerifier verifier(&llm_, &catalog_);
+  LogicalPlan plan;
+  FunctionSignature a;
+  a.name = "first";
+  a.inputs = {"later_output"};  // produced only by the next node
+  a.output = "x";
+  FunctionSignature b;
+  b.name = "second";
+  b.inputs = {"movie_table"};
+  b.output = "later_output";
+  plan.nodes = {a, b};
+  EXPECT_FALSE(verifier.Verify(plan).approved);
+}
+
+TEST_F(PlannerFixture, VerifierRejectsDuplicateOutputs) {
+  PlanVerifier verifier(&llm_, &catalog_);
+  LogicalPlan plan;
+  FunctionSignature a;
+  a.name = "a";
+  a.inputs = {"movie_table"};
+  a.output = "same";
+  plan.nodes = {a, a};
+  EXPECT_FALSE(verifier.Verify(plan).approved);
+}
+
+TEST_F(PlannerFixture, VerifierRejectsEmptyPlan) {
+  PlanVerifier verifier(&llm_, &catalog_);
+  EXPECT_FALSE(verifier.Verify(LogicalPlan{}).approved);
+}
+
+TEST_F(PlannerFixture, VerifierChecksJoinability) {
+  PlanVerifier verifier(&llm_, &catalog_);
+  // Register a relation sharing no columns with movie_table.
+  auto orphan = std::make_shared<rel::Table>(
+      "orphan", rel::Schema({{"zzz", rel::DataType::kString}}));
+  orphan->AppendRow({rel::Value::Str("x")});
+  (void)catalog_.Register(orphan);
+  LogicalPlan plan;
+  FunctionSignature join;
+  join.name = "join_orphan";
+  join.inputs = {"movie_table", "orphan"};
+  join.output = "joined";
+  plan.nodes = {join};
+  VerifierReport report = verifier.Verify(plan);
+  EXPECT_FALSE(report.approved);
+  bool join_hint = false;
+  for (const auto& h : report.hints) {
+    if (h.find("joinable") != std::string::npos) join_hint = true;
+  }
+  EXPECT_TRUE(join_hint);
+}
+
+TEST_F(PlannerFixture, GenerateEndToEndApproves) {
+  LogicalPlanGenerator gen(&llm_, &catalog_);
+  parser::QuerySketch sketch;
+  sketch.query = "q";
+  sketch.steps = {"step"};
+  auto intent = PaperIntent(true);
+  auto plan = gen.Generate(sketch, intent);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(gen.last_report().approved);
+  EXPECT_EQ(plan->nodes.size(), 10u);
+}
+
+TEST_F(PlannerFixture, GenerateFailsWhenBaseTableMissing) {
+  rel::Catalog empty;
+  LogicalPlanGenerator gen(&llm_, &empty);
+  parser::QuerySketch sketch;
+  auto intent = PaperIntent(true);
+  intent.table = "missing_table";
+  auto plan = gen.Generate(sketch, intent);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kPlanRejected);
+}
+
+TEST_F(PlannerFixture, ToolUserSamplesRows) {
+  ToolUser tools(&catalog_);
+  auto sample = tools.SampleRows("movie_table", 5);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample.value().num_rows(), 1u);
+  std::string on;
+  EXPECT_TRUE(tools.TestJoinability("movie_table", "text_entities", &on));
+  EXPECT_EQ(on, "did");
+}
+
+}  // namespace
+}  // namespace kathdb::planner

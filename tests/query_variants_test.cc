@@ -1,0 +1,124 @@
+// End-to-end tests for query shapes beyond the paper's flagship query:
+// filter-only, rank-only, metadata-only, and other subjective terms.
+
+#include <gtest/gtest.h>
+
+#include "data/movie_dataset.h"
+#include "engine/kathdb.h"
+
+namespace kathdb {
+namespace {
+
+class QueryVariants : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::DatasetOptions opts;
+    opts.num_movies = 24;
+    auto ds = data::GenerateMovieDataset(opts);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::move(ds).value();
+    db_ = std::make_unique<engine::KathDB>();
+    ASSERT_TRUE(data::IngestDataset(dataset_, db_.get()).ok());
+  }
+
+  Result<engine::QueryOutcome> Run(const std::string& query,
+                                   std::vector<std::string> replies = {}) {
+    user_ = std::make_unique<llm::ScriptedUser>(std::move(replies));
+    return db_->Query(query, user_.get());
+  }
+
+  data::MovieDataset dataset_;
+  std::unique_ptr<engine::KathDB> db_;
+  std::unique_ptr<llm::ScriptedUser> user_;
+};
+
+TEST_F(QueryVariants, FilterOnlyBoringPosters) {
+  auto outcome = Run("Find the films where the poster should be 'boring'");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const rel::Table& r = outcome->result;
+  ASSERT_GT(r.num_rows(), 0u);
+  auto bidx = r.schema().IndexOf("boring_poster");
+  ASSERT_TRUE(bidx.has_value());
+  size_t expected = 0;
+  for (const auto& t : dataset_.truth) {
+    if (t.boring_poster) ++expected;
+  }
+  EXPECT_EQ(r.num_rows(), expected);
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    EXPECT_TRUE(r.at(i, *bidx).AsBool());
+  }
+  // No scoring nodes in the plan.
+  for (const auto& n : outcome->physical_plan.nodes) {
+    EXPECT_EQ(n.sig.name.find("gen_"), std::string::npos) << n.sig.name;
+  }
+  // Ranked by year descending (metadata fallback).
+  auto yidx = *r.schema().IndexOf("year");
+  for (size_t i = 1; i < r.num_rows(); ++i) {
+    EXPECT_GE(r.at(i - 1, yidx).AsInt(), r.at(i, yidx).AsInt());
+  }
+}
+
+TEST_F(QueryVariants, RankOnlyWithoutPosterFilter) {
+  auto outcome = Run("Sort the films by how exciting they are",
+                     {"plots with violent scenes", "OK"});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const rel::Table& r = outcome->result;
+  // Nothing filtered: all movies present.
+  EXPECT_EQ(r.num_rows(), dataset_.movie_table->num_rows());
+  // No classify/filter nodes.
+  for (const auto& n : outcome->physical_plan.nodes) {
+    EXPECT_EQ(n.sig.name.find("classify_"), std::string::npos);
+    EXPECT_EQ(n.sig.name.find("filter_"), std::string::npos);
+  }
+  // Ordered by the exciting score; the violent anchors lead.
+  auto tidx = *r.schema().IndexOf("title");
+  std::set<std::string> top2 = {r.at(0, tidx).AsString(),
+                                r.at(1, tidx).AsString()};
+  EXPECT_TRUE(top2.count("Guilty by Suspicion") == 1 ||
+              top2.count("Clean and Sober") == 1);
+  auto sidx = r.schema().IndexOf("exciting_score");
+  ASSERT_TRUE(sidx.has_value());
+  for (size_t i = 1; i < r.num_rows(); ++i) {
+    EXPECT_GE(r.at(i - 1, *sidx).AsDouble(), r.at(i, *sidx).AsDouble());
+  }
+}
+
+TEST_F(QueryVariants, MetadataOnlySortByRecency) {
+  auto outcome = Run("Sort the films in the table");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const rel::Table& r = outcome->result;
+  EXPECT_EQ(r.num_rows(), dataset_.movie_table->num_rows());
+  ASSERT_TRUE(r.schema().HasColumn("recency_score"));
+  auto yidx = *r.schema().IndexOf("year");
+  for (size_t i = 1; i < r.num_rows(); ++i) {
+    EXPECT_GE(r.at(i - 1, yidx).AsInt(), r.at(i, yidx).AsInt());
+  }
+  // The most recent film (the 1991 anchor) comes first.
+  EXPECT_EQ(r.at(0, yidx).AsInt(), 1991);
+}
+
+TEST_F(QueryVariants, DifferentSubjectiveTermStillCompiles) {
+  auto outcome = Run("Rank the films by how scary they are, but the "
+                     "poster should be 'boring'",
+                     {"monsters and violence", "OK"});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->result.schema().HasColumn("scary_score"));
+  EXPECT_GT(outcome->result.num_rows(), 0u);
+}
+
+TEST_F(QueryVariants, SecondQueryOnSameDbWorks) {
+  auto first = Run("Find the films where the poster should be 'boring'");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = Run(
+      "Sort the given films in the table by how exciting they are, but "
+      "the poster should be 'boring'",
+      {"uncommon scenes", "prefer recent movies", "OK"});
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  auto tidx = *second->result.schema().IndexOf("title");
+  EXPECT_EQ(second->result.at(0, tidx).AsString(), "Guilty by Suspicion");
+  // Function versions accumulated across the two queries.
+  EXPECT_GE(db_->registry()->VersionsOf("classify_boring").size(), 2u);
+}
+
+}  // namespace
+}  // namespace kathdb
