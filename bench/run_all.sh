@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Run every KathDB benchmark binary and leave one BENCH_<name>.json per
+# binary (google-benchmark JSON format) in the output directory.
+#
+# Usage:
+#   bench/run_all.sh [BUILD_DIR] [OUT_DIR]
+#
+# BUILD_DIR defaults to ./build and must contain the bench_* binaries
+# (configure with -DKATHDB_BUILD_BENCH=ON). OUT_DIR defaults to BUILD_DIR.
+# The paper-shaped stdout of each bench (figure/table reproduction) is
+# captured alongside the JSON as BENCH_<name>.txt.
+#
+# Also reachable as `cmake --build build --target bench`.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-${BENCH_OUT_DIR:-${BUILD_DIR}}}"
+
+BENCH_BIN_DIR="${BUILD_DIR}/bench"
+if ! compgen -G "${BENCH_BIN_DIR}/bench_*" >/dev/null; then
+  BENCH_BIN_DIR="${BUILD_DIR}"  # older layouts kept binaries at the build root
+fi
+if ! compgen -G "${BENCH_BIN_DIR}/bench_*" >/dev/null; then
+  echo "error: no bench_* binaries in '${BUILD_DIR}'." >&2
+  echo "Configure with: cmake -B ${BUILD_DIR} -S . -DKATHDB_BUILD_BENCH=ON && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+
+status=0
+for bin in "${BENCH_BIN_DIR}"/bench_*; do
+  [ -x "${bin}" ] && [ -f "${bin}" ] || continue
+  name="$(basename "${bin}")"
+  json="${OUT_DIR}/BENCH_${name}.json"
+  txt="${OUT_DIR}/BENCH_${name}.txt"
+  echo "== ${name} -> ${json}"
+  if ! "${bin}" --benchmark_out="${json}" --benchmark_out_format=json \
+       >"${txt}" 2>&1; then
+    echo "   FAILED (see ${txt})" >&2
+    status=1
+  fi
+done
+
+echo "Benchmark JSON written to ${OUT_DIR}/BENCH_*.json"
+exit "${status}"

@@ -8,6 +8,8 @@
 /// (2) SQL + manual ML UDFs: an expert hand-writes the pipeline against
 ///     the substrate directly. Accurate but measured in *user effort*
 ///     (statements the human must author) instead of NL convenience.
+///
+/// \ingroup kathdb_baselines
 
 #pragma once
 

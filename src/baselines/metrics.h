@@ -1,5 +1,7 @@
 /// \file metrics.h
 /// \brief Quality metrics for comparing KathDB against the baselines (E9).
+///
+/// \ingroup kathdb_baselines
 
 #pragma once
 

@@ -5,6 +5,8 @@
 /// of the paper) so the downstream compiler can ingest it without
 /// post-processing, and persists generated function specs to disk as JSON.
 /// Object keys preserve insertion order so serialized plans are stable.
+///
+/// \ingroup kathdb_common
 
 #pragma once
 

@@ -4,6 +4,8 @@
 /// All stochastic components (dataset generation, simulated detector noise,
 /// lineage sampling) draw from seeded SplitMix64/xorshift generators so a
 /// given seed always reproduces the same experiment.
+///
+/// \ingroup kathdb_common
 
 #pragma once
 

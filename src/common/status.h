@@ -6,6 +6,8 @@
 /// value or a Status). Error codes distinguish *syntactic* failures, which
 /// the execution engine self-repairs (Section 5 of the paper), from
 /// *semantic* anomalies, which are escalated to the user channel.
+///
+/// \ingroup kathdb_common
 
 #pragma once
 

@@ -1,5 +1,7 @@
 /// \file strings.h
 /// \brief Small string utilities shared across KathDB modules.
+///
+/// \ingroup kathdb_common
 
 #pragma once
 

@@ -13,6 +13,8 @@
 /// (1988, intense recovery plot, plain poster). The generated years cap at
 /// 1991 so Guilty by Suspicion is the most recent film and its recency
 /// score is 1.0, matching the paper's 0.7*0.99999988 + 0.3*1.0 trace.
+///
+/// \ingroup kathdb_data
 
 #pragma once
 

@@ -11,6 +11,8 @@
 ///  - *semantic anomalies* (e.g. one poster joined to several movies) are
 ///    detected on sampled output and escalated to the user channel for
 ///    confirmation or correction.
+///
+/// \ingroup kathdb_engine
 
 #pragma once
 

@@ -7,6 +7,8 @@
 /// inspects the function signature and implementation that produced it,
 /// traces parent tuples through the lineage store, and shows how every
 /// field of the output tuple was derived.
+///
+/// \ingroup kathdb_engine
 
 #pragma once
 

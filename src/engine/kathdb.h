@@ -14,6 +14,8 @@
 ///                          "but the poster should be 'boring'", &user);
 ///   db.ExplainPipeline();         // coarse (Figure 5 left)
 ///   db.ExplainTuple(lid);         // fine-grained (Figure 5 right)
+///
+/// \ingroup kathdb_engine
 
 #pragma once
 

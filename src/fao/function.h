@@ -7,6 +7,8 @@
 /// keyword matching, and more" (paper, Section 2.2). The interpreter
 /// instantiates a function object from a FunctionSpec; alternative
 /// templates for the same signature are the optimizer's physical choices.
+///
+/// \ingroup kathdb_fao
 
 #pragma once
 

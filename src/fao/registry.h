@@ -6,6 +6,8 @@
 /// Whenever the optimizer or the execution-time rewriter produces a new
 /// implementation, the registry stamps the next ver_id, leaving earlier
 /// versions intact for lineage queries and safe roll-backs.
+///
+/// \ingroup kathdb_fao
 
 #pragma once
 

@@ -6,6 +6,8 @@
 /// — emitted in the exact JSON layout of Figure 3 so the downstream
 /// compiler ingests it without post-processing. The optimizer later binds
 /// each signature to one or more versioned implementations (FunctionSpec).
+///
+/// \ingroup kathdb_fao
 
 #pragma once
 

@@ -8,6 +8,8 @@
 /// rewriter agents, profiled by the cost model, and interpreted at
 /// execution time. `source_text` is a readable pseudo-code rendering used
 /// by the result explainer.
+///
+/// \ingroup kathdb_fao
 
 #pragma once
 

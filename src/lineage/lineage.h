@@ -8,6 +8,8 @@
 /// of whole tables) get table-level lineage where every input is assumed
 /// to contribute to every output. Tracking granularity is configurable so
 /// the lineage-overhead experiment (E6) can sweep modes.
+///
+/// \ingroup kathdb_lineage
 
 #pragma once
 

@@ -7,6 +7,8 @@
 /// queue of replies so experiments are reproducible (the paper itself
 /// simulates user replies in §6); every exchange is logged for the
 /// user-effort metrics of E9.
+///
+/// \ingroup kathdb_llm
 
 #pragma once
 

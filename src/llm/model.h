@@ -8,6 +8,8 @@
 /// would be against a hosted API, while content generation is deterministic
 /// and knowledge-base driven. The model tiers differ in cost and quality,
 /// which the cost-based optimizer exploits (cascades, E8).
+///
+/// \ingroup kathdb_llm
 
 #pragma once
 

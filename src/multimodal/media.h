@@ -10,6 +10,8 @@
 /// `.simg` JSON files on disk so ingestion has real I/O and src_uri
 /// provenance; a `heic` format gate reproduces the paper's cv2/HEIC
 /// self-repair scenario.
+///
+/// \ingroup kathdb_multimodal
 
 #pragma once
 

@@ -8,6 +8,8 @@
 ///   Relationships(vid, fid, rid, lid, oid_i, pid, oid_j)
 ///   Attributes(vid, fid, oid, lid, k, v)
 ///   Frames(vid, fid, lid, pixels)
+///
+/// \ingroup kathdb_multimodal
 
 #pragma once
 

@@ -13,6 +13,8 @@
 /// capitalized spans become named entities (with alias-based coreference),
 /// and lexicon nouns ("gun", "chase", "meadow") become concept_name entities so
 /// the embedding-based excitement scorer has realistic input.
+///
+/// \ingroup kathdb_multimodal
 
 #pragma once
 

@@ -13,6 +13,8 @@
 /// predicate pushdown (evaluate the cheap poster filter before expensive
 /// scoring) and operator fusion (merge the scoring chain into one function
 /// — faster, but coarser explanations; experiment E7).
+///
+/// \ingroup kathdb_optimizer
 
 #pragma once
 

@@ -9,6 +9,8 @@
 ///  - reactive correction: the user reviews the sketch and requests changes
 ///    ("I prefer more recent movies"); the sketch generator revises and
 ///    resubmits until the user replies OK.
+///
+/// \ingroup kathdb_parser
 
 #pragma once
 

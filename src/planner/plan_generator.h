@@ -7,6 +7,8 @@
 /// judges the draft against sample data, invoking the *tool user*'s
 /// database utilities (row sampler, joinability tester) when the snapshot
 /// is not enough; rejected drafts go back to the writer with hints.
+///
+/// \ingroup kathdb_planner
 
 #pragma once
 

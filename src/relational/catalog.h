@@ -4,6 +4,8 @@
 /// The catalog is consulted by the logical plan generator (schema context
 /// for signature generation), the optimizer (sample rows for profiling) and
 /// the executor (resolving FAO `inputs` names to materialized tables).
+///
+/// \ingroup kathdb_relational
 
 #pragma once
 

@@ -5,6 +5,8 @@
 /// function bodies. Expressions evaluate to Value and surface evaluation
 /// problems (unknown column, bad arity) as Status errors, which the agentic
 /// monitor classifies as syntactic faults.
+///
+/// \ingroup kathdb_relational
 
 #pragma once
 

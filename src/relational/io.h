@@ -5,6 +5,8 @@
 /// own relational data. The format is RFC-4180-style CSV with a typed
 /// header line ("title:STRING,year:INT,...") so round-trips preserve
 /// column types; NULL cells are written as empty fields.
+///
+/// \ingroup kathdb_relational
 
 #pragma once
 

@@ -4,6 +4,8 @@
 /// These are KathDB's classical relational operators. FAO function bodies
 /// of kind "SQL sub-query" lower to trees of these operators; the optimizer
 /// also uses them directly for rewrites such as predicate pushdown.
+///
+/// \ingroup kathdb_relational
 
 #pragma once
 

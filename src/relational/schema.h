@@ -1,5 +1,7 @@
 /// \file schema.h
 /// \brief Column and Schema descriptors for relational tables and views.
+///
+/// \ingroup kathdb_relational
 
 #pragma once
 

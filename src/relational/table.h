@@ -5,6 +5,8 @@
 /// intermediate) is a Table. Rows optionally carry a lineage id (lid) so
 /// the provenance model of Section 3 can trace any output tuple back to
 /// its source records.
+///
+/// \ingroup kathdb_relational
 
 #pragma once
 

@@ -1,5 +1,7 @@
 /// \file value.h
 /// \brief Dynamically-typed cell value for KathDB's relational layer.
+///
+/// \ingroup kathdb_relational
 
 #pragma once
 

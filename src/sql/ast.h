@@ -3,6 +3,8 @@
 ///
 /// Dialect: SELECT [DISTINCT] items FROM rel [JOIN rel ON expr]* [WHERE]
 /// [GROUP BY] [HAVING] [ORDER BY] [LIMIT]; CREATE TABLE; INSERT INTO.
+///
+/// \ingroup kathdb_sql
 
 #pragma once
 

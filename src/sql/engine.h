@@ -5,6 +5,8 @@
 /// baselines and tests also use it directly. The engine resolves qualified
 /// column references introduced by joins, lowers statements onto the
 /// volcano operators in relational/ops.h, and materializes results.
+///
+/// \ingroup kathdb_sql
 
 #pragma once
 

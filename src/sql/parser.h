@@ -1,5 +1,7 @@
 /// \file parser.h
 /// \brief Recursive-descent parser for KathDB's SQL dialect.
+///
+/// \ingroup kathdb_sql
 
 #pragma once
 

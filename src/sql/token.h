@@ -1,5 +1,7 @@
 /// \file token.h
 /// \brief SQL tokenizer for KathDB's embedded SQL dialect.
+///
+/// \ingroup kathdb_sql
 
 #pragma once
 

@@ -7,6 +7,8 @@
 /// that share a lexicon concept_name ("gun" and "weapon" both map to concept_name
 /// "violence") are blended toward the concept_name vector, so related words
 /// measurably correlate while the whole pipeline stays reproducible.
+///
+/// \ingroup kathdb_vector
 
 #pragma once
 

@@ -5,6 +5,8 @@
 /// inverted-file index (approximate, probes a few clusters) as alternative
 /// *physical implementations* of the same similarity-search logical
 /// operator — exactly the FAO physical-choice pattern of Section 4.
+///
+/// \ingroup kathdb_vector
 
 #pragma once
 
