@@ -1,0 +1,163 @@
+// Service-layer research question — the ROADMAP north star is "serving
+// heavy traffic from millions of users": how many NL queries per second
+// can one shared KathDB sustain as workers scale, and how much of that
+// headroom comes from the sharded cross-query result cache?
+//
+// Drives N concurrent sessions over the movie corpus through
+// service::QueryService and reports queries/sec and the cache hit rate
+// at 1/2/4/8 workers, for both the cached and the cache-disabled
+// configuration. Acceptance target: >= 3x queries/sec at 8 workers vs
+// 1 worker on the cached repeated workload.
+//
+// Sessions simulate *remote* users: every interaction-channel question
+// (clarification, anomaly confirmation) blocks its worker for
+// kReplyLatencyMs before the scripted reply arrives, as a real user or a
+// hosted model round-trip would. Hiding exactly this per-session blocking
+// is the worker pool's job, so throughput scales with workers even when
+// query CPU is a single core.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/query_service.h"
+
+using namespace kathdb;         // NOLINT
+using namespace kathdb::bench;  // NOLINT
+
+namespace {
+
+constexpr int kCorpusMovies = 40;
+constexpr int kSessions = 8;
+constexpr int kQueriesPerSession = 6;
+constexpr double kReplyLatencyMs = 3.0;  // remote-user think time / RTT
+
+struct RunResult {
+  double qps = 0.0;
+  double hit_rate = 0.0;
+  int64_t completed = 0;
+};
+
+/// Serves kSessions * kQueriesPerSession paper queries with `workers`
+/// workers; one warm-up query optionally pre-fills the shared cache.
+RunResult ServeWorkload(engine::KathDB* db, int workers, bool enable_cache,
+                        bool warm) {
+  service::ServiceOptions opts;
+  opts.workers = workers;
+  opts.max_queue = kSessions * kQueriesPerSession + 8;
+  opts.enable_result_cache = enable_cache;
+  opts.reply_latency_ms = kReplyLatencyMs;
+  service::QueryService service(db, opts);
+
+  std::vector<service::SessionId> sessions;
+  sessions.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.push_back(service.OpenSession(PaperReplies()));
+  }
+  if (warm && enable_cache) {
+    auto warmup = service.Query(sessions[0], kPaperQuery);
+    if (!warmup.ok()) {
+      std::fprintf(stderr, "warm-up query failed: %s\n",
+                   warmup.status().ToString().c_str());
+      std::abort();
+    }
+  }
+
+  // Snapshot after warm-up so qps and hit rate cover the same window.
+  service::ServiceStats before = service.stats();
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<service::OutcomeFuture> futures;
+  for (int q = 0; q < kQueriesPerSession; ++q) {
+    for (service::SessionId sid : sessions) {
+      auto fut = service.Submit(sid, kPaperQuery);
+      if (!fut.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n",
+                     fut.status().ToString().c_str());
+        std::abort();
+      }
+      futures.push_back(std::move(fut).value());
+    }
+  }
+  for (auto& fut : futures) {
+    if (!fut.get().ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   fut.get().status().ToString().c_str());
+      std::abort();
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+
+  service::ServiceStats st = service.stats();
+  RunResult out;
+  out.completed = st.completed - before.completed;
+  double secs = std::chrono::duration<double>(t1 - t0).count();
+  out.qps = secs > 0 ? futures.size() / secs : 0.0;
+  int64_t lookups = (st.cache.hits + st.cache.misses) -
+                    (before.cache.hits + before.cache.misses);
+  out.hit_rate =
+      lookups > 0
+          ? static_cast<double>(st.cache.hits - before.cache.hits) / lookups
+          : 0.0;
+  return out;
+}
+
+void PrintScalingTable() {
+  std::printf(
+      "=== service throughput: %d sessions x %d queries, %d-movie corpus, "
+      "%.0fms reply latency ===\n",
+      kSessions, kQueriesPerSession, kCorpusMovies, kReplyLatencyMs);
+  std::printf("%-9s %-12s %-14s %-12s %-14s\n", "workers", "qps(cached)",
+              "hit_rate", "qps(nocache)", "speedup vs 1w");
+  BenchDb b = MakeIngestedDb(kCorpusMovies);
+  double base_qps = 0.0;
+  for (int workers : {1, 2, 4, 8}) {
+    RunResult cached = ServeWorkload(b.db.get(), workers,
+                                     /*enable_cache=*/true, /*warm=*/true);
+    RunResult uncached = ServeWorkload(b.db.get(), workers,
+                                       /*enable_cache=*/false,
+                                       /*warm=*/false);
+    if (workers == 1) base_qps = cached.qps;
+    std::printf("%-9d %-12.1f %-14.2f %-12.1f %.2fx\n", workers, cached.qps,
+                cached.hit_rate, uncached.qps,
+                base_qps > 0 ? cached.qps / base_qps : 0.0);
+  }
+  std::printf("\n");
+}
+
+void BM_ServiceThroughput(benchmark::State& state) {
+  int workers = static_cast<int>(state.range(0));
+  bool cached = state.range(1) != 0;
+  BenchDb b = MakeIngestedDb(kCorpusMovies);
+  double hit_rate = 0.0;
+  int64_t queries = 0;
+  for (auto _ : state) {
+    RunResult r = ServeWorkload(b.db.get(), workers, cached, cached);
+    hit_rate = r.hit_rate;
+    queries += r.completed;
+    benchmark::DoNotOptimize(r.qps);
+  }
+  state.SetItemsProcessed(queries);  // items/sec == queries/sec
+  state.counters["cache_hit_rate"] = hit_rate;
+  state.counters["workers"] = workers;
+  state.SetLabel(cached ? "cached" : "nocache");
+}
+BENCHMARK(BM_ServiceThroughput)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({1, 0})
+    ->Args({8, 0})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintScalingTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "data/movie_dataset.h"
 #include "engine/kathdb.h"
@@ -20,11 +21,15 @@ constexpr const char* kPaperQuery =
     "Sort the given films in the table by how exciting they are, but the "
     "poster should be 'boring'";
 
-/// The §6 scripted user: clarification reply, recency correction, accept.
+/// The §6 scripted replies: clarification, recency correction, accept.
+inline std::vector<std::string> PaperReplies() {
+  return {"The movie plot contains scenes that are uncommon in real life",
+          "I prefer more recent movies when scoring", "OK"};
+}
+
+/// The §6 scripted user replaying PaperReplies().
 inline llm::ScriptedUser PaperUser() {
-  return llm::ScriptedUser(
-      {"The movie plot contains scenes that are uncommon in real life",
-       "I prefer more recent movies when scoring", "OK"});
+  return llm::ScriptedUser(PaperReplies());
 }
 
 struct BenchDb {

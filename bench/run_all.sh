@@ -3,10 +3,13 @@
 # binary (google-benchmark JSON format) in the output directory.
 #
 # Usage:
-#   bench/run_all.sh [BUILD_DIR] [OUT_DIR]
+#   bench/run_all.sh [BUILD_DIR] [OUT_DIR] [FILTER]
 #
 # BUILD_DIR defaults to ./build and must contain the bench_* binaries
 # (configure with -DKATHDB_BUILD_BENCH=ON). OUT_DIR defaults to BUILD_DIR.
+# FILTER, when given, restricts the run to binaries whose name contains
+# the substring — e.g. `bench/run_all.sh build build service` re-runs
+# only bench_service_throughput without the full suite.
 # The paper-shaped stdout of each bench (figure/table reproduction) is
 # captured alongside the JSON as BENCH_<name>.txt.
 #
@@ -16,6 +19,7 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-${BENCH_OUT_DIR:-${BUILD_DIR}}}"
+FILTER="${3:-}"
 
 BENCH_BIN_DIR="${BUILD_DIR}/bench"
 if ! compgen -G "${BENCH_BIN_DIR}/bench_*" >/dev/null; then
@@ -30,9 +34,14 @@ fi
 mkdir -p "${OUT_DIR}"
 
 status=0
+matched=0
 for bin in "${BENCH_BIN_DIR}"/bench_*; do
   [ -x "${bin}" ] && [ -f "${bin}" ] || continue
   name="$(basename "${bin}")"
+  if [ -n "${FILTER}" ] && [[ "${name}" != *"${FILTER}"* ]]; then
+    continue
+  fi
+  matched=$((matched + 1))
   json="${OUT_DIR}/BENCH_${name}.json"
   txt="${OUT_DIR}/BENCH_${name}.txt"
   echo "== ${name} -> ${json}"
@@ -42,6 +51,11 @@ for bin in "${BENCH_BIN_DIR}"/bench_*; do
     status=1
   fi
 done
+
+if [ -n "${FILTER}" ] && [ "${matched}" -eq 0 ]; then
+  echo "error: no bench binary matches filter '${FILTER}'." >&2
+  exit 1
+fi
 
 echo "Benchmark JSON written to ${OUT_DIR}/BENCH_*.json"
 exit "${status}"

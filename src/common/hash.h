@@ -1,0 +1,59 @@
+/// \file hash.h
+/// \brief 64-bit hashing primitives for caches and sharding.
+///
+/// The service-layer result cache keys entries by a 64-bit fingerprint of
+/// (function spec, input contents). These helpers provide the building
+/// blocks: FNV-1a over bytes, a splitmix64 finalizer for avalanche, and a
+/// boost-style combiner. The shard-selection trick (multiply by the golden
+/// ratio, take the top bits) follows the memory-efficient O(1) lookup
+/// structures of SHIP / Othello hashing: uniformly spreading keys over
+/// mutex stripes so concurrent readers rarely collide.
+///
+/// \ingroup kathdb_common
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace kathdb::common {
+
+/// FNV-1a over a byte string (64-bit offset basis / prime).
+inline uint64_t Fnv1a64(std::string_view bytes, uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= static_cast<uint64_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: full-avalanche mix of a 64-bit value.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Folds `v` into the running hash `h` (order-sensitive).
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return Mix64(h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2)));
+}
+
+/// Maps a (well-mixed) key onto one of `shards` stripes. `shards` must be
+/// a power of two; the multiply pushes entropy into the top bits first so
+/// sequential keys do not land on sequential stripes.
+inline size_t ShardOf(uint64_t key, size_t shards) {
+  return static_cast<size_t>((key * 0x9E3779B97F4A7C15ULL) >> 32) &
+         (shards - 1);
+}
+
+/// Rounds up to the next power of two (min 1).
+inline size_t CeilPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace kathdb::common

@@ -27,6 +27,8 @@ const char* CodeName(StatusCode code) {
       return "PlanRejected";
     case StatusCode::kUserAborted:
       return "UserAborted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

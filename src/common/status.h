@@ -37,6 +37,9 @@ enum class StatusCode {
   kPlanRejected,
   /// The user aborted an interactive exchange.
   kUserAborted,
+  /// The service is overloaded (admission queue full) or shutting down;
+  /// the caller should back off and retry.
+  kUnavailable,
 };
 
 /// \brief Outcome of an operation: a code plus a human-readable message.
@@ -77,6 +80,9 @@ class Status {
   static Status UserAborted(std::string m) {
     return Status(StatusCode::kUserAborted, std::move(m));
   }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -87,6 +93,7 @@ class Status {
   }
   bool IsSemanticError() const { return code_ == StatusCode::kSemanticError; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// Renders "OK" or "<Code>: <message>" for logs and explanations.
   std::string ToString() const;

@@ -1,0 +1,67 @@
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool with a bounded FIFO task queue.
+///
+/// Deliberately work-stealing-free: one shared queue, N workers, a single
+/// mutex + two condition variables. Query tasks are coarse (an entire NL
+/// pipeline run), so a shared queue never becomes the bottleneck and the
+/// simple design is easy to reason about under ThreadSanitizer. The bound
+/// turns overload into backpressure: TrySubmit refuses instead of growing
+/// the queue without limit, which is what the service layer's admission
+/// control wants.
+///
+/// \ingroup kathdb_common
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kathdb::common {
+
+/// \brief N workers draining one bounded FIFO queue.
+class ThreadPool {
+ public:
+  /// Starts `workers` threads (min 1). `max_queue` bounds the number of
+  /// *pending* (not yet running) tasks; 0 means unbounded.
+  explicit ThreadPool(int workers, size_t max_queue = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`; returns false when the queue is at capacity or the
+  /// pool is shutting down (the caller sheds load).
+  bool TrySubmit(std::function<void()> task);
+
+  /// Blocks until every queued task has been picked up *and* finished.
+  void Wait();
+
+  /// Stops accepting work, drains the queue, joins. Idempotent.
+  void Shutdown();
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+  size_t queue_depth() const;
+  /// Tasks currently executing on a worker.
+  size_t active() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable idle_cv_;   // Wait() waits for quiescence
+  std::deque<std::function<void()>> queue_;
+  size_t max_queue_ = 0;
+  size_t running_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace kathdb::common

@@ -229,7 +229,7 @@ Result<ExecutionReport> Executor::Run(const opt::PhysicalPlan& plan,
     for (int attempt = 0; attempt <= options_.max_repair_attempts;
          ++attempt) {
       KATHDB_ASSIGN_OR_RETURN(auto fn, fao::InstantiateFunction(spec));
-      result = fn->Execute(inputs, ctx);
+      result = fn->Evaluate(inputs, ctx);
       if (result.ok()) break;
       if (!result.status().IsSyntacticError() ||
           attempt == options_.max_repair_attempts) {

@@ -16,7 +16,13 @@ fao::ExecContext KathDB::MakeContext() {
   ctx.meter = &meter_;
   ctx.image_loader = &loader_;
   ctx.images = &images_;
+  ctx.result_cache = result_cache_;
   return ctx;
+}
+
+void KathDB::set_result_cache(service::ResultCache* cache) {
+  result_cache_ = cache;
+  llm_.set_result_cache(cache);
 }
 
 Status KathDB::RegisterTable(rel::TablePtr table, rel::RelationKind kind) {
@@ -48,14 +54,32 @@ Status KathDB::IngestImage(int64_t vid, const mm::SyntheticImage& image) {
 Result<QueryOutcome> KathDB::Query(const std::string& nl_query,
                                    llm::UserChannel* user) {
   fao::ExecContext ctx = MakeContext();
+  KATHDB_ASSIGN_OR_RETURN(QueryOutcome outcome,
+                          RunPipeline(nl_query, user, &ctx));
+  last_ = outcome;
+  return outcome;
+}
+
+Result<QueryOutcome> KathDB::QueryDetached(const std::string& nl_query,
+                                           llm::UserChannel* user) {
+  rel::ScopedCatalog scoped(&catalog_);
+  fao::ExecContext ctx = MakeContext();
+  ctx.catalog = &scoped;
+  return RunPipeline(nl_query, user, &ctx);
+}
+
+Result<QueryOutcome> KathDB::RunPipeline(const std::string& nl_query,
+                                         llm::UserChannel* user,
+                                         fao::ExecContext* ctx_in) {
+  fao::ExecContext& ctx = *ctx_in;
 
   // 1. Interactive NL parsing -> accepted query sketch.
-  parser::NlParser nl_parser(&llm_, user, &catalog_);
+  parser::NlParser nl_parser(&llm_, user, ctx.catalog);
   KATHDB_ASSIGN_OR_RETURN(parser::QuerySketch sketch,
                           nl_parser.Parse(nl_query));
 
   // 2. Logical plan generation (writer / tool user / verifier).
-  planner::LogicalPlanGenerator generator(&llm_, &catalog_);
+  planner::LogicalPlanGenerator generator(&llm_, ctx.catalog);
   KATHDB_ASSIGN_OR_RETURN(fao::LogicalPlan logical,
                           generator.Generate(sketch, nl_parser.intent()));
 
@@ -76,7 +100,6 @@ Result<QueryOutcome> KathDB::Query(const std::string& nl_query,
   outcome.logical_plan = std::move(logical);
   outcome.physical_plan = std::move(physical);
   outcome.report = std::move(report);
-  last_ = outcome;
   return outcome;
 }
 

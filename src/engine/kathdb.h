@@ -25,6 +25,7 @@
 
 #include "common/status.h"
 #include "engine/executor.h"
+#include "service/result_cache.h"
 #include "engine/explainer.h"
 #include "fao/function.h"
 #include "fao/registry.h"
@@ -74,7 +75,25 @@ class KathDB {
   mm::SimulatedVlm* vlm() { return &vlm_; }
   mm::SimulatedNer* ner() { return &ner_; }
   llm::SimulatedLLM* llm() { return &llm_; }
+  // Const overloads so read-only callers (stats endpoints, monitors)
+  // don't need a mutable handle on the facade.
+  const rel::Catalog* catalog() const { return &catalog_; }
+  const lineage::LineageStore* lineage() const { return &lineage_; }
+  const fao::FunctionRegistry* registry() const { return &registry_; }
+  const llm::UsageMeter* meter() const { return &meter_; }
+  const fao::ImageStore* images() const { return &images_; }
+  const mm::ImageLoader* image_loader() const { return &loader_; }
+  const mm::SimulatedVlm* vlm() const { return &vlm_; }
+  const mm::SimulatedNer* ner() const { return &ner_; }
+  const llm::SimulatedLLM* llm() const { return &llm_; }
   const KathDBOptions& options() const { return options_; }
+
+  /// Attaches a cross-query result cache: FAO evaluation (via the exec
+  /// context) and the simulated LLM both consult it. Call before serving
+  /// traffic; pass nullptr to detach. The cache is owned by the caller
+  /// (normally service::QueryService).
+  void set_result_cache(service::ResultCache* cache);
+  service::ResultCache* result_cache() const { return result_cache_; }
 
   /// Execution context wired to this instance's components.
   fao::ExecContext MakeContext();
@@ -94,6 +113,14 @@ class KathDB {
   Result<QueryOutcome> Query(const std::string& nl_query,
                              llm::UserChannel* user);
 
+  /// Re-entrant variant for the concurrent service layer: runs the same
+  /// pipeline against a per-query ScopedCatalog overlay (intermediates
+  /// stay query-local, so simultaneous queries never collide on output
+  /// names) and does *not* retain the outcome as `last_outcome()`.
+  /// Safe to call from many threads on one KathDB instance.
+  Result<QueryOutcome> QueryDetached(const std::string& nl_query,
+                                     llm::UserChannel* user);
+
   /// Coarse pipeline explanation of the last query (Figure 5, left).
   Result<std::string> ExplainPipeline();
   /// Fine-grained tuple explanation (Figure 5, right).
@@ -110,6 +137,13 @@ class KathDB {
   const std::optional<QueryOutcome>& last_outcome() const { return last_; }
 
  private:
+  /// Shared pipeline body behind Query/QueryDetached; all mutable state
+  /// it touches is reached through `ctx` or internally synchronized
+  /// components (registry, lineage, meter).
+  Result<QueryOutcome> RunPipeline(const std::string& nl_query,
+                                   llm::UserChannel* user,
+                                   fao::ExecContext* ctx);
+
   KathDBOptions options_;
   rel::Catalog catalog_;
   lineage::LineageStore lineage_;
@@ -120,6 +154,7 @@ class KathDB {
   fao::ImageStore images_;
   mm::SimulatedVlm vlm_;
   mm::SimulatedNer ner_;
+  service::ResultCache* result_cache_ = nullptr;  ///< not owned
   std::optional<QueryOutcome> last_;
 };
 

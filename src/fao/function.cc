@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "common/hash.h"
 #include "common/strings.h"
 #include "sql/engine.h"
 
@@ -551,6 +552,41 @@ class FusedScoresFunction : public PhysicalFunction {
 };
 
 }  // namespace
+
+bool PhysicalFunction::IsCacheableTemplate(const std::string& template_id) {
+  static const std::set<std::string> kPure = {
+      "keyword_similarity_score", "keyword_similarity_cached",
+      "recency_score",            "combine_scores",
+      "classify_boring_stats",    "classify_boring_pixels",
+      "classify_boring_cascade",  "fused_scores"};
+  return kPure.count(template_id) > 0;
+}
+
+uint64_t PhysicalFunction::SpecFingerprint() const {
+  uint64_t h = common::Fnv1a64(spec_.template_id);
+  h = common::HashCombine(h, common::Fnv1a64(spec_.params.Dump()));
+  h = common::HashCombine(h, common::Fnv1a64(spec_.dependency_pattern));
+  return h;
+}
+
+Result<rel::Table> PhysicalFunction::Evaluate(
+    const std::vector<rel::TablePtr>& inputs, ExecContext* ctx) {
+  service::ResultCache* cache = ctx != nullptr ? ctx->result_cache : nullptr;
+  if (cache == nullptr || !IsCacheableTemplate(spec_.template_id)) {
+    return Execute(inputs, ctx);
+  }
+  uint64_t key = common::HashCombine(SpecFingerprint(),
+                                     service::FingerprintTables(inputs));
+  if (auto hit = cache->Get(key); hit.has_value() && hit->table != nullptr) {
+    // Copy out: callers rename the result and rewrite its lineage ids;
+    // the shared cached table stays immutable.
+    return *hit->table;
+  }
+  KATHDB_ASSIGN_OR_RETURN(rel::Table out, Execute(inputs, ctx));
+  cache->Put(key, service::CacheEntry{std::make_shared<rel::Table>(out),
+                                      std::string()});
+  return out;
+}
 
 bool IsKnownTemplate(const std::string& template_id) {
   static const std::set<std::string> kKnown = {

@@ -19,6 +19,7 @@
 
 #include "common/status.h"
 #include "fao/spec.h"
+#include "service/result_cache.h"
 #include "lineage/lineage.h"
 #include "llm/model.h"
 #include "multimodal/media.h"
@@ -60,6 +61,9 @@ struct ExecContext {
   mm::SceneGraphViews scene_views;
   mm::TextGraphViews text_views;
   const vec::TextEmbedder* embedder = nullptr;  ///< defaults provided
+  /// Optional cross-query memo for pure function templates (service
+  /// layer); consulted by PhysicalFunction::Evaluate.
+  service::ResultCache* result_cache = nullptr;
 };
 
 /// \brief One executable, versioned implementation of a logical function.
@@ -75,6 +79,25 @@ class PhysicalFunction {
   /// candidates for the agentic monitor's automatic repair.
   virtual Result<rel::Table> Execute(const std::vector<rel::TablePtr>& inputs,
                                      ExecContext* ctx) = 0;
+
+  /// Cache-aware entry point used by the executor and the optimizer's
+  /// profiler: when `ctx->result_cache` is set and the template is pure
+  /// (output determined by spec parameters + input contents + immutable
+  /// ingest state), looks up the 64-bit key spec-fingerprint x
+  /// input-fingerprint; a hit returns the memoized table without running
+  /// the body (skipping its model charges — the cross-query saving); a
+  /// miss executes and stores. Falls back to plain Execute otherwise.
+  Result<rel::Table> Evaluate(const std::vector<rel::TablePtr>& inputs,
+                              ExecContext* ctx);
+
+  /// True for templates whose output is a pure function of the spec and
+  /// input contents. "sql" is excluded: its body reads arbitrary catalog
+  /// state and multi-step bodies register intermediates as a side effect.
+  static bool IsCacheableTemplate(const std::string& template_id);
+
+  /// 64-bit fingerprint of the behavioural part of the spec (template,
+  /// parameters, dependency pattern — not name or version).
+  uint64_t SpecFingerprint() const;
 
  protected:
   FunctionSpec spec_;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,11 @@
 namespace kathdb::fao {
 
 /// \brief name -> ordered version list of FunctionSpecs.
+///
+/// Internally synchronized: version stamping, lookups and persistence may
+/// be called from concurrent queries (the service layer shares one
+/// registry across sessions so repairs and optimizer choices are visible
+/// everywhere).
 class FunctionRegistry {
  public:
   /// Stamps the next ver_id for `spec.name` and stores it. Returns the
@@ -42,7 +48,10 @@ class FunctionRegistry {
   Result<int64_t> RollbackTo(const std::string& name, int64_t ver_id);
 
   std::vector<std::string> FunctionNames() const;
-  size_t num_functions() const { return specs_.size(); }
+  size_t num_functions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return specs_.size();
+  }
 
   /// Persists every function as `<dir>/<name>.json` (an array of version
   /// objects). Creates `dir` if needed.
@@ -52,6 +61,11 @@ class FunctionRegistry {
   Status LoadFromDir(const std::string& dir);
 
  private:
+  Result<FunctionSpec> VersionLocked(const std::string& name,
+                                     int64_t ver_id) const;
+  int64_t RegisterNewVersionLocked(FunctionSpec spec);
+
+  mutable std::mutex mu_;
   std::map<std::string, std::vector<FunctionSpec>> specs_;
 };
 

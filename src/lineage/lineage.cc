@@ -20,9 +20,12 @@ const char* DependencyPatternName(DependencyPattern p) {
   return "?";
 }
 
-int64_t LineageStore::NewLid() { return next_lid_++; }
+int64_t LineageStore::NewLid() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lid_++;
+}
 
-void LineageStore::Append(LineageEntry e) {
+void LineageStore::AppendLocked(LineageEntry e) {
   clock_ += 0.1;
   e.ts = clock_;
   by_child_.emplace(e.lid, entries_.size());
@@ -33,21 +36,23 @@ int64_t LineageStore::RecordIngest(const std::string& src_uri,
                                    const std::string& func_id, int64_t ver_id,
                                    LineageDataType type) {
   if (mode_ == TrackingMode::kOff) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
   LineageEntry e;
-  e.lid = NewLid();
+  e.lid = next_lid_++;
   e.parent_lid = std::nullopt;
   e.src_uri = src_uri;
   e.func_id = func_id;
   e.ver_id = ver_id;
   e.data_type = type;
   int64_t lid = e.lid;
-  Append(std::move(e));
+  AppendLocked(std::move(e));
   return lid;
 }
 
 int64_t LineageStore::RecordRowDerivation(int64_t parent_lid,
                                           const std::string& func_id,
                                           int64_t ver_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   switch (mode_) {
     case TrackingMode::kOff:
     case TrackingMode::kTable:
@@ -63,13 +68,13 @@ int64_t LineageStore::RecordRowDerivation(int64_t parent_lid,
       break;
   }
   LineageEntry e;
-  e.lid = NewLid();
+  e.lid = next_lid_++;
   if (parent_lid != 0) e.parent_lid = parent_lid;
   e.func_id = func_id;
   e.ver_id = ver_id;
   e.data_type = LineageDataType::kRow;
   int64_t lid = e.lid;
-  Append(std::move(e));
+  AppendLocked(std::move(e));
   return lid;
 }
 
@@ -77,14 +82,15 @@ int64_t LineageStore::RecordTableDerivation(
     const std::vector<int64_t>& parent_lids, const std::string& func_id,
     int64_t ver_id) {
   if (mode_ == TrackingMode::kOff) return 0;
-  int64_t lid = NewLid();
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t lid = next_lid_++;
   if (parent_lids.empty()) {
     LineageEntry e;
     e.lid = lid;
     e.func_id = func_id;
     e.ver_id = ver_id;
     e.data_type = LineageDataType::kTable;
-    Append(std::move(e));
+    AppendLocked(std::move(e));
     return lid;
   }
   for (int64_t p : parent_lids) {
@@ -94,12 +100,12 @@ int64_t LineageStore::RecordTableDerivation(
     e.func_id = func_id;
     e.ver_id = ver_id;
     e.data_type = LineageDataType::kTable;
-    Append(std::move(e));
+    AppendLocked(std::move(e));
   }
   return lid;
 }
 
-std::vector<LineageEntry> LineageStore::EdgesOf(int64_t lid) const {
+std::vector<LineageEntry> LineageStore::EdgesOfLocked(int64_t lid) const {
   std::vector<LineageEntry> out;
   auto [lo, hi] = by_child_.equal_range(lid);
   for (auto it = lo; it != hi; ++it) {
@@ -108,15 +114,22 @@ std::vector<LineageEntry> LineageStore::EdgesOf(int64_t lid) const {
   return out;
 }
 
+std::vector<LineageEntry> LineageStore::EdgesOf(int64_t lid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EdgesOfLocked(lid);
+}
+
 std::vector<int64_t> LineageStore::ParentsOf(int64_t lid) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<int64_t> out;
-  for (const auto& e : EdgesOf(lid)) {
+  for (const auto& e : EdgesOfLocked(lid)) {
     if (e.parent_lid.has_value()) out.push_back(*e.parent_lid);
   }
   return out;
 }
 
 std::vector<LineageEntry> LineageStore::TraceToSources(int64_t lid) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<LineageEntry> out;
   std::set<int64_t> visited;
   std::vector<int64_t> frontier{lid};
@@ -124,7 +137,7 @@ std::vector<LineageEntry> LineageStore::TraceToSources(int64_t lid) const {
     int64_t cur = frontier.back();
     frontier.pop_back();
     if (!visited.insert(cur).second) continue;
-    for (const auto& e : EdgesOf(cur)) {
+    for (const auto& e : EdgesOfLocked(cur)) {
       out.push_back(e);
       if (e.parent_lid.has_value()) frontier.push_back(*e.parent_lid);
     }
@@ -142,6 +155,7 @@ rel::Table LineageStore::ToTable(size_t max_rows) const {
                                        {"ver_id", DataType::kInt},
                                        {"data_type", DataType::kString},
                                        {"ts", DataType::kDouble}}));
+  std::lock_guard<std::mutex> lock(mu_);
   size_t n = max_rows == 0 ? entries_.size()
                            : std::min(max_rows, entries_.size());
   for (size_t i = 0; i < n; ++i) {
@@ -160,6 +174,7 @@ rel::Table LineageStore::ToTable(size_t max_rows) const {
 }
 
 size_t LineageStore::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t bytes = 0;
   for (const auto& e : entries_) {
     bytes += sizeof(LineageEntry) + e.src_uri.size() + e.func_id.size();

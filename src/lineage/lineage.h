@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -58,6 +59,11 @@ struct LineageEntry {
 };
 
 /// \brief Append-only provenance store with graph traversal.
+///
+/// Appends and traversals are internally synchronized (one mutex), so
+/// concurrent queries of the service layer can record derivations into a
+/// shared store. The zero-copy `entries()` accessor is the exception: it
+/// is only safe while no concurrent writer is active (tests/benches).
 class LineageStore {
  public:
   explicit LineageStore(TrackingMode mode = TrackingMode::kRow,
@@ -97,7 +103,11 @@ class LineageStore {
   /// returned once, root-most last.
   std::vector<LineageEntry> TraceToSources(int64_t lid) const;
 
-  size_t num_entries() const { return entries_.size(); }
+  size_t num_entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  /// Unsynchronized view; only valid without concurrent writers.
   const std::vector<LineageEntry>& entries() const { return entries_; }
 
   /// Renders the store as a relational table in the Table-3 layout for the
@@ -108,8 +118,10 @@ class LineageStore {
   size_t ApproxBytes() const;
 
  private:
-  void Append(LineageEntry e);
+  void AppendLocked(LineageEntry e);
+  std::vector<LineageEntry> EdgesOfLocked(int64_t lid) const;
 
+  mutable std::mutex mu_;
   TrackingMode mode_;
   double sample_rate_;
   int64_t next_lid_ = 1;

@@ -1,9 +1,16 @@
 #include "llm/channel.h"
 
+#include <chrono>
+#include <thread>
+
 namespace kathdb::llm {
 
 Result<std::string> ScriptedUser::Ask(const std::string& stage,
                                       const std::string& question) {
+  if (reply_latency_ms_ > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(reply_latency_ms_));
+  }
   ++questions_;
   std::string answer = "OK";
   if (!replies_.empty()) {

@@ -57,6 +57,13 @@ class ScriptedUser : public UserChannel {
   /// Appends a reply to the script.
   void Push(const std::string& reply) { replies_.push_back(reply); }
 
+  /// Simulated think time: each Ask blocks this many milliseconds before
+  /// answering, reproducing a remote user on the other end of the
+  /// channel. The service layer overlaps this latency across sessions —
+  /// it is what the worker pool exists to hide. Default 0 (instant).
+  void set_reply_latency_ms(double ms) { reply_latency_ms_ = ms; }
+  double reply_latency_ms() const { return reply_latency_ms_; }
+
   Result<std::string> Ask(const std::string& stage,
                           const std::string& question) override;
   void Notify(const std::string& stage, const std::string& message) override;
@@ -67,6 +74,7 @@ class ScriptedUser : public UserChannel {
   std::deque<std::string> replies_;
   std::vector<Exchange> history_;
   size_t questions_ = 0;
+  double reply_latency_ms_ = 0.0;
 };
 
 }  // namespace kathdb::llm

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "common/hash.h"
 #include "common/strings.h"
+#include "service/result_cache.h"
 #include "vector/embedding.h"
 
 namespace kathdb::llm {
@@ -14,41 +16,83 @@ ModelSpec KathVisionSpec() { return {"kath-vision", 0.0030, 0.0120, 0.93}; }
 
 void UsageMeter::Record(const ModelSpec& model, int prompt_tokens,
                         int completion_tokens) {
-  ++total_calls_;
-  prompt_tokens_ += prompt_tokens;
-  completion_tokens_ += completion_tokens;
-  cost_usd_ += prompt_tokens / 1000.0 * model.usd_per_1k_prompt +
-               completion_tokens / 1000.0 * model.usd_per_1k_completion;
+  total_calls_.fetch_add(1, std::memory_order_relaxed);
+  prompt_tokens_.fetch_add(prompt_tokens, std::memory_order_relaxed);
+  completion_tokens_.fetch_add(completion_tokens, std::memory_order_relaxed);
+  double delta = prompt_tokens / 1000.0 * model.usd_per_1k_prompt +
+                 completion_tokens / 1000.0 * model.usd_per_1k_completion;
+  // C++17 has no atomic<double>::fetch_add; a CAS loop keeps the total
+  // exact under contention.
+  double cur = cost_usd_.load(std::memory_order_relaxed);
+  while (!cost_usd_.compare_exchange_weak(cur, cur + delta,
+                                          std::memory_order_relaxed)) {
+  }
+  std::lock_guard<std::mutex> lock(map_mu_);
   per_model_tokens_[model.name] += prompt_tokens + completion_tokens;
 }
 
 int64_t UsageMeter::tokens_for(const std::string& model_name) const {
+  std::lock_guard<std::mutex> lock(map_mu_);
   auto it = per_model_tokens_.find(model_name);
   return it == per_model_tokens_.end() ? 0 : it->second;
 }
 
 void UsageMeter::Reset() {
-  total_calls_ = 0;
-  prompt_tokens_ = 0;
-  completion_tokens_ = 0;
-  cost_usd_ = 0.0;
+  total_calls_.store(0, std::memory_order_relaxed);
+  prompt_tokens_.store(0, std::memory_order_relaxed);
+  completion_tokens_.store(0, std::memory_order_relaxed);
+  cost_usd_.store(0.0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(map_mu_);
   per_model_tokens_.clear();
 }
 
 std::string UsageMeter::Summary() const {
   char buf[128];
   std::snprintf(buf, sizeof(buf), "calls=%lld tokens=%.1fk cost=$%.4f",
-                static_cast<long long>(total_calls_),
-                total_tokens() / 1000.0, cost_usd_);
+                static_cast<long long>(total_calls()),
+                total_tokens() / 1000.0, total_cost_usd());
   return buf;
 }
 
 void SimulatedLLM::Charge(const std::string& prompt,
                           const std::string& completion) {
+  if (cache_ != nullptr) {
+    // With a result cache attached (service mode), an identical call that
+    // some query already paid for is answered "from cache" and not
+    // metered again — the simulated analogue of provider prompt caching.
+    // Probed via Contains so these dedup markers do not count into the
+    // hit/miss stats, which track reuse of actual results.
+    uint64_t key = common::Fnv1a64("charge:" + spec_.name);
+    key = common::HashCombine(key, common::Fnv1a64(prompt));
+    key = common::HashCombine(key, common::Fnv1a64(completion));
+    if (cache_->Contains(key)) return;
+    cache_->Put(key, service::CacheEntry{nullptr, std::string()});
+  }
   if (meter_ != nullptr) {
     meter_->Record(spec_, ApproxTokenCount(prompt),
                    ApproxTokenCount(completion));
   }
+}
+
+std::string SimulatedLLM::Complete(
+    const std::string& prompt, const std::function<std::string()>& generate) {
+  uint64_t key = 0;
+  if (cache_ != nullptr) {
+    key = common::HashCombine(common::Fnv1a64(spec_.name),
+                              common::Fnv1a64(prompt));
+    if (auto hit = cache_->Get(key)) return hit->text;
+  }
+  std::string completion = generate();
+  // Metered directly: the completion entry below already dedups repeat
+  // calls, so Charge's marker entry would only waste cache slots.
+  if (meter_ != nullptr) {
+    meter_->Record(spec_, ApproxTokenCount(prompt),
+                   ApproxTokenCount(completion));
+  }
+  if (cache_ != nullptr) {
+    cache_->Put(key, service::CacheEntry{nullptr, completion});
+  }
+  return completion;
 }
 
 std::vector<std::string> SimulatedLLM::DetectAmbiguousTerms(
@@ -58,90 +102,101 @@ std::vector<std::string> SimulatedLLM::DetectAmbiguousTerms(
       "exciting", "boring",  "good",       "best", "interesting", "nice",
       "fun",      "scary",   "beautiful",  "bad",  "great",       "cool",
       "dull",     "notable", "memorable"};
+  std::string completion = Complete(
+      "Look for ambiguous terms or subjective words in the query: " + query,
+      [&] {
+        std::vector<std::string> found;
+        for (const auto& tok : Tokenize(query)) {
+          if (kSubjective.count(tok) > 0 &&
+              std::find(found.begin(), found.end(), tok) == found.end()) {
+            found.push_back(tok);
+          }
+        }
+        return Join(found, ", ");
+      });
   std::vector<std::string> found;
-  for (const auto& tok : Tokenize(query)) {
-    if (kSubjective.count(tok) > 0 &&
-        std::find(found.begin(), found.end(), tok) == found.end()) {
-      found.push_back(tok);
-    }
-  }
-  Charge("Look for ambiguous terms or subjective words in the query: " +
-             query,
-         Join(found, ", "));
+  for (const auto& piece : SplitAny(completion, ", ")) found.push_back(piece);
   return found;
 }
 
 std::vector<std::string> SimulatedLLM::GenerateKeywords(
     const std::string& term, const std::string& context) {
-  static const vec::ConceptLexicon lexicon = vec::ConceptLexicon::BuiltIn();
-  std::string t = ToLower(term);
-  std::vector<std::string> concepts;
-  // Map the subjective term (refined by user context) onto lexicon
-  // concepts, as the paper's LLM maps "exciting" to weapons/motorcycles.
-  if (t == "exciting" || t == "scary" || t == "intense") {
-    concepts = {"violence", "action"};
-    if (ContainsIgnoreCase(context, "uncommon") ||
-        ContainsIgnoreCase(context, "real life")) {
-      concepts.push_back("suspense");
-    }
-  } else if (t == "boring" || t == "dull" || t == "plain") {
-    concepts = {"visual_dull"};
-  } else if (t == "romantic") {
-    concepts = {"romance"};
-  } else if (t == "calm" || t == "peaceful") {
-    concepts = {"calm"};
-  } else {
-    concepts = {"action"};
-  }
-  std::vector<std::string> keywords;
-  for (const auto& c : concepts) {
-    for (const auto& tok : lexicon.TokensOf(c)) {
-      keywords.push_back(tok);
-    }
-  }
-  // Keep the list prompt-sized: representative subset, stable order.
-  if (keywords.size() > 16) keywords.resize(16);
-  Charge("Generate a keyword list capturing '" + term +
-             "' given the user context: " + context,
-         Join(keywords, ", "));
-  return keywords;
+  std::string completion = Complete(
+      "Generate a keyword list capturing '" + term +
+          "' given the user context: " + context,
+      [&] {
+        static const vec::ConceptLexicon lexicon =
+            vec::ConceptLexicon::BuiltIn();
+        std::string t = ToLower(term);
+        std::vector<std::string> concepts;
+        // Map the subjective term (refined by user context) onto lexicon
+        // concepts, as the paper's LLM maps "exciting" to
+        // weapons/motorcycles.
+        if (t == "exciting" || t == "scary" || t == "intense") {
+          concepts = {"violence", "action"};
+          if (ContainsIgnoreCase(context, "uncommon") ||
+              ContainsIgnoreCase(context, "real life")) {
+            concepts.push_back("suspense");
+          }
+        } else if (t == "boring" || t == "dull" || t == "plain") {
+          concepts = {"visual_dull"};
+        } else if (t == "romantic") {
+          concepts = {"romance"};
+        } else if (t == "calm" || t == "peaceful") {
+          concepts = {"calm"};
+        } else {
+          concepts = {"action"};
+        }
+        std::vector<std::string> keywords;
+        for (const auto& c : concepts) {
+          for (const auto& tok : lexicon.TokensOf(c)) {
+            keywords.push_back(tok);
+          }
+        }
+        // Keep the list prompt-sized: representative subset, stable order.
+        if (keywords.size() > 16) keywords.resize(16);
+        return Join(keywords, ", ");
+      });
+  return SplitAny(completion, ", ");
 }
 
 std::string SimulatedLLM::ClassifyDependencyPattern(
     const std::string& description) {
-  std::string d = ToLower(description);
-  std::string pattern;
-  if (ContainsIgnoreCase(d, "join") || ContainsIgnoreCase(d, "combine all") ||
-      ContainsIgnoreCase(d, "merge")) {
-    pattern = "many_to_many";
-  } else if (ContainsIgnoreCase(d, "rank") || ContainsIgnoreCase(d, "sort") ||
-             ContainsIgnoreCase(d, "aggregate") ||
-             ContainsIgnoreCase(d, "count") ||
-             ContainsIgnoreCase(d, "top")) {
-    pattern = "many_to_one";
-  } else if (ContainsIgnoreCase(d, "expand") ||
-             ContainsIgnoreCase(d, "extract each") ||
-             ContainsIgnoreCase(d, "split")) {
-    pattern = "one_to_many";
-  } else {
-    // score / classify / filter / select: one output row per input row.
-    pattern = "one_to_one";
-  }
-  Charge("Classify the dependency pattern (one_to_one, one_to_many, "
-         "many_to_one, many_to_many) of: " +
-             description,
-         pattern);
-  return pattern;
+  return Complete(
+      "Classify the dependency pattern (one_to_one, one_to_many, "
+      "many_to_one, many_to_many) of: " +
+          description,
+      [&] {
+        std::string d = ToLower(description);
+        if (ContainsIgnoreCase(d, "join") ||
+            ContainsIgnoreCase(d, "combine all") ||
+            ContainsIgnoreCase(d, "merge")) {
+          return std::string("many_to_many");
+        }
+        if (ContainsIgnoreCase(d, "rank") || ContainsIgnoreCase(d, "sort") ||
+            ContainsIgnoreCase(d, "aggregate") ||
+            ContainsIgnoreCase(d, "count") || ContainsIgnoreCase(d, "top")) {
+          return std::string("many_to_one");
+        }
+        if (ContainsIgnoreCase(d, "expand") ||
+            ContainsIgnoreCase(d, "extract each") ||
+            ContainsIgnoreCase(d, "split")) {
+          return std::string("one_to_many");
+        }
+        // score / classify / filter / select: one output row per input row.
+        return std::string("one_to_one");
+      });
 }
 
 std::string SimulatedLLM::Summarize(const std::string& text) {
-  // Deterministic "summary": first clause, trimmed.
-  std::string out = text;
-  auto cut = out.find_first_of(".;\n");
-  if (cut != std::string::npos) out = out.substr(0, cut);
-  if (out.size() > 140) out = out.substr(0, 137) + "...";
-  Charge("Summarize: " + text, out);
-  return out;
+  return Complete("Summarize: " + text, [&] {
+    // Deterministic "summary": first clause, trimmed.
+    std::string out = text;
+    auto cut = out.find_first_of(".;\n");
+    if (cut != std::string::npos) out = out.substr(0, cut);
+    if (out.size() > 140) out = out.substr(0, 137) + "...";
+    return out;
+  });
 }
 
 }  // namespace kathdb::llm

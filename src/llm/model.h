@@ -13,12 +13,19 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+
+namespace kathdb::service {
+class ResultCache;
+}  // namespace kathdb::service
 
 namespace kathdb::llm {
 
@@ -38,16 +45,30 @@ ModelSpec KathMiniSpec();    ///< cheap cascade tier
 ModelSpec KathVisionSpec();  ///< vision-language tier
 
 /// \brief Accumulates tokens and cost across all simulated calls.
+///
+/// Thread-safe: the scalar totals are lock-free atomics and the per-model
+/// breakdown hides behind a small mutex, so one meter can aggregate usage
+/// across every concurrent session of the service layer.
 class UsageMeter {
  public:
   void Record(const ModelSpec& model, int prompt_tokens,
               int completion_tokens);
 
-  int64_t total_calls() const { return total_calls_; }
-  int64_t total_prompt_tokens() const { return prompt_tokens_; }
-  int64_t total_completion_tokens() const { return completion_tokens_; }
-  int64_t total_tokens() const { return prompt_tokens_ + completion_tokens_; }
-  double total_cost_usd() const { return cost_usd_; }
+  int64_t total_calls() const {
+    return total_calls_.load(std::memory_order_relaxed);
+  }
+  int64_t total_prompt_tokens() const {
+    return prompt_tokens_.load(std::memory_order_relaxed);
+  }
+  int64_t total_completion_tokens() const {
+    return completion_tokens_.load(std::memory_order_relaxed);
+  }
+  int64_t total_tokens() const {
+    return total_prompt_tokens() + total_completion_tokens();
+  }
+  double total_cost_usd() const {
+    return cost_usd_.load(std::memory_order_relaxed);
+  }
 
   /// Tokens attributed to one model tier.
   int64_t tokens_for(const std::string& model_name) const;
@@ -58,10 +79,11 @@ class UsageMeter {
   std::string Summary() const;
 
  private:
-  int64_t total_calls_ = 0;
-  int64_t prompt_tokens_ = 0;
-  int64_t completion_tokens_ = 0;
-  double cost_usd_ = 0.0;
+  std::atomic<int64_t> total_calls_{0};
+  std::atomic<int64_t> prompt_tokens_{0};
+  std::atomic<int64_t> completion_tokens_{0};
+  std::atomic<double> cost_usd_{0.0};
+  mutable std::mutex map_mu_;
   std::map<std::string, int64_t> per_model_tokens_;
 };
 
@@ -78,6 +100,20 @@ class SimulatedLLM {
 
   /// Meters one simulated call (token counts approximated from text).
   void Charge(const std::string& prompt, const std::string& completion);
+
+  /// Attaches a cross-query completion cache (may be null to detach).
+  /// Must be called before concurrent use begins; the pointer itself is
+  /// not synchronized.
+  void set_result_cache(service::ResultCache* cache) { cache_ = cache; }
+  service::ResultCache* result_cache() const { return cache_; }
+
+  /// Memoized completion for `prompt`: a cache hit returns the stored
+  /// completion without metering a call (the whole point — a repeated
+  /// identical call costs no tokens); a miss runs `generate`, meters the
+  /// prompt/completion pair, and stores it. Without an attached cache
+  /// this is exactly generate-then-Charge.
+  std::string Complete(const std::string& prompt,
+                       const std::function<std::string()>& generate);
 
   /// Subjective/ambiguous terms found in `query` ("exciting", "boring",
   /// "good", ...) that warrant a proactive clarification question.
@@ -101,6 +137,7 @@ class SimulatedLLM {
  private:
   ModelSpec spec_;
   UsageMeter* meter_;
+  service::ResultCache* cache_ = nullptr;
 };
 
 }  // namespace kathdb::llm

@@ -116,7 +116,7 @@ Result<SyntheticImage> ImageLoader::Load(const std::string& path) const {
 Result<SyntheticImage> ImageLoader::Decode(const SyntheticImage& raw) const {
   if (raw.format == "simg") return raw;
   if (raw.format == "heic") {
-    if (!heic_supported_) {
+    if (!heic_supported()) {
       return Status::SyntacticError(
           "unsupported file format 'heic' for image '" + raw.uri +
           "': decoder cannot read HEIC input");

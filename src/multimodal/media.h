@@ -16,6 +16,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -84,11 +85,17 @@ class ImageLoader {
   /// Decodes an in-memory image, applying the same format gate.
   Result<SyntheticImage> Decode(const SyntheticImage& raw) const;
 
-  void EnableHeicConversion() { heic_supported_ = true; }
-  bool heic_supported() const { return heic_supported_; }
+  /// Atomic: the agentic monitor flips this mid-query while other
+  /// sessions' decodes read it concurrently.
+  void EnableHeicConversion() {
+    heic_supported_.store(true, std::memory_order_relaxed);
+  }
+  bool heic_supported() const {
+    return heic_supported_.load(std::memory_order_relaxed);
+  }
 
  private:
-  bool heic_supported_ = false;
+  std::atomic<bool> heic_supported_{false};
 };
 
 }  // namespace kathdb::mm

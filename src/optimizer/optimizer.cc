@@ -425,7 +425,7 @@ Result<FunctionSpec> QueryOptimizer::CriticLoop(
       probe->AppendRow({rel::Value::Int(1960)});
       probe->AppendRow({rel::Value::Int(2010)});
       KATHDB_ASSIGN_OR_RETURN(auto fn, fao::InstantiateFunction(spec));
-      KATHDB_ASSIGN_OR_RETURN(Table out, fn->Execute({probe}, ctx));
+      KATHDB_ASSIGN_OR_RETURN(Table out, fn->Evaluate({probe}, ctx));
       auto cidx = out.schema().IndexOf(
           spec.params.GetString("output_column", "recency_score"));
       if (!cidx.has_value() || out.num_rows() != 2) {
@@ -453,7 +453,7 @@ Result<FunctionSpec> QueryOptimizer::CriticLoop(
           "probe", rel::Schema({{"did", rel::DataType::kInt}}));
       probe->AppendRow({rel::Value::Int(-1)});
       KATHDB_ASSIGN_OR_RETURN(auto fn, fao::InstantiateFunction(spec));
-      KATHDB_ASSIGN_OR_RETURN(Table out, fn->Execute({probe}, ctx));
+      KATHDB_ASSIGN_OR_RETURN(Table out, fn->Evaluate({probe}, ctx));
       auto cidx = out.schema().IndexOf(
           spec.params.GetString("output_column", "score"));
       if (cidx.has_value() && out.num_rows() == 1) {
@@ -530,6 +530,8 @@ Result<PhysicalPlan> QueryOptimizer::Optimize(const LogicalPlan& plan,
         run.idx = i;
         auto fn = fao::InstantiateFunction(candidates[i]);
         if (fn.ok()) {
+          // Plain Execute, never the cache-aware Evaluate: timing a
+          // memoized lookup would corrupt the runtime comparison.
           auto t0 = std::chrono::steady_clock::now();
           auto out = fn.value()->Execute({profile_sample}, ctx);
           auto t1 = std::chrono::steady_clock::now();

@@ -1,104 +1,35 @@
 #include "relational/catalog.h"
 
 #include <algorithm>
+#include <mutex>
 #include <set>
 
 namespace kathdb::rel {
 
-Status Catalog::Register(TablePtr table, RelationKind kind) {
-  if (table == nullptr) return Status::InvalidArgument("null table");
-  const std::string name = table->name();
-  if (entries_.count(name) > 0) {
-    return Status::AlreadyExists("relation '" + name +
-                                 "' already registered");
+namespace {
+
+const char* KindName(RelationKind kind) {
+  switch (kind) {
+    case RelationKind::kBaseTable:
+      return "base";
+    case RelationKind::kView:
+      return "view";
+    case RelationKind::kIntermediate:
+      return "intermediate";
   }
-  order_.push_back(name);
-  entries_[name] = Entry{std::move(table), kind};
-  return Status::OK();
+  return "intermediate";
 }
 
-void Catalog::Upsert(TablePtr table, RelationKind kind) {
-  if (table == nullptr) return;
-  const std::string name = table->name();
-  auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    order_.push_back(name);
-  }
-  entries_[name] = Entry{std::move(table), kind};
-}
-
-Result<TablePtr> Catalog::Get(const std::string& name) const {
-  auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    return Status::NotFound("relation '" + name + "' not in catalog");
-  }
-  return it->second.table;
-}
-
-bool Catalog::Has(const std::string& name) const {
-  return entries_.count(name) > 0;
-}
-
-Status Catalog::Drop(const std::string& name) {
-  auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    return Status::NotFound("relation '" + name + "' not in catalog");
-  }
-  entries_.erase(it);
-  order_.erase(std::remove(order_.begin(), order_.end(), name), order_.end());
-  return Status::OK();
-}
-
-RelationKind Catalog::KindOf(const std::string& name) const {
-  auto it = entries_.find(name);
-  return it == entries_.end() ? RelationKind::kIntermediate : it->second.kind;
-}
-
-std::vector<std::string> Catalog::ListNames() const { return order_; }
-
-Result<Table> Catalog::SampleRows(const std::string& name, size_t n) const {
-  KATHDB_ASSIGN_OR_RETURN(TablePtr t, Get(name));
-  return t->Head(n);
-}
-
-std::string Catalog::DescribeAll() const {
-  std::string out;
-  for (const auto& name : order_) {
-    const Entry& e = entries_.at(name);
-    out += name;
-    out += "(";
-    out += e.table->schema().ToString();
-    out += ") [";
-    switch (e.kind) {
-      case RelationKind::kBaseTable:
-        out += "base";
-        break;
-      case RelationKind::kView:
-        out += "view";
-        break;
-      case RelationKind::kIntermediate:
-        out += "intermediate";
-        break;
-    }
-    out += ", " + std::to_string(e.table->num_rows()) + " rows]\n";
-  }
-  return out;
-}
-
-bool Catalog::Joinable(const std::string& left, const std::string& right,
-                       std::string* on_column) const {
-  auto lit = entries_.find(left);
-  auto rit = entries_.find(right);
-  if (lit == entries_.end() || rit == entries_.end()) return false;
-  const Schema& ls = lit->second.table->schema();
-  const Schema& rs = rit->second.table->schema();
+/// Shared joinability heuristic over two resolved tables.
+bool JoinableTables(const Table& lt, const Table& rt,
+                    std::string* on_column) {
+  const Schema& ls = lt.schema();
+  const Schema& rs = rt.schema();
   for (const auto& lc : ls.columns()) {
     auto ri = rs.IndexOf(lc.name);
     if (!ri.has_value()) continue;
     if (rs.column(*ri).type != lc.type) continue;
     // Require some value overlap on a sample to call it joinable.
-    const Table& lt = *lit->second.table;
-    const Table& rt = *rit->second.table;
     std::set<std::string> lvals;
     size_t li = *ls.IndexOf(lc.name);
     for (size_t r = 0; r < std::min<size_t>(lt.num_rows(), 64); ++r) {
@@ -112,6 +43,195 @@ bool Catalog::Joinable(const std::string& left, const std::string& right,
     }
   }
   return false;
+}
+
+}  // namespace
+
+Status Catalog::Register(TablePtr table, RelationKind kind) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  const std::string name = table->name();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (entries_.count(name) > 0) {
+    return Status::AlreadyExists("relation '" + name +
+                                 "' already registered");
+  }
+  order_.push_back(name);
+  entries_[name] = Entry{std::move(table), kind};
+  return Status::OK();
+}
+
+void Catalog::Upsert(TablePtr table, RelationKind kind) {
+  if (table == nullptr) return;
+  const std::string name = table->name();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    order_.push_back(name);
+  }
+  entries_[name] = Entry{std::move(table), kind};
+}
+
+Result<TablePtr> Catalog::GetLocked(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("relation '" + name + "' not in catalog");
+  }
+  return it->second.table;
+}
+
+Result<TablePtr> Catalog::Get(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return GetLocked(name);
+}
+
+bool Catalog::Has(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_.count(name) > 0;
+}
+
+Status Catalog::Drop(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("relation '" + name + "' not in catalog");
+  }
+  entries_.erase(it);
+  order_.erase(std::remove(order_.begin(), order_.end(), name), order_.end());
+  return Status::OK();
+}
+
+RelationKind Catalog::KindOf(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? RelationKind::kIntermediate : it->second.kind;
+}
+
+std::vector<std::string> Catalog::ListNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return order_;
+}
+
+Result<Table> Catalog::SampleRows(const std::string& name, size_t n) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  KATHDB_ASSIGN_OR_RETURN(TablePtr t, GetLocked(name));
+  return t->Head(n);
+}
+
+std::string Catalog::DescribeEntry(const std::string& name,
+                                   const Entry& e) const {
+  std::string out = name;
+  out += "(";
+  out += e.table->schema().ToString();
+  out += ") [";
+  out += KindName(e.kind);
+  out += ", " + std::to_string(e.table->num_rows()) + " rows]\n";
+  return out;
+}
+
+std::string Catalog::DescribeAll() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::string out;
+  for (const auto& name : order_) {
+    out += DescribeEntry(name, entries_.at(name));
+  }
+  return out;
+}
+
+bool Catalog::Joinable(const std::string& left, const std::string& right,
+                       std::string* on_column) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto lit = entries_.find(left);
+  auto rit = entries_.find(right);
+  if (lit == entries_.end() || rit == entries_.end()) return false;
+  return JoinableTables(*lit->second.table, *rit->second.table, on_column);
+}
+
+// ----------------------------------------------------------- ScopedCatalog
+
+Status ScopedCatalog::Register(TablePtr table, RelationKind kind) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  const std::string name = table->name();
+  if (overlay_.count(name) > 0 || base_->Has(name)) {
+    return Status::AlreadyExists("relation '" + name +
+                                 "' already registered");
+  }
+  order_.push_back(name);
+  overlay_[name] = OverlayEntry{std::move(table), kind};
+  return Status::OK();
+}
+
+void ScopedCatalog::Upsert(TablePtr table, RelationKind kind) {
+  if (table == nullptr) return;
+  const std::string name = table->name();
+  if (overlay_.count(name) == 0) order_.push_back(name);
+  overlay_[name] = OverlayEntry{std::move(table), kind};
+}
+
+Result<TablePtr> ScopedCatalog::Get(const std::string& name) const {
+  auto it = overlay_.find(name);
+  if (it != overlay_.end()) return it->second.table;
+  return base_->Get(name);
+}
+
+bool ScopedCatalog::Has(const std::string& name) const {
+  return overlay_.count(name) > 0 || base_->Has(name);
+}
+
+Status ScopedCatalog::Drop(const std::string& name) {
+  auto it = overlay_.find(name);
+  if (it == overlay_.end()) {
+    if (base_->Has(name)) {
+      return Status::InvalidArgument(
+          "cannot drop shared relation '" + name + "' from a query scope");
+    }
+    return Status::NotFound("relation '" + name + "' not in catalog");
+  }
+  overlay_.erase(it);
+  order_.erase(std::remove(order_.begin(), order_.end(), name), order_.end());
+  return Status::OK();
+}
+
+RelationKind ScopedCatalog::KindOf(const std::string& name) const {
+  auto it = overlay_.find(name);
+  if (it != overlay_.end()) return it->second.kind;
+  return base_->KindOf(name);
+}
+
+std::vector<std::string> ScopedCatalog::ListNames() const {
+  std::vector<std::string> names = base_->ListNames();
+  for (const auto& name : order_) {
+    if (!base_->Has(name)) names.push_back(name);
+  }
+  return names;
+}
+
+Result<Table> ScopedCatalog::SampleRows(const std::string& name,
+                                        size_t n) const {
+  KATHDB_ASSIGN_OR_RETURN(TablePtr t, Get(name));
+  return t->Head(n);
+}
+
+std::string ScopedCatalog::DescribeAll() const {
+  // Built from ListNames + Get so a name present in both layers is
+  // described once, with the overlay (query-local) version winning.
+  std::string out;
+  for (const auto& name : ListNames()) {
+    auto t = Get(name);
+    if (!t.ok()) continue;
+    out += name + "(" + t.value()->schema().ToString() + ") [" +
+           KindName(KindOf(name)) + ", " +
+           std::to_string(t.value()->num_rows()) + " rows]\n";
+  }
+  return out;
+}
+
+bool ScopedCatalog::Joinable(const std::string& left,
+                             const std::string& right,
+                             std::string* on_column) const {
+  auto lt = Get(left);
+  auto rt = Get(right);
+  if (!lt.ok() || !rt.ok()) return false;
+  return JoinableTables(*lt.value(), *rt.value(), on_column);
 }
 
 }  // namespace kathdb::rel

@@ -5,12 +5,20 @@
 /// for signature generation), the optimizer (sample rows for profiling) and
 /// the executor (resolving FAO `inputs` names to materialized tables).
 ///
+/// Concurrency: the base Catalog is internally synchronized (a
+/// shared_mutex; reads run in parallel), so one catalog can serve many
+/// concurrent queries. Per-query *writes* — the intermediates an executor
+/// materializes under a plan's output names — must not collide across
+/// queries, so each concurrent query runs against a ScopedCatalog overlay:
+/// reads fall through to the shared base, writes stay query-local.
+///
 /// \ingroup kathdb_relational
 
 #pragma once
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -26,39 +34,95 @@ enum class RelationKind { kBaseTable, kView, kIntermediate };
 /// \brief Name -> table registry with kind metadata and sampling utilities.
 class Catalog {
  public:
+  Catalog() = default;
+  virtual ~Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
   /// Registers a table; AlreadyExists if the name is taken.
-  Status Register(TablePtr table, RelationKind kind = RelationKind::kBaseTable);
+  virtual Status Register(TablePtr table,
+                          RelationKind kind = RelationKind::kBaseTable);
   /// Registers or replaces (intermediates are overwritten across runs).
-  void Upsert(TablePtr table, RelationKind kind = RelationKind::kIntermediate);
+  virtual void Upsert(TablePtr table,
+                      RelationKind kind = RelationKind::kIntermediate);
 
-  Result<TablePtr> Get(const std::string& name) const;
-  bool Has(const std::string& name) const;
-  Status Drop(const std::string& name);
+  virtual Result<TablePtr> Get(const std::string& name) const;
+  virtual bool Has(const std::string& name) const;
+  virtual Status Drop(const std::string& name);
 
-  RelationKind KindOf(const std::string& name) const;
+  virtual RelationKind KindOf(const std::string& name) const;
 
   /// Names in registration order.
-  std::vector<std::string> ListNames() const;
+  virtual std::vector<std::string> ListNames() const;
 
   /// Sample of up to `n` rows; NotFound if the relation is absent.
-  Result<Table> SampleRows(const std::string& name, size_t n) const;
+  virtual Result<Table> SampleRows(const std::string& name, size_t n) const;
 
   /// Textual schema summary of all relations ("films(title:STRING, ...)")
   /// used as LLM prompt context by the planner agents.
-  std::string DescribeAll() const;
+  virtual std::string DescribeAll() const;
 
   /// Heuristic joinability check used by the plan verifier's tool user:
   /// shared column names with equal types, or key-like overlap of values.
-  bool Joinable(const std::string& left, const std::string& right,
-                std::string* on_column) const;
+  virtual bool Joinable(const std::string& left, const std::string& right,
+                        std::string* on_column) const;
 
  private:
   struct Entry {
     TablePtr table;
     RelationKind kind;
   };
+
+  // Unlocked internals (callers hold mu_).
+  Result<TablePtr> GetLocked(const std::string& name) const;
+  std::string DescribeEntry(const std::string& name, const Entry& e) const;
+
+  mutable std::shared_mutex mu_;
   std::vector<std::string> order_;
   std::map<std::string, Entry> entries_;
+};
+
+/// \brief Per-query copy-on-write overlay over a shared base catalog.
+///
+/// Reads check the overlay first and fall through to the base; every write
+/// (Register/Upsert/Drop) touches only the overlay. A concurrent query
+/// therefore sees the shared corpus plus its *own* intermediates, and two
+/// queries materializing the same output name never race — the executor
+/// re-entrancy building block of the service layer. The overlay itself is
+/// confined to one query (one worker thread) and needs no locking beyond
+/// what the base provides.
+class ScopedCatalog : public Catalog {
+ public:
+  /// `base` must outlive the overlay; may not be null.
+  explicit ScopedCatalog(const Catalog* base) : base_(base) {}
+
+  Status Register(TablePtr table,
+                  RelationKind kind = RelationKind::kBaseTable) override;
+  void Upsert(TablePtr table,
+              RelationKind kind = RelationKind::kIntermediate) override;
+  Result<TablePtr> Get(const std::string& name) const override;
+  bool Has(const std::string& name) const override;
+  /// Drops from the overlay only; shadowing a base name is not supported
+  /// (NL-pipeline plans never drop corpus relations).
+  Status Drop(const std::string& name) override;
+  RelationKind KindOf(const std::string& name) const override;
+  std::vector<std::string> ListNames() const override;
+  Result<Table> SampleRows(const std::string& name, size_t n) const override;
+  std::string DescribeAll() const override;
+  bool Joinable(const std::string& left, const std::string& right,
+                std::string* on_column) const override;
+
+  /// Number of query-local relations (diagnostics).
+  size_t overlay_size() const { return overlay_.size(); }
+
+ private:
+  struct OverlayEntry {
+    TablePtr table;
+    RelationKind kind;
+  };
+  const Catalog* base_;
+  std::vector<std::string> order_;
+  std::map<std::string, OverlayEntry> overlay_;
 };
 
 }  // namespace kathdb::rel

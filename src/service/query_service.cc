@@ -1,0 +1,159 @@
+#include "service/query_service.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace kathdb::service {
+
+std::string ServiceStats::ToText() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "queries: submitted=%lld completed=%lld failed=%lld rejected=%lld | "
+      "sessions: active=%lld opened=%lld | cache: %s | llm: calls=%lld "
+      "tokens=%lld cost=$%.4f",
+      static_cast<long long>(submitted), static_cast<long long>(completed),
+      static_cast<long long>(failed), static_cast<long long>(rejected),
+      static_cast<long long>(sessions_active),
+      static_cast<long long>(sessions_opened), cache.ToText().c_str(),
+      static_cast<long long>(llm_calls), static_cast<long long>(llm_tokens),
+      llm_cost_usd);
+  return buf;
+}
+
+std::optional<engine::QueryOutcome> Session::last_outcome() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_;
+}
+
+void Session::RecordOutcome(const Result<engine::QueryOutcome>& outcome,
+                            size_t questions) {
+  questions_answered_.fetch_add(static_cast<int64_t>(questions));
+  if (outcome.ok()) {
+    queries_ok_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu_);
+    last_ = outcome.value();
+  } else {
+    queries_failed_.fetch_add(1);
+  }
+}
+
+QueryService::QueryService(engine::KathDB* db, ServiceOptions options)
+    : db_(db),
+      options_(options),
+      cache_(options.enable_result_cache
+                 ? std::make_unique<ResultCache>(options.cache)
+                 : nullptr),
+      pool_(options.workers, options.max_queue) {
+  db_->set_result_cache(cache_.get());
+}
+
+QueryService::~QueryService() {
+  pool_.Shutdown();  // drains admitted queries, then joins the workers
+  // Detach only if still attached: if a later service already re-pointed
+  // the engine's cache hook, leave its attachment alone.
+  if (db_->result_cache() == cache_.get()) {
+    db_->set_result_cache(nullptr);
+  }
+}
+
+SessionId QueryService::OpenSession(std::vector<std::string> default_replies) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  SessionId id = next_session_id_++;
+  sessions_.emplace(
+      id, std::make_shared<Session>(id, std::move(default_replies)));
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Status QueryService::CloseSession(SessionId id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  // In-flight queries hold their own shared_ptr; erasing here only stops
+  // new submissions.
+  if (sessions_.erase(id) == 0) {
+    return Status::NotFound("no session " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Result<SessionPtr> QueryService::GetSession(SessionId id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session " + std::to_string(id));
+  }
+  return it->second;
+}
+
+size_t QueryService::num_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+Result<OutcomeFuture> QueryService::Submit(SessionId id, std::string nl_query,
+                                           std::vector<std::string> replies) {
+  KATHDB_ASSIGN_OR_RETURN(SessionPtr session, GetSession(id));
+  if (replies.empty()) replies = session->default_replies();
+
+  auto promise =
+      std::make_shared<std::promise<Result<engine::QueryOutcome>>>();
+  OutcomeFuture future = promise->get_future().share();
+
+  // Counted before enqueueing: a worker may finish the task (bumping
+  // completed_) before this thread returns, and stats() must never show
+  // completed > submitted.
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  bool admitted = pool_.TrySubmit([this, session,
+                                   nl_query = std::move(nl_query),
+                                   replies = std::move(replies), promise] {
+    // Each query gets a private channel replaying the session's script,
+    // so concurrent queries of one session never race on replies.
+    llm::ScriptedUser user(replies);
+    user.set_reply_latency_ms(options_.reply_latency_ms);
+    Result<engine::QueryOutcome> outcome =
+        db_->QueryDetached(nl_query, &user);
+    session->RecordOutcome(outcome, user.questions_asked());
+    if (outcome.ok()) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    promise->set_value(std::move(outcome));
+  });
+  if (!admitted) {
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable(
+        "admission queue full (" + std::to_string(options_.max_queue) +
+        " pending); retry later");
+  }
+  return future;
+}
+
+Result<engine::QueryOutcome> QueryService::Query(
+    SessionId id, const std::string& nl_query,
+    std::vector<std::string> replies) {
+  KATHDB_ASSIGN_OR_RETURN(OutcomeFuture future,
+                          Submit(id, nl_query, std::move(replies)));
+  return future.get();
+}
+
+void QueryService::Drain() { pool_.Wait(); }
+
+ServiceStats QueryService::stats() const {
+  ServiceStats st;
+  st.submitted = submitted_.load(std::memory_order_relaxed);
+  st.rejected = rejected_.load(std::memory_order_relaxed);
+  st.completed = completed_.load(std::memory_order_relaxed);
+  st.failed = failed_.load(std::memory_order_relaxed);
+  st.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  st.sessions_active = static_cast<int64_t>(num_sessions());
+  if (cache_ != nullptr) st.cache = cache_->stats();
+  const llm::UsageMeter* meter = static_cast<const engine::KathDB*>(db_)->meter();
+  st.llm_calls = meter->total_calls();
+  st.llm_tokens = meter->total_tokens();
+  st.llm_cost_usd = meter->total_cost_usd();
+  return st;
+}
+
+}  // namespace kathdb::service

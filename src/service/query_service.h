@@ -1,0 +1,172 @@
+/// \file query_service.h
+/// \brief QueryService — the concurrent multi-session front door of KathDB.
+///
+/// Turns the single-user KathDB facade into a server: N worker threads
+/// (common/ThreadPool) drain a bounded admission queue of NL queries,
+/// each belonging to a Session that carries the user's scripted reply
+/// channel and last-outcome state. All sessions share one KathDB — one
+/// corpus, one function registry, one lineage store, one usage meter —
+/// and one cross-query ResultCache, so work any session has already paid
+/// for (LLM agent calls, FAO function results) is free for everyone else.
+///
+/// Concurrency model:
+///  - every query runs KathDB::QueryDetached on a worker thread, against
+///    a per-query ScopedCatalog overlay (intermediates never collide);
+///  - shared components (registry, lineage, meter, catalog, cache) are
+///    internally synchronized; per-session state hides behind a session
+///    mutex;
+///  - admission is bounded: Submit sheds load with kUnavailable once
+///    `max_queue` queries are waiting — backpressure instead of
+///    unbounded memory growth.
+///
+/// \ingroup kathdb_service
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "engine/kathdb.h"
+#include "service/result_cache.h"
+
+namespace kathdb::service {
+
+using SessionId = int64_t;
+
+struct ServiceOptions {
+  int workers = 4;        ///< worker threads executing queries
+  size_t max_queue = 64;  ///< pending-query bound (admission control)
+  bool enable_result_cache = true;
+  ResultCacheOptions cache;
+  /// Simulated think time per interaction-channel question (remote users
+  /// do not answer instantly); benches use it to reproduce the blocking
+  /// the worker pool overlaps. 0 = instant replies.
+  double reply_latency_ms = 0.0;
+};
+
+/// Aggregated service counters (cheap to sample at any time).
+struct ServiceStats {
+  int64_t submitted = 0;   ///< queries admitted into the queue
+  int64_t rejected = 0;    ///< queries shed by backpressure
+  int64_t completed = 0;   ///< queries that produced an outcome
+  int64_t failed = 0;      ///< queries that returned an error status
+  int64_t sessions_opened = 0;
+  int64_t sessions_active = 0;
+  ResultCacheStats cache;  ///< zeros when the cache is disabled
+  // Usage aggregated across every session (the shared meter).
+  int64_t llm_calls = 0;
+  int64_t llm_tokens = 0;
+  double llm_cost_usd = 0.0;
+
+  std::string ToText() const;
+};
+
+/// The future half of an async submission.
+using OutcomeFuture = std::shared_future<Result<engine::QueryOutcome>>;
+
+/// \brief One connected user: scripted reply channel + outcome state.
+class Session {
+ public:
+  Session(SessionId id, std::vector<std::string> default_replies)
+      : id_(id), default_replies_(std::move(default_replies)) {}
+
+  SessionId id() const { return id_; }
+  /// Replies replayed to interaction questions when a query does not
+  /// bring its own script.
+  const std::vector<std::string>& default_replies() const {
+    return default_replies_;
+  }
+
+  /// Outcome of the session's most recently *completed* query.
+  std::optional<engine::QueryOutcome> last_outcome() const;
+
+  int64_t queries_ok() const { return queries_ok_.load(); }
+  int64_t queries_failed() const { return queries_failed_.load(); }
+  /// Interaction-channel questions answered across all queries
+  /// (user-effort accounting, E9).
+  int64_t questions_answered() const { return questions_answered_.load(); }
+
+ private:
+  friend class QueryService;
+  void RecordOutcome(const Result<engine::QueryOutcome>& outcome,
+                     size_t questions);
+
+  const SessionId id_;
+  const std::vector<std::string> default_replies_;
+  mutable std::mutex mu_;
+  std::optional<engine::QueryOutcome> last_;
+  std::atomic<int64_t> queries_ok_{0};
+  std::atomic<int64_t> queries_failed_{0};
+  std::atomic<int64_t> questions_answered_{0};
+};
+
+using SessionPtr = std::shared_ptr<Session>;
+
+/// \brief Concurrent query server over one shared KathDB instance.
+class QueryService {
+ public:
+  /// `db` must outlive the service and have its corpus ingested before
+  /// traffic starts. The service attaches its result cache to `db`
+  /// (detached again on destruction). At most one QueryService may be
+  /// attached to a KathDB at a time; constructing a second one while the
+  /// first still serves traffic re-points the engine's cache hook and is
+  /// unsupported.
+  explicit QueryService(engine::KathDB* db, ServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // ---- session lifecycle ----
+  SessionId OpenSession(std::vector<std::string> default_replies = {});
+  Status CloseSession(SessionId id);
+  Result<SessionPtr> GetSession(SessionId id) const;
+  size_t num_sessions() const;
+
+  // ---- query execution ----
+  /// Asynchronous entry point: enqueues the query and returns a future.
+  /// `replies` overrides the session's default scripted answers for this
+  /// query only. Fails with kUnavailable when the admission queue is
+  /// full (backpressure) and kNotFound for unknown sessions.
+  Result<OutcomeFuture> Submit(SessionId id, std::string nl_query,
+                               std::vector<std::string> replies = {});
+
+  /// Convenience: Submit + wait.
+  Result<engine::QueryOutcome> Query(SessionId id,
+                                     const std::string& nl_query,
+                                     std::vector<std::string> replies = {});
+
+  /// Blocks until every admitted query has finished.
+  void Drain();
+
+  ServiceStats stats() const;
+  ResultCache* cache() { return cache_.get(); }
+  engine::KathDB* db() { return db_; }
+
+ private:
+  engine::KathDB* db_;
+  ServiceOptions options_;
+  std::unique_ptr<ResultCache> cache_;  ///< null when disabled
+  common::ThreadPool pool_;
+
+  mutable std::mutex sessions_mu_;
+  std::map<SessionId, SessionPtr> sessions_;
+  SessionId next_session_id_ = 1;
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> sessions_opened_{0};
+};
+
+}  // namespace kathdb::service

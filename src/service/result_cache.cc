@@ -1,0 +1,118 @@
+#include "service/result_cache.h"
+
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace kathdb::service {
+
+std::string ResultCacheStats::ToText() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "hits=%lld misses=%lld hit_rate=%.2f entries=%zu "
+                "evictions=%lld",
+                static_cast<long long>(hits), static_cast<long long>(misses),
+                hit_rate(), entries, static_cast<long long>(evictions));
+  return buf;
+}
+
+ResultCache::ResultCache(ResultCacheOptions options)
+    : shard_count_(common::CeilPow2(options.shards == 0 ? 1 : options.shards)) {
+  size_t cap = options.capacity == 0 ? 1 : options.capacity;
+  per_shard_capacity_ = (cap + shard_count_ - 1) / shard_count_;
+  if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+  shards_ = std::make_unique<Shard[]>(shard_count_);
+}
+
+ResultCache::Shard& ResultCache::shard_for(uint64_t key) {
+  return shards_[common::ShardOf(key, shard_count_)];
+}
+
+const ResultCache::Shard& ResultCache::shard_for(uint64_t key) const {
+  return shards_[common::ShardOf(key, shard_count_)];
+}
+
+std::optional<CacheEntry> ResultCache::Get(uint64_t key) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(key);
+  if (it == s.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void ResultCache::Put(uint64_t key, CacheEntry entry) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(key);
+  if (it != s.map.end()) {
+    it->second = std::move(entry);  // refresh in place, FIFO slot kept
+    return;
+  }
+  while (s.map.size() >= per_shard_capacity_ && !s.fifo.empty()) {
+    s.map.erase(s.fifo.front());
+    s.fifo.pop_front();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  s.map.emplace(key, std::move(entry));
+  s.fifo.push_back(key);
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool ResultCache::Contains(uint64_t key) const {
+  const Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.map.count(key) > 0;
+}
+
+void ResultCache::Clear() {
+  for (size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    shards_[i].map.clear();
+    shards_[i].fifo.clear();
+  }
+}
+
+size_t ResultCache::size() const {
+  size_t n = 0;
+  for (size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    n += shards_[i].map.size();
+  }
+  return n;
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats st;
+  st.hits = hits_.load(std::memory_order_relaxed);
+  st.misses = misses_.load(std::memory_order_relaxed);
+  st.insertions = insertions_.load(std::memory_order_relaxed);
+  st.evictions = evictions_.load(std::memory_order_relaxed);
+  st.entries = size();
+  return st;
+}
+
+uint64_t FingerprintTable(const rel::Table& table) {
+  uint64_t h = common::Fnv1a64(table.schema().ToString());
+  h = common::HashCombine(h, table.num_rows());
+  const size_t cols = table.schema().columns().size();
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      h = common::HashCombine(h, common::Fnv1a64(table.at(r, c).ToString()));
+    }
+  }
+  return h;
+}
+
+uint64_t FingerprintTables(const std::vector<rel::TablePtr>& tables) {
+  uint64_t h = common::Fnv1a64("inputs");
+  for (const auto& t : tables) {
+    h = common::HashCombine(h, t == nullptr ? 0 : FingerprintTable(*t));
+  }
+  return h;
+}
+
+}  // namespace kathdb::service

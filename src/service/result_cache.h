@@ -1,0 +1,129 @@
+/// \file result_cache.h
+/// \brief Sharded cross-query cache for FAO results and LLM completions.
+///
+/// The single biggest cost in the paper's pipeline is re-running
+/// foundation-model work (keyword embedding, pixel-level VLM analysis,
+/// LLM agent calls) for inputs that were answered moments ago by another
+/// query or session. The ResultCache memoizes both:
+///   - physical FAO function results, keyed by a 64-bit hash of the
+///     function-spec fingerprint + the content of its input tuples, and
+///   - simulated-LLM completions, keyed by model + prompt.
+///
+/// The lookup path follows the scalable-lookup-under-load playbook of
+/// SHIP (arxiv 1711.09155) and Othello hashing (arxiv 1608.05699):
+/// fixed power-of-two shard array, one small mutex per shard (striping),
+/// O(1) probes, and no global lock, so concurrent readers touching
+/// different stripes never serialize. Capacity is bounded per shard with
+/// FIFO eviction; hit/miss/insert/evict counters are lock-free atomics
+/// surfaced through the service stats.
+///
+/// A note on provenance: cached tables carry the row lineage ids of the
+/// execution that first produced them. Content-identical inputs therefore
+/// share one provenance chain ("lineage dedup") — traces still resolve to
+/// the same ingested sources, since cache keys are content hashes.
+///
+/// Besides memoized results, SimulatedLLM::Charge stores empty dedup
+/// markers here (one per unique metered call) so identical agent calls
+/// are billed once process-wide. Markers compete with real entries for
+/// the bounded slots — a deliberate trade-off: evicting one merely
+/// re-meters a repeat call later, never affects correctness.
+///
+/// \ingroup kathdb_service
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/table.h"
+
+namespace kathdb::service {
+
+/// One memoized result: either a materialized table (FAO) or a completion
+/// string (LLM); the unused member stays empty.
+struct CacheEntry {
+  std::shared_ptr<const rel::Table> table;
+  std::string text;
+};
+
+struct ResultCacheOptions {
+  size_t shards = 16;      ///< rounded up to a power of two
+  size_t capacity = 4096;  ///< max entries across all shards
+};
+
+/// Counter snapshot (atomically sampled; totals may be mid-update).
+struct ResultCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  int64_t evictions = 0;
+  size_t entries = 0;
+
+  double hit_rate() const {
+    int64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+  /// "hits=120 misses=30 hit_rate=0.80 entries=42 evictions=0" line.
+  std::string ToText() const;
+};
+
+/// \brief Bounded, sharded, mutex-striped 64-bit-keyed cache.
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions options = {});
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Looks `key` up; counts a hit or a miss.
+  std::optional<CacheEntry> Get(uint64_t key);
+
+  /// Inserts/overwrites `key`. Evicts the oldest entry of the target
+  /// shard when that shard is at capacity.
+  void Put(uint64_t key, CacheEntry entry);
+
+  /// Lookup without touching the hit/miss counters (tests, diagnostics).
+  bool Contains(uint64_t key) const;
+
+  /// Drops all entries; counters keep accumulating.
+  void Clear();
+
+  size_t size() const;
+  size_t num_shards() const { return shard_count_; }
+  ResultCacheStats stats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, CacheEntry> map;
+    std::deque<uint64_t> fifo;  // insertion order for eviction
+  };
+
+  Shard& shard_for(uint64_t key);
+  const Shard& shard_for(uint64_t key) const;
+
+  size_t shard_count_;
+  size_t per_shard_capacity_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> insertions_{0};
+  std::atomic<int64_t> evictions_{0};
+};
+
+/// Content fingerprint of a table: schema + row values. Lineage ids and
+/// the table name are deliberately excluded so logically identical inputs
+/// hit the same entry across queries and sessions.
+uint64_t FingerprintTable(const rel::Table& table);
+
+/// Order-sensitive fingerprint of an input tuple (vector of tables).
+uint64_t FingerprintTables(const std::vector<rel::TablePtr>& tables);
+
+}  // namespace kathdb::service

@@ -158,6 +158,57 @@ TEST(RegistryTest, LoadFromMissingDirFails) {
   EXPECT_FALSE(reg.LoadFromDir("/nonexistent/registry").ok());
 }
 
+TEST(RegistryTest, DiskRoundTripPreservesAllVersionsAndSpecs) {
+  FunctionRegistry reg;
+
+  FunctionSpec score;
+  score.name = "gen_excitement_score";
+  score.template_id = "keyword_similarity_score";
+  score.dependency_pattern = "one_to_one";
+  score.source_text = "score rows by keyword similarity";
+  score.params.Set("threshold", Json::Double(0.6));
+  reg.RegisterNewVersion(score);
+  score.params.Set("threshold", Json::Double(0.7));
+  score.source_text += " [critic fix: tightened threshold]";
+  reg.RegisterNewVersion(score);
+  reg.RegisterNewVersion(score);
+
+  FunctionSpec combine;
+  combine.name = "combine_scores";
+  combine.template_id = "combine_scores";
+  combine.dependency_pattern = "one_to_one";
+  combine.params.Set("output_column", Json::Str("final_score"));
+  reg.RegisterNewVersion(combine);
+
+  std::string dir = ::testing::TempDir() + "/registry_full_rt";
+  ASSERT_TRUE(reg.SaveToDir(dir).ok());
+  FunctionRegistry loaded;
+  ASSERT_TRUE(loaded.LoadFromDir(dir).ok());
+
+  EXPECT_EQ(loaded.num_functions(), 2u);
+  // Every version survives, oldest first, ver_ids intact.
+  auto versions = loaded.VersionsOf("gen_excitement_score");
+  ASSERT_EQ(versions.size(), 3u);
+  for (size_t i = 0; i < versions.size(); ++i) {
+    EXPECT_EQ(versions[i].ver_id, static_cast<int64_t>(i + 1));
+    EXPECT_EQ(versions[i].template_id, "keyword_similarity_score");
+    EXPECT_EQ(versions[i].dependency_pattern, "one_to_one");
+  }
+  // Spec payloads round-trip: params and source text per version.
+  EXPECT_DOUBLE_EQ(versions[0].params.GetDouble("threshold"), 0.6);
+  EXPECT_DOUBLE_EQ(versions[2].params.GetDouble("threshold"), 0.7);
+  EXPECT_EQ(versions[0].source_text, "score rows by keyword similarity");
+  EXPECT_NE(versions[2].source_text.find("critic fix"), std::string::npos);
+  // Specific-version lookup still works after reload.
+  EXPECT_TRUE(loaded.Version("gen_excitement_score", 2).ok());
+  EXPECT_EQ(loaded.Latest("combine_scores")
+                .value()
+                .params.GetString("output_column"),
+            "final_score");
+  // Reloading is a full replacement: versions keep stamping monotonely.
+  EXPECT_EQ(loaded.RegisterNewVersion(score), 4);
+}
+
 // ---------------------------------------------------- function templates
 
 class FunctionFixture : public ::testing::Test {

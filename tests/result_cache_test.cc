@@ -1,0 +1,134 @@
+// Tests for the sharded cross-query result cache and its fingerprints.
+
+#include "service/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "relational/schema.h"
+#include "relational/table.h"
+#include "relational/value.h"
+
+namespace kathdb::service {
+namespace {
+
+using rel::DataType;
+using rel::Schema;
+using rel::Table;
+using rel::Value;
+
+Table MakeTable(const std::string& name, int rows, int offset = 0) {
+  Table t(name, Schema({{"x", DataType::kInt}, {"s", DataType::kString}}));
+  for (int r = 0; r < rows; ++r) {
+    t.AppendRow({Value::Int(r + offset), Value::Str("row" + std::to_string(r))});
+  }
+  return t;
+}
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache;
+  EXPECT_FALSE(cache.Get(42).has_value());
+  cache.Put(42, CacheEntry{nullptr, "hello"});
+  auto hit = cache.Get(42);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->text, "hello");
+  ResultCacheStats st = cache.stats();
+  EXPECT_EQ(st.hits, 1);
+  EXPECT_EQ(st.misses, 1);
+  EXPECT_EQ(st.insertions, 1);
+  EXPECT_DOUBLE_EQ(st.hit_rate(), 0.5);
+}
+
+TEST(ResultCacheTest, StoresTables) {
+  ResultCache cache;
+  auto t = std::make_shared<const Table>(MakeTable("t", 3));
+  cache.Put(7, CacheEntry{t, ""});
+  auto hit = cache.Get(7);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_NE(hit->table, nullptr);
+  EXPECT_EQ(hit->table->num_rows(), 3u);
+  // The cache shares the table, it does not copy it.
+  EXPECT_EQ(hit->table.get(), t.get());
+}
+
+TEST(ResultCacheTest, ShardCountRoundedToPowerOfTwo) {
+  ResultCacheOptions opts;
+  opts.shards = 5;
+  ResultCache cache(opts);
+  EXPECT_EQ(cache.num_shards(), 8u);
+}
+
+TEST(ResultCacheTest, CapacityBoundWithFifoEviction) {
+  ResultCacheOptions opts;
+  opts.shards = 1;  // single shard makes eviction order deterministic
+  opts.capacity = 4;
+  ResultCache cache(opts);
+  for (uint64_t k = 0; k < 10; ++k) {
+    cache.Put(k, CacheEntry{nullptr, std::to_string(k)});
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  ResultCacheStats st = cache.stats();
+  EXPECT_EQ(st.evictions, 6);
+  // Oldest keys are gone, newest survive.
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(5));
+  EXPECT_TRUE(cache.Contains(6));
+  EXPECT_TRUE(cache.Contains(9));
+}
+
+TEST(ResultCacheTest, PutSameKeyRefreshesWithoutEviction) {
+  ResultCacheOptions opts;
+  opts.shards = 1;
+  opts.capacity = 2;
+  ResultCache cache(opts);
+  cache.Put(1, CacheEntry{nullptr, "a"});
+  cache.Put(1, CacheEntry{nullptr, "b"});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 0);
+  EXPECT_EQ(cache.Get(1)->text, "b");
+}
+
+TEST(ResultCacheTest, ClearDropsEntriesKeepsCounters) {
+  ResultCache cache;
+  cache.Put(1, CacheEntry{nullptr, "a"});
+  (void)cache.Get(1);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(ResultCacheTest, KeysSpreadOverShards) {
+  // Sequential keys must not pile onto one stripe.
+  size_t seen[16] = {0};
+  for (uint64_t k = 0; k < 1024; ++k) {
+    ++seen[common::ShardOf(common::Mix64(k), 16)];
+  }
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_GT(seen[i], 20u) << "shard " << i << " starved";
+  }
+}
+
+TEST(FingerprintTest, ContentDeterminesHash) {
+  Table a = MakeTable("a", 5);
+  Table b = MakeTable("completely_different_name", 5);
+  // Same content, different names / lids -> same fingerprint.
+  b.set_table_lid(99);
+  for (size_t r = 0; r < b.num_rows(); ++r) b.set_row_lid(r, 100 + r);
+  EXPECT_EQ(FingerprintTable(a), FingerprintTable(b));
+
+  Table c = MakeTable("a", 5, /*offset=*/1);  // shifted values
+  EXPECT_NE(FingerprintTable(a), FingerprintTable(c));
+  Table d = MakeTable("a", 6);  // extra row
+  EXPECT_NE(FingerprintTable(a), FingerprintTable(d));
+}
+
+TEST(FingerprintTest, TupleOrderMatters) {
+  auto a = std::make_shared<Table>(MakeTable("a", 2));
+  auto b = std::make_shared<Table>(MakeTable("b", 3));
+  EXPECT_NE(FingerprintTables({a, b}), FingerprintTables({b, a}));
+  EXPECT_EQ(FingerprintTables({a, b}), FingerprintTables({a, b}));
+}
+
+}  // namespace
+}  // namespace kathdb::service

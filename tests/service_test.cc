@@ -1,0 +1,240 @@
+// End-to-end tests for the concurrent multi-session QueryService: session
+// lifecycle, concurrent correctness against the single-threaded facade,
+// cross-query result caching, backpressure, and aggregated stats.
+
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "data/movie_dataset.h"
+#include "engine/kathdb.h"
+
+namespace kathdb::service {
+namespace {
+
+constexpr const char* kPaperQuery =
+    "Sort the given films in the table by how exciting they are, but the "
+    "poster should be 'boring'";
+
+const std::vector<std::string> kPaperReplies = {
+    "The movie plot contains scenes that are uncommon in real life",
+    "I prefer more recent movies when scoring", "OK"};
+
+class ServiceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::DatasetOptions opts;
+    opts.num_movies = 12;
+    auto ds = data::GenerateMovieDataset(opts);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = std::move(ds).value();
+    db_ = std::make_unique<engine::KathDB>();
+    ASSERT_TRUE(data::IngestDataset(dataset_, db_.get()).ok());
+  }
+
+  data::MovieDataset dataset_;
+  std::unique_ptr<engine::KathDB> db_;
+};
+
+TEST_F(ServiceFixture, SessionLifecycle) {
+  QueryService service(db_.get());
+  SessionId a = service.OpenSession();
+  SessionId b = service.OpenSession(kPaperReplies);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(service.num_sessions(), 2u);
+  ASSERT_TRUE(service.GetSession(b).ok());
+  EXPECT_EQ(service.GetSession(b).value()->default_replies().size(), 3u);
+  EXPECT_TRUE(service.CloseSession(a).ok());
+  EXPECT_FALSE(service.CloseSession(a).ok());  // already closed
+  EXPECT_EQ(service.num_sessions(), 1u);
+  EXPECT_FALSE(service.GetSession(a).ok());
+}
+
+TEST_F(ServiceFixture, SubmitToUnknownSessionFails) {
+  QueryService service(db_.get());
+  auto fut = service.Submit(999, kPaperQuery);
+  ASSERT_FALSE(fut.ok());
+  EXPECT_TRUE(fut.status().IsNotFound());
+}
+
+TEST_F(ServiceFixture, ServedOutcomeMatchesFacade) {
+  // Single-threaded facade reference on an identically generated corpus.
+  data::DatasetOptions opts;
+  opts.num_movies = 12;
+  auto ds = data::GenerateMovieDataset(opts);
+  ASSERT_TRUE(ds.ok());
+  engine::KathDB reference;
+  ASSERT_TRUE(data::IngestDataset(ds.value(), &reference).ok());
+  llm::ScriptedUser ref_user(kPaperReplies);
+  auto expected = reference.Query(kPaperQuery, &ref_user);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  ServiceOptions sopts;
+  sopts.workers = 4;
+  QueryService service(db_.get(), sopts);
+  SessionId sid = service.OpenSession(kPaperReplies);
+  auto outcome = service.Query(sid, kPaperQuery);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const rel::Table& got = outcome.value().result;
+  const rel::Table& want = expected.value().result;
+  ASSERT_EQ(got.num_rows(), want.num_rows());
+  ASSERT_EQ(got.schema().ToString(), want.schema().ToString());
+  for (size_t r = 0; r < got.num_rows(); ++r) {
+    for (size_t c = 0; c < got.schema().columns().size(); ++c) {
+      EXPECT_EQ(got.at(r, c).ToString(), want.at(r, c).ToString())
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST_F(ServiceFixture, ConcurrentSessionsAllSucceedAndAgree) {
+  ServiceOptions sopts;
+  sopts.workers = 4;
+  QueryService service(db_.get(), sopts);
+
+  constexpr int kSessions = 8;
+  constexpr int kQueriesPerSession = 3;
+  std::vector<SessionId> sessions;
+  std::vector<OutcomeFuture> futures;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.push_back(service.OpenSession(kPaperReplies));
+  }
+  for (int q = 0; q < kQueriesPerSession; ++q) {
+    for (SessionId sid : sessions) {
+      auto fut = service.Submit(sid, kPaperQuery);
+      ASSERT_TRUE(fut.ok()) << fut.status().ToString();
+      futures.push_back(std::move(fut).value());
+    }
+  }
+  std::set<std::string> distinct_results;
+  for (auto& fut : futures) {
+    auto outcome = fut.get();
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    distinct_results.insert(outcome.value().result.ToText(100));
+  }
+  // Identical query + corpus + replies => identical result everywhere.
+  EXPECT_EQ(distinct_results.size(), 1u);
+
+  ServiceStats st = service.stats();
+  EXPECT_EQ(st.submitted, kSessions * kQueriesPerSession);
+  EXPECT_EQ(st.completed, kSessions * kQueriesPerSession);
+  EXPECT_EQ(st.failed, 0);
+  // The repeated workload must actually hit the shared cache.
+  EXPECT_GT(st.cache.hits, 0) << st.ToText();
+  // Per-session state was maintained.
+  for (SessionId sid : sessions) {
+    auto session = service.GetSession(sid);
+    ASSERT_TRUE(session.ok());
+    EXPECT_EQ(session.value()->queries_ok(), kQueriesPerSession);
+    EXPECT_TRUE(session.value()->last_outcome().has_value());
+    EXPECT_GT(session.value()->questions_answered(), 0);
+  }
+}
+
+TEST_F(ServiceFixture, CacheMakesRepeatQueriesCheaper) {
+  QueryService service(db_.get());
+  SessionId sid = service.OpenSession(kPaperReplies);
+  ASSERT_TRUE(service.Query(sid, kPaperQuery).ok());
+  int64_t tokens_after_first = db_->meter()->total_tokens();
+  ASSERT_TRUE(service.Query(sid, kPaperQuery).ok());
+  int64_t tokens_after_second = db_->meter()->total_tokens();
+  // The repeat run answers mostly from the cache: it must consume well
+  // under half of the first run's token budget.
+  EXPECT_LT(tokens_after_second - tokens_after_first,
+            tokens_after_first / 2)
+      << "first=" << tokens_after_first
+      << " second_delta=" << (tokens_after_second - tokens_after_first);
+  EXPECT_GT(service.stats().cache.hits, 0);
+}
+
+TEST_F(ServiceFixture, DisabledCacheStillServes) {
+  ServiceOptions sopts;
+  sopts.enable_result_cache = false;
+  QueryService service(db_.get(), sopts);
+  EXPECT_EQ(service.cache(), nullptr);
+  SessionId sid = service.OpenSession(kPaperReplies);
+  ASSERT_TRUE(service.Query(sid, kPaperQuery).ok());
+  EXPECT_EQ(service.stats().cache.hits, 0);
+}
+
+TEST_F(ServiceFixture, BackpressureRejectsWithUnavailable) {
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  sopts.max_queue = 1;
+  QueryService service(db_.get(), sopts);
+  SessionId sid = service.OpenSession(kPaperReplies);
+  // Flood: with one worker and a one-slot queue some submissions must be
+  // shed, and every shed call reports kUnavailable.
+  int rejected = 0;
+  std::vector<OutcomeFuture> admitted;
+  for (int i = 0; i < 24; ++i) {
+    auto fut = service.Submit(sid, kPaperQuery);
+    if (fut.ok()) {
+      admitted.push_back(std::move(fut).value());
+    } else {
+      EXPECT_TRUE(fut.status().IsUnavailable()) << fut.status().ToString();
+      ++rejected;
+    }
+  }
+  for (auto& fut : admitted) EXPECT_TRUE(fut.get().ok());
+  EXPECT_GT(rejected, 0);
+  ServiceStats st = service.stats();
+  EXPECT_EQ(st.rejected, rejected);
+  EXPECT_EQ(st.submitted, static_cast<int64_t>(admitted.size()));
+}
+
+TEST_F(ServiceFixture, PerQueryRepliesOverrideSessionScript) {
+  QueryService service(db_.get());
+  SessionId sid = service.OpenSession();  // no default replies
+  // ScriptedUser answers "OK" when its queue is empty, so even the empty
+  // script completes; explicit replies steer the clarification.
+  auto outcome = service.Query(sid, kPaperQuery, kPaperReplies);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GT(outcome.value().result.num_rows(), 0u);
+}
+
+TEST_F(ServiceFixture, StatsAggregateUsageAcrossSessions) {
+  QueryService service(db_.get());
+  SessionId a = service.OpenSession(kPaperReplies);
+  SessionId b = service.OpenSession(kPaperReplies);
+  ASSERT_TRUE(service.Query(a, kPaperQuery).ok());
+  ASSERT_TRUE(service.Query(b, kPaperQuery).ok());
+  ServiceStats st = service.stats();
+  EXPECT_EQ(st.completed, 2);
+  EXPECT_GT(st.llm_calls, 0);
+  EXPECT_GT(st.llm_tokens, 0);
+  EXPECT_GT(st.llm_cost_usd, 0.0);
+  EXPECT_EQ(st.sessions_active, 2);
+  EXPECT_FALSE(st.ToText().empty());
+}
+
+TEST_F(ServiceFixture, DetachedQueriesKeepFacadeLastOutcomeClean) {
+  QueryService service(db_.get());
+  SessionId sid = service.OpenSession(kPaperReplies);
+  ASSERT_TRUE(service.Query(sid, kPaperQuery).ok());
+  // QueryDetached must not publish into the facade's last-outcome slot;
+  // explanation entry points keep refusing until a facade query runs.
+  EXPECT_FALSE(db_->last_outcome().has_value());
+  EXPECT_FALSE(db_->ExplainPipeline().ok());
+}
+
+TEST_F(ServiceFixture, ConstAccessorsServeReadOnlyCallers) {
+  const engine::KathDB& ro = *db_;
+  EXPECT_NE(ro.catalog(), nullptr);
+  EXPECT_NE(ro.lineage(), nullptr);
+  EXPECT_NE(ro.registry(), nullptr);
+  EXPECT_NE(ro.meter(), nullptr);
+  EXPECT_NE(ro.images(), nullptr);
+  EXPECT_NE(ro.image_loader(), nullptr);
+  EXPECT_NE(ro.vlm(), nullptr);
+  EXPECT_NE(ro.ner(), nullptr);
+  EXPECT_NE(ro.llm(), nullptr);
+  EXPECT_EQ(ro.meter()->total_calls(), db_->meter()->total_calls());
+}
+
+}  // namespace
+}  // namespace kathdb::service
