@@ -122,4 +122,10 @@ std::string FormatDouble(double v, int digits) {
   return s;
 }
 
+std::string PadRight(std::string_view s, size_t width) {
+  std::string out(s);
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
 }  // namespace kathdb

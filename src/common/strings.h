@@ -44,4 +44,8 @@ int ApproxTokenCount(std::string_view text);
 /// trailing zeros (used in explanation rendering).
 std::string FormatDouble(double v, int digits = 6);
 
+/// `s` padded with spaces on the right to at least `width` characters;
+/// longer strings are returned unchanged (never truncated).
+std::string PadRight(std::string_view s, size_t width);
+
 }  // namespace kathdb

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/strings.h"
+#include "engine/scheduler.h"
 
 namespace kathdb::engine {
 
@@ -18,15 +19,15 @@ std::string ExecutionReport::ToText() const {
                     std::to_string(total_repairs) + " repairs, " +
                     std::to_string(total_anomalies) + " anomalies)\n";
   for (const auto& run : node_runs) {
-    char buf[160];
-    std::snprintf(buf, sizeof(buf),
-                  "  %-24s [%s v%lld] rows=%-6zu %.2fms%s%s\n",
-                  run.name.c_str(), run.template_id.c_str(),
-                  static_cast<long long>(run.ver_id), run.output_rows,
-                  run.runtime_ms,
-                  run.repair_attempts > 0 ? " (repaired)" : "",
-                  run.semantic_flagged ? " (anomaly escalated)" : "");
-    out += buf;
+    // Built from string helpers, not a fixed-size buffer: long repaired
+    // function names must never be silently truncated.
+    out += "  " + PadRight(run.name, 24) + " [" + run.template_id + " v" +
+           std::to_string(run.ver_id) + "] rows=" +
+           PadRight(std::to_string(run.output_rows), 6) + " " +
+           FormatDouble(run.runtime_ms, 2) + "ms";
+    if (run.repair_attempts > 0) out += " (repaired)";
+    if (run.semantic_flagged) out += " (anomaly escalated)";
+    out += "\n";
   }
   return out;
 }
@@ -206,117 +207,153 @@ Table DedupByColumn(const Table& in, const std::string& key) {
 
 }  // namespace
 
+Status Executor::RunNode(const opt::PhysicalNode& node, fao::ExecContext* ctx,
+                         NodeRun* run, TablePtr* out_table) {
+  run->name = node.sig.name;
+  run->template_id = node.spec.template_id;
+  run->ver_id = node.spec.ver_id;
+  run->dependency_pattern = node.spec.dependency_pattern;
+
+  // Resolve inputs from the catalog (base tables, views, intermediates);
+  // the scheduler guarantees every producing node has materialized its
+  // output before this node starts.
+  std::vector<TablePtr> inputs;
+  for (const auto& in : node.sig.inputs) {
+    KATHDB_ASSIGN_OR_RETURN(TablePtr t, ctx->catalog->Get(in));
+    inputs.push_back(std::move(t));
+  }
+
+  fao::MorselOptions morsels;
+  morsels.morsel_size = options_.morsel_size;
+  morsels.pool = ctx->exec_pool;
+
+  FunctionSpec spec = node.spec;
+  Result<Table> result = Status::RuntimeError("not executed");
+  auto t0 = std::chrono::steady_clock::now();
+  for (int attempt = 0; attempt <= options_.max_repair_attempts;
+       ++attempt) {
+    result = fao::EvaluateWithMorsels(spec, inputs, ctx, morsels);
+    if (result.ok()) break;
+    if (!result.status().IsSyntacticError() ||
+        attempt == options_.max_repair_attempts) {
+      return result.status();
+    }
+    // On-the-fly repair instead of aborting (Section 5). Serialized so
+    // concurrent branches never interleave user-channel escalations.
+    {
+      std::lock_guard<std::mutex> lock(monitor_mu_);
+      KATHDB_ASSIGN_OR_RETURN(
+          spec, monitor_.RepairSyntactic(spec, result.status(), ctx));
+    }
+    ++run->repair_attempts;
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  run->runtime_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  run->ver_id = spec.ver_id;
+  Table out = std::move(result).value();
+  out.set_name(node.sig.output);
+
+  // Post-hoc patch semantics: a monitor-enforced unique key applies to
+  // this and future runs of the function. The key used here is tracked
+  // so the anomaly path below never deduplicates the same key twice.
+  std::string applied_dedup_key = spec.params.GetString("enforce_unique");
+  if (!applied_dedup_key.empty()) {
+    out = DedupByColumn(out, applied_dedup_key);
+  }
+
+  // ---- lineage recording per dependency pattern --------------------
+  bool narrow = spec.dependency_pattern == "one_to_one" ||
+                spec.dependency_pattern == "one_to_many";
+  auto mode = ctx->lineage->mode();
+  if (narrow && (mode == lineage::TrackingMode::kRow ||
+                 mode == lineage::TrackingMode::kSampled)) {
+    // Row-level: each output row derives from the input row whose lid it
+    // carried through the function body.
+    int64_t fallback_parent =
+        inputs.empty() ? 0
+                       : (inputs[0]->table_lid() != 0 ? inputs[0]->table_lid()
+                                                      : 0);
+    for (size_t r = 0; r < out.num_rows(); ++r) {
+      int64_t parent = out.row_lid(r);
+      if (parent == 0) parent = fallback_parent;
+      int64_t child =
+          ctx->lineage->RecordRowDerivation(parent, spec.name, spec.ver_id);
+      out.set_row_lid(r, child);
+    }
+  } else {
+    // Wide (or coarse tracking): one table-level derivation; all input
+    // tuples are assumed to contribute to all output tuples.
+    int64_t tlid = ctx->lineage->RecordTableDerivation(
+        TableParents(inputs), spec.name, spec.ver_id);
+    out.set_table_lid(tlid);
+    // Row lids (if any) propagate unchanged through wide operators such
+    // as sort, so downstream row-level tracing still works.
+  }
+
+  // ---- semantic monitoring on sampled output -----------------------
+  std::string anomaly =
+      monitor_.DetectAnomaly(node, out, options_.monitor_sample_rate);
+  if (!anomaly.empty()) {
+    run->semantic_flagged = true;
+    FunctionSpec resolved;
+    {
+      std::lock_guard<std::mutex> lock(monitor_mu_);
+      KATHDB_ASSIGN_OR_RETURN(
+          resolved, monitor_.ResolveAnomaly(node, anomaly,
+                                            options_.ask_user_on_anomaly));
+    }
+    std::string key = resolved.params.GetString("enforce_unique");
+    if (!key.empty() && resolved.ver_id != spec.ver_id) {
+      run->ver_id = resolved.ver_id;
+      if (key != applied_dedup_key) {
+        out = DedupByColumn(out, key);
+      }
+    }
+  }
+
+  run->output_rows = out.num_rows();
+  TablePtr shared = std::make_shared<Table>(std::move(out));
+  ctx->catalog->Upsert(shared, rel::RelationKind::kIntermediate);
+  *out_table = std::move(shared);
+  return Status::OK();
+}
+
 Result<ExecutionReport> Executor::Run(const opt::PhysicalPlan& plan,
                                       fao::ExecContext* ctx) {
   ExecutionReport report;
-  for (const auto& node : plan.nodes) {
-    NodeRun run;
-    run.name = node.sig.name;
-    run.template_id = node.spec.template_id;
-    run.ver_id = node.spec.ver_id;
-    run.dependency_pattern = node.spec.dependency_pattern;
+  report.node_runs.resize(plan.nodes.size());
+  std::vector<TablePtr> outputs(plan.nodes.size());
 
-    // Resolve inputs from the catalog (base tables, views, intermediates).
-    std::vector<TablePtr> inputs;
-    for (const auto& in : node.sig.inputs) {
-      KATHDB_ASSIGN_OR_RETURN(TablePtr t, ctx->catalog->Get(in));
-      inputs.push_back(std::move(t));
-    }
+  // Each node task writes only its own node_runs / outputs slot, so the
+  // report keeps plan order however branches are interleaved; the
+  // scheduler's completion handshake publishes the slots to this thread.
+  SchedulerOptions sched;
+  sched.max_parallel_nodes = options_.max_parallel_nodes;
+  sched.pool = ctx->exec_pool;
+  KATHDB_RETURN_IF_ERROR(DagScheduler::Run(
+      plan, sched, [this, &plan, ctx, &report, &outputs](size_t idx) {
+        return RunNode(plan.nodes[idx], ctx, &report.node_runs[idx],
+                       &outputs[idx]);
+      }));
 
-    FunctionSpec spec = node.spec;
-    Result<Table> result = Status::RuntimeError("not executed");
-    auto t0 = std::chrono::steady_clock::now();
-    for (int attempt = 0; attempt <= options_.max_repair_attempts;
-         ++attempt) {
-      KATHDB_ASSIGN_OR_RETURN(auto fn, fao::InstantiateFunction(spec));
-      result = fn->Evaluate(inputs, ctx);
-      if (result.ok()) break;
-      if (!result.status().IsSyntacticError() ||
-          attempt == options_.max_repair_attempts) {
-        return result.status();
-      }
-      // On-the-fly repair instead of aborting (Section 5).
-      KATHDB_ASSIGN_OR_RETURN(
-          spec, monitor_.RepairSyntactic(spec, result.status(), ctx));
-      ++run.repair_attempts;
-      ++report.total_repairs;
-    }
-    auto t1 = std::chrono::steady_clock::now();
-    run.runtime_ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
-    run.ver_id = spec.ver_id;
-    Table out = std::move(result).value();
-    out.set_name(node.sig.output);
-
-    // Post-hoc patch semantics: a monitor-enforced unique key applies to
-    // this and future runs of the function.
-    std::string unique_key = spec.params.GetString("enforce_unique");
-    if (!unique_key.empty()) {
-      out = DedupByColumn(out, unique_key);
-    }
-
-    // ---- lineage recording per dependency pattern --------------------
-    bool narrow = spec.dependency_pattern == "one_to_one" ||
-                  spec.dependency_pattern == "one_to_many";
-    auto mode = ctx->lineage->mode();
-    if (narrow && (mode == lineage::TrackingMode::kRow ||
-                   mode == lineage::TrackingMode::kSampled)) {
-      // Row-level: each output row derives from the input row whose lid it
-      // carried through the function body.
-      int64_t fallback_parent =
-          inputs.empty() ? 0
-                         : (inputs[0]->table_lid() != 0 ? inputs[0]->table_lid()
-                                                        : 0);
-      for (size_t r = 0; r < out.num_rows(); ++r) {
-        int64_t parent = out.row_lid(r);
-        if (parent == 0) parent = fallback_parent;
-        int64_t child =
-            ctx->lineage->RecordRowDerivation(parent, spec.name, spec.ver_id);
-        out.set_row_lid(r, child);
-      }
-    } else {
-      // Wide (or coarse tracking): one table-level derivation; all input
-      // tuples are assumed to contribute to all output tuples.
-      int64_t tlid = ctx->lineage->RecordTableDerivation(
-          TableParents(inputs), spec.name, spec.ver_id);
-      out.set_table_lid(tlid);
-      // Row lids (if any) propagate unchanged through wide operators such
-      // as sort, so downstream row-level tracing still works.
-    }
-
-    // ---- semantic monitoring on sampled output -----------------------
-    std::string anomaly =
-        monitor_.DetectAnomaly(node, out, options_.monitor_sample_rate);
-    if (!anomaly.empty()) {
-      run.semantic_flagged = true;
-      ++report.total_anomalies;
-      KATHDB_ASSIGN_OR_RETURN(
-          FunctionSpec resolved,
-          monitor_.ResolveAnomaly(node, anomaly,
-                                  options_.ask_user_on_anomaly));
-      std::string key = resolved.params.GetString("enforce_unique");
-      if (!key.empty() && resolved.ver_id != spec.ver_id) {
-        out = DedupByColumn(out, key);
-        run.ver_id = resolved.ver_id;
-      }
-    }
-
-    run.output_rows = out.num_rows();
-    report.node_runs.push_back(run);
-    ctx->catalog->Upsert(std::make_shared<Table>(out),
-                         rel::RelationKind::kIntermediate);
-    if (node.sig.output == plan.final_output) {
-      report.result = std::move(out);
+  TablePtr final_table;
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const NodeRun& run = report.node_runs[i];
+    report.total_repairs += run.repair_attempts;
+    if (run.semantic_flagged) ++report.total_anomalies;
+    if (plan.nodes[i].sig.output == plan.final_output) {
+      final_table = outputs[i];
       report.final_output_name = plan.final_output;
     }
   }
-  if (report.final_output_name.empty() && !plan.nodes.empty()) {
-    // Fall back to the last node's output.
-    KATHDB_ASSIGN_OR_RETURN(TablePtr t,
-                            ctx->catalog->Get(plan.nodes.back().sig.output));
-    report.result = *t;
+  if (final_table == nullptr && !plan.nodes.empty()) {
+    // Fall back to the last node's output — the shared pointer already
+    // in hand, never a deep copy out of the catalog.
+    final_table = outputs.back();
     report.final_output_name = plan.nodes.back().sig.output;
   }
+  report.result = std::move(final_table);
   return report;
 }
 

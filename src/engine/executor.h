@@ -3,8 +3,12 @@
 ///
 /// The executor instantiates the physical plan node by node, materializing
 /// every intermediate into the catalog and recording provenance according
-/// to each function's dependency pattern (Section 3). The agentic monitor
-/// wraps each node:
+/// to each function's dependency pattern (Section 3). Nodes are scheduled
+/// over the plan's dependency DAG (engine/scheduler.h): with a parallelism
+/// budget > 1 and a worker pool in the ExecContext, independent branches
+/// run concurrently and row-wise FAO nodes additionally evaluate their
+/// input in morsel partitions (fao::EvaluateWithMorsels). The agentic
+/// monitor wraps each node:
 ///  - *syntactic faults* (e.g. an unsupported HEIC poster) trigger a
 ///    reviewer/rewriter loop that patches the function, bumps its ver_id
 ///    and resumes from the failed operator — the query never aborts;
@@ -16,6 +20,7 @@
 
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,8 +47,13 @@ struct NodeRun {
 
 /// Result of executing a physical plan.
 struct ExecutionReport {
-  rel::Table result;
+  /// Final output table, shared with the catalog's materialized entry
+  /// (never deep-copied out of the catalog); null only when the plan was
+  /// empty.
+  rel::TablePtr result;
   std::string final_output_name;
+  /// One record per plan node, in plan order regardless of the order
+  /// parallel branches actually finished in.
   std::vector<NodeRun> node_runs;
   int total_repairs = 0;
   int total_anomalies = 0;
@@ -60,6 +70,15 @@ struct ExecutorOptions {
   /// Ask the user before applying a semantic fix (true reproduces the
   /// paper's interaction; false auto-accepts for unattended benches).
   bool ask_user_on_anomaly = true;
+  /// Intra-query parallelism budget: maximum plan nodes in flight at
+  /// once on ExecContext::exec_pool. 1 (or a null pool) keeps the
+  /// classic sequential topological walk.
+  int max_parallel_nodes = 1;
+  /// Rows per partition for morsel-wise evaluation of row-wise FAO
+  /// nodes; 0 keeps whole-table-at-a-time evaluation. Partitioning (and
+  /// therefore result-cache keys) depends only on this value, never on
+  /// the worker count.
+  size_t morsel_size = 0;
 };
 
 /// \brief The agentic monitor: reviewer (diagnose) + rewriter (patch).
@@ -101,13 +120,26 @@ class Executor {
 
   /// Runs the plan; intermediates are upserted into ctx->catalog under
   /// their declared output names. Lineage is recorded per dependency
-  /// pattern through ctx->lineage.
+  /// pattern through ctx->lineage. With options.max_parallel_nodes > 1
+  /// and ctx->exec_pool set, independent DAG branches run concurrently;
+  /// per-node work (repairs, anomaly escalation, lineage) stays
+  /// deterministic and node_runs keeps plan order.
   Result<ExecutionReport> Run(const opt::PhysicalPlan& plan,
                               fao::ExecContext* ctx);
 
  private:
+  /// Executes one plan node end to end: resolve inputs, evaluate with
+  /// the repair loop (morsel-partitioned for row-wise functions), dedup
+  /// exactly once, record lineage, monitor the output, upsert into the
+  /// catalog. Safe to call from concurrent node tasks of one plan.
+  Status RunNode(const opt::PhysicalNode& node, fao::ExecContext* ctx,
+                 NodeRun* run, rel::TablePtr* out);
+
   AgenticMonitor monitor_;
   ExecutorOptions options_;
+  /// Serializes monitor escalations (repair + anomaly resolution) so
+  /// concurrent branches never interleave user-channel interactions.
+  std::mutex monitor_mu_;
 };
 
 }  // namespace kathdb::engine

@@ -7,7 +7,12 @@ KathDB::KathDB(KathDBOptions options)
       lineage_(options.lineage_mode, options.lineage_sample_rate),
       llm_(llm::KathLargeSpec(), &meter_),
       vlm_(options.vlm),
-      ner_(options.ner) {}
+      ner_(options.ner) {
+  if (options_.executor.max_parallel_nodes > 1) {
+    exec_pool_ = std::make_unique<common::ThreadPool>(
+        options_.executor.max_parallel_nodes);
+  }
+}
 
 fao::ExecContext KathDB::MakeContext() {
   fao::ExecContext ctx;
@@ -17,6 +22,7 @@ fao::ExecContext KathDB::MakeContext() {
   ctx.image_loader = &loader_;
   ctx.images = &images_;
   ctx.result_cache = result_cache_;
+  ctx.exec_pool = exec_pool_.get();
   return ctx;
 }
 
@@ -54,23 +60,33 @@ Status KathDB::IngestImage(int64_t vid, const mm::SyntheticImage& image) {
 Result<QueryOutcome> KathDB::Query(const std::string& nl_query,
                                    llm::UserChannel* user) {
   fao::ExecContext ctx = MakeContext();
-  KATHDB_ASSIGN_OR_RETURN(QueryOutcome outcome,
-                          RunPipeline(nl_query, user, &ctx));
+  KATHDB_ASSIGN_OR_RETURN(
+      QueryOutcome outcome,
+      RunPipeline(nl_query, user, &ctx, options_.executor));
   last_ = outcome;
   return outcome;
 }
 
 Result<QueryOutcome> KathDB::QueryDetached(const std::string& nl_query,
                                            llm::UserChannel* user) {
+  return QueryDetached(nl_query, user, options_.executor, nullptr);
+}
+
+Result<QueryOutcome> KathDB::QueryDetached(const std::string& nl_query,
+                                           llm::UserChannel* user,
+                                           const ExecutorOptions& exec_options,
+                                           common::ThreadPool* exec_pool) {
   rel::ScopedCatalog scoped(&catalog_);
   fao::ExecContext ctx = MakeContext();
   ctx.catalog = &scoped;
-  return RunPipeline(nl_query, user, &ctx);
+  if (exec_pool != nullptr) ctx.exec_pool = exec_pool;
+  return RunPipeline(nl_query, user, &ctx, exec_options);
 }
 
 Result<QueryOutcome> KathDB::RunPipeline(const std::string& nl_query,
                                          llm::UserChannel* user,
-                                         fao::ExecContext* ctx_in) {
+                                         fao::ExecContext* ctx_in,
+                                         const ExecutorOptions& exec_options) {
   fao::ExecContext& ctx = *ctx_in;
 
   // 1. Interactive NL parsing -> accepted query sketch.
@@ -89,13 +105,14 @@ Result<QueryOutcome> KathDB::RunPipeline(const std::string& nl_query,
                           optimizer.Optimize(logical, nl_parser.intent(),
                                              &ctx));
 
-  // 4. Monitored execution with lineage recording.
-  Executor executor(&llm_, &registry_, user, options_.executor);
+  // 4. Monitored execution with lineage recording, scheduled over the
+  // plan's dependency DAG.
+  Executor executor(&llm_, &registry_, user, exec_options);
   KATHDB_ASSIGN_OR_RETURN(ExecutionReport report, executor.Run(physical,
                                                                &ctx));
 
   QueryOutcome outcome;
-  outcome.result = report.result;
+  if (report.result != nullptr) outcome.result = *report.result;
   outcome.sketch = std::move(sketch);
   outcome.logical_plan = std::move(logical);
   outcome.physical_plan = std::move(physical);

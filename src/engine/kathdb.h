@@ -45,6 +45,9 @@ namespace kathdb::engine {
 struct KathDBOptions {
   lineage::TrackingMode lineage_mode = lineage::TrackingMode::kRow;
   double lineage_sample_rate = 0.1;  ///< used when mode == kSampled
+  /// Default executor knobs; executor.max_parallel_nodes > 1 makes the
+  /// engine create an intra-query worker pool of that many threads (the
+  /// DAG scheduler and morsel evaluation draw from it).
   ExecutorOptions executor;
   opt::OptimizerOptions optimizer;
   mm::VlmConfig vlm;
@@ -121,6 +124,15 @@ class KathDB {
   Result<QueryOutcome> QueryDetached(const std::string& nl_query,
                                      llm::UserChannel* user);
 
+  /// QueryDetached with a per-query executor-options override — the
+  /// service layer's intra-query parallelism budget — and an externally
+  /// owned worker pool for DAG/morsel work (null falls back to the
+  /// engine's own pool, if any).
+  Result<QueryOutcome> QueryDetached(const std::string& nl_query,
+                                     llm::UserChannel* user,
+                                     const ExecutorOptions& exec_options,
+                                     common::ThreadPool* exec_pool);
+
   /// Coarse pipeline explanation of the last query (Figure 5, left).
   Result<std::string> ExplainPipeline();
   /// Fine-grained tuple explanation (Figure 5, right).
@@ -139,12 +151,17 @@ class KathDB {
  private:
   /// Shared pipeline body behind Query/QueryDetached; all mutable state
   /// it touches is reached through `ctx` or internally synchronized
-  /// components (registry, lineage, meter).
+  /// components (registry, lineage, meter). `exec_options` governs the
+  /// executor only (monitoring, repairs, intra-query parallelism).
   Result<QueryOutcome> RunPipeline(const std::string& nl_query,
                                    llm::UserChannel* user,
-                                   fao::ExecContext* ctx);
+                                   fao::ExecContext* ctx,
+                                   const ExecutorOptions& exec_options);
 
   KathDBOptions options_;
+  /// Intra-query worker pool; created when the configured executor
+  /// options ask for parallelism, else null (fully sequential).
+  std::unique_ptr<common::ThreadPool> exec_pool_;
   rel::Catalog catalog_;
   lineage::LineageStore lineage_;
   fao::FunctionRegistry registry_;

@@ -1,0 +1,110 @@
+#include "engine/scheduler.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <vector>
+
+namespace kathdb::engine {
+
+Status DagScheduler::Run(const opt::PhysicalPlan& plan,
+                         const SchedulerOptions& options,
+                         const NodeFn& run_node) {
+  const size_t n = plan.nodes.size();
+  if (n == 0) return Status::OK();
+  const std::vector<std::vector<size_t>> deps =
+      plan.deps.size() == n ? plan.deps : plan.ComputeDeps();
+
+  // Sequential fast path: exactly the classic topological walk.
+  if (options.max_parallel_nodes <= 1 || options.pool == nullptr || n < 2) {
+    for (size_t i = 0; i < n; ++i) {
+      KATHDB_RETURN_IF_ERROR(run_node(i));
+    }
+    return Status::OK();
+  }
+
+  std::vector<size_t> indegree(n, 0);
+  std::vector<std::vector<size_t>> dependents(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Sanitize defensively: hand-built plans may list a producer twice,
+    // name the node itself, or point past the plan.
+    std::set<size_t> uniq(deps[i].begin(), deps[i].end());
+    uniq.erase(i);
+    for (size_t d : uniq) {
+      if (d >= n) {
+        return Status::InvalidArgument(
+            "physical plan node " + std::to_string(i) +
+            " depends on out-of-range node " + std::to_string(d));
+      }
+      dependents[d].push_back(i);
+    }
+    indegree[i] = uniq.size();
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  // Lowest index first: ties between simultaneously-ready nodes resolve
+  // in plan order, keeping dispatch deterministic.
+  std::priority_queue<size_t, std::vector<size_t>, std::greater<size_t>>
+      ready;
+  size_t completed = 0;
+  int inflight = 0;
+  bool failed = false;
+  Status first_error = Status::OK();
+
+  for (size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push(i);
+  }
+
+  auto finish = [&](size_t idx, const Status& st) {
+    std::lock_guard<std::mutex> lock(mu);
+    --inflight;
+    ++completed;
+    if (!st.ok()) {
+      if (!failed) {
+        failed = true;
+        first_error = st;
+      }
+    } else {
+      for (size_t d : dependents[idx]) {
+        if (--indegree[d] == 0) ready.push(d);
+      }
+    }
+    cv.notify_all();
+  };
+
+  std::unique_lock<std::mutex> lock(mu);
+  while (true) {
+    while (!failed && !ready.empty() &&
+           inflight < options.max_parallel_nodes) {
+      size_t idx = ready.top();
+      ready.pop();
+      ++inflight;
+      lock.unlock();
+      bool submitted = options.pool->TrySubmit(
+          [&finish, &run_node, idx] { finish(idx, run_node(idx)); });
+      if (!submitted) {
+        // Pool saturated or shutting down: run the node on this thread
+        // so scheduling never blocks on a free worker.
+        finish(idx, run_node(idx));
+      }
+      lock.lock();
+    }
+    if (completed == n) break;
+    if (inflight == 0) {
+      if (failed) break;
+      if (ready.empty()) {
+        return Status::InvalidArgument(
+            "physical plan dependencies are unsatisfiable (cycle or "
+            "forward reference); " +
+            std::to_string(n - completed) + " node(s) unreachable");
+      }
+      continue;  // budget freed up; dispatch more
+    }
+    cv.wait(lock);
+  }
+  return first_error;
+}
+
+}  // namespace kathdb::engine

@@ -1,0 +1,56 @@
+/// \file scheduler.h
+/// \brief DAG scheduler for intra-query parallelism.
+///
+/// PR 2 made KathDB concurrent *across* queries; the scheduler makes one
+/// query parallel *inside*: it walks the physical plan's dependency DAG
+/// (PhysicalPlan::deps) and dispatches every node whose inputs are ready
+/// onto the shared common::ThreadPool, so independent branches — e.g. a
+/// poster-classification chain and a recency-scoring chain — execute
+/// concurrently. The node body itself (monitored execution, repairs,
+/// lineage recording) is supplied by the executor as a callback and stays
+/// per-node and deterministic.
+///
+/// Deadlock freedom: when the pool refuses a task (saturated or shared
+/// with morsel work), the scheduler runs the node on its own thread —
+/// the calling thread always participates, so progress never depends on
+/// a free worker. With a budget of 1 (or no pool) the scheduler
+/// degenerates to the classic sequential walk of the topological order,
+/// byte-for-byte reproducing pre-DAG behaviour.
+///
+/// \ingroup kathdb_engine
+
+#pragma once
+
+#include <functional>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "optimizer/optimizer.h"
+
+namespace kathdb::engine {
+
+/// Scheduling knobs (derived from ExecutorOptions by the executor).
+struct SchedulerOptions {
+  /// Maximum plan nodes in flight at once; 1 = sequential.
+  int max_parallel_nodes = 1;
+  /// Worker pool node tasks are dispatched to; null = sequential.
+  common::ThreadPool* pool = nullptr;
+};
+
+/// \brief Runs the nodes of a physical plan in dependency order.
+class DagScheduler {
+ public:
+  /// Executes node `index`; called exactly once per node, only after all
+  /// of the node's dependencies completed successfully.
+  using NodeFn = std::function<Status(size_t index)>;
+
+  /// Runs every node of `plan` respecting its dependency edges (taken
+  /// from plan.deps when built, re-derived otherwise). Ready nodes are
+  /// dispatched lowest-index-first. On the first node error no further
+  /// nodes start; in-flight nodes finish and that first error is
+  /// returned. Blocks until all dispatched work completed.
+  static Status Run(const opt::PhysicalPlan& plan,
+                    const SchedulerOptions& options, const NodeFn& run_node);
+};
+
+}  // namespace kathdb::engine

@@ -1,8 +1,14 @@
 #include "fao/function.h"
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <set>
+#include <thread>
 
 #include "common/hash.h"
 #include "common/strings.h"
@@ -33,6 +39,15 @@ Result<size_t> RequireColumn(const Table& t, const std::string& col,
                                   "'");
   }
   return *idx;
+}
+
+/// Simulated model round-trip: a remote vision/LLM call has per-request
+/// wall latency on top of token cost. 0 (the default everywhere outside
+/// latency benches) keeps calls instant.
+void SimulateModelLatency(double ms) {
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
 }
 
 Status RequireInputs(const std::vector<TablePtr>& inputs, size_t n,
@@ -357,6 +372,7 @@ class ClassifyBoringPixelsFunction : public PhysicalFunction {
         spec_.params.GetDouble("variance_threshold", 0.055);
     int vision_tokens = static_cast<int>(
         spec_.params.GetInt("vision_tokens_per_image", 420));
+    double latency_ms = spec_.params.GetDouble("latency_ms_per_image", 0.0);
     KATHDB_ASSIGN_OR_RETURN(size_t vidx,
                             RequireColumn(in, vid_col, spec_.name));
     static const vec::ConceptLexicon lexicon = vec::ConceptLexicon::BuiltIn();
@@ -372,6 +388,7 @@ class ClassifyBoringPixelsFunction : public PhysicalFunction {
       // syntactic faults for the monitor to repair.
       KATHDB_ASSIGN_OR_RETURN(mm::SyntheticImage img,
                               ctx->image_loader->Decode(raw));
+      SimulateModelLatency(latency_ms);
       if (ctx->meter != nullptr) {
         ctx->meter->Record(vision, vision_tokens, vision_tokens / 6);
       }
@@ -443,6 +460,8 @@ class ClassifyBoringCascadeFunction : public PhysicalFunction {
                                 ctx->images->Get(vid));
         KATHDB_ASSIGN_OR_RETURN(mm::SyntheticImage img,
                                 ctx->image_loader->Decode(raw));
+        SimulateModelLatency(
+            spec_.params.GetDouble("latency_ms_per_image", 0.0));
         if (ctx->meter != nullptr) {
           ctx->meter->Record(vision, vision_tokens, vision_tokens / 6);
         }
@@ -600,6 +619,118 @@ bool IsKnownTemplate(const std::string& template_id) {
       "classify_boring_cascade",
       "fused_scores"};
   return kKnown.count(template_id) > 0;
+}
+
+bool IsRowWiseTemplate(const std::string& template_id) {
+  // Today the row-wise set coincides with the pure (cacheable) templates:
+  // both exclude "sql", whose body reads whole catalog relations by name.
+  return PhysicalFunction::IsCacheableTemplate(template_id);
+}
+
+namespace {
+
+/// Shared state of one morsel evaluation. Helper tasks capture it by
+/// shared_ptr: a helper that only gets scheduled *after* the owning call
+/// already drained every partition finds `next >= parts`, touches
+/// nothing else and exits — so the owner never has to wait for queued
+/// helpers to run (the deadlock when DAG node tasks and morsel helpers
+/// share one saturated pool) and a late helper never dereferences the
+/// owner's dead stack frame. `ctx`/`spec` are only touched by lanes that
+/// claimed a partition, and the owner blocks until every claimed
+/// partition finished, keeping them alive for exactly that window.
+struct MorselState {
+  FunctionSpec spec;
+  ExecContext* ctx = nullptr;
+  size_t parts = 0;
+  std::vector<rel::TablePtr> slices;
+  std::vector<std::optional<Result<Table>>> results;
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;  // finished partitions (guarded by mu)
+
+  /// Claims and evaluates partitions until none are left. One fresh
+  /// function instance per partition: implementations may keep per-call
+  /// scratch state (token caches, escalation counters) that must not be
+  /// shared across lanes.
+  void Work() {
+    for (size_t i = next.fetch_add(1); i < parts;
+         i = next.fetch_add(1)) {
+      auto fn = InstantiateFunction(spec);
+      if (fn.ok()) {
+        results[i].emplace(fn.value()->Evaluate({slices[i]}, ctx));
+      } else {
+        results[i].emplace(fn.status());
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == parts) cv.notify_all();
+    }
+  }
+
+  void WaitAllDone() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done == parts; });
+  }
+};
+
+}  // namespace
+
+Result<rel::Table> EvaluateWithMorsels(const FunctionSpec& spec,
+                                       const std::vector<rel::TablePtr>& inputs,
+                                       ExecContext* ctx,
+                                       const MorselOptions& morsels) {
+  bool narrow = spec.dependency_pattern == "one_to_one" ||
+                spec.dependency_pattern == "one_to_many";
+  bool splittable = morsels.morsel_size > 0 && narrow &&
+                    inputs.size() == 1 && inputs[0] != nullptr &&
+                    IsRowWiseTemplate(spec.template_id) &&
+                    inputs[0]->num_rows() > morsels.morsel_size;
+  if (!splittable) {
+    KATHDB_ASSIGN_OR_RETURN(auto fn, InstantiateFunction(spec));
+    return fn->Evaluate(inputs, ctx);
+  }
+
+  const Table& in = *inputs[0];
+  auto state = std::make_shared<MorselState>();
+  state->spec = spec;
+  state->ctx = ctx;
+  state->parts =
+      (in.num_rows() + morsels.morsel_size - 1) / morsels.morsel_size;
+  state->slices.reserve(state->parts);
+  for (size_t p = 0; p < state->parts; ++p) {
+    size_t begin = p * morsels.morsel_size;
+    state->slices.push_back(std::make_shared<Table>(
+        in.Slice(begin, begin + morsels.morsel_size)));
+  }
+  state->results.resize(state->parts);
+
+  // Borrow helper lanes from the pool; the calling thread always works
+  // too, so a saturated pool (refused submissions, or helpers stuck in
+  // the queue behind busy node tasks) costs parallelism, not progress.
+  if (morsels.pool != nullptr) {
+    size_t want =
+        std::min<size_t>(morsels.pool->workers(), state->parts - 1);
+    for (size_t h = 0; h < want; ++h) {
+      if (!morsels.pool->TrySubmit([state] { state->Work(); })) break;
+    }
+  }
+  state->Work();
+  state->WaitAllDone();
+
+  // Deterministic error surfacing and order-stable merge.
+  for (size_t p = 0; p < state->parts; ++p) {
+    if (!state->results[p]->ok()) return state->results[p]->status();
+  }
+  Table merged(state->results[0]->value().name(),
+               state->results[0]->value().schema());
+  merged.set_table_lid(in.table_lid());
+  for (size_t p = 0; p < state->parts; ++p) {
+    const Table& part = state->results[p]->value();
+    for (size_t r = 0; r < part.num_rows(); ++r) {
+      merged.AppendRow(part.row(r), part.row_lid(r));
+    }
+  }
+  return merged;
 }
 
 Result<std::unique_ptr<PhysicalFunction>> InstantiateFunction(

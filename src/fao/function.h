@@ -14,10 +14,12 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "fao/spec.h"
 #include "service/result_cache.h"
 #include "lineage/lineage.h"
@@ -33,21 +35,32 @@ namespace kathdb::fao {
 /// \brief Raw-image registry keyed by video/image id; the pixel-level
 /// classifier implementations fetch from here (the analogue of reading
 /// image files referenced by a path column).
+///
+/// Internally synchronized (shared_mutex, reads in parallel): concurrent
+/// morsel partitions and DAG-parallel node tasks all fetch posters from
+/// the one store in their ExecContext while ingestion of a live corpus
+/// may still be appending.
 class ImageStore {
  public:
   void Put(int64_t vid, mm::SyntheticImage image) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
     images_[vid] = std::move(image);
   }
   Result<mm::SyntheticImage> Get(int64_t vid) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = images_.find(vid);
     if (it == images_.end()) {
       return Status::NotFound("no raw image for vid " + std::to_string(vid));
     }
     return it->second;
   }
-  size_t size() const { return images_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return images_.size();
+  }
 
  private:
+  mutable std::shared_mutex mu_;
   std::map<int64_t, mm::SyntheticImage> images_;
 };
 
@@ -64,6 +77,10 @@ struct ExecContext {
   /// Optional cross-query memo for pure function templates (service
   /// layer); consulted by PhysicalFunction::Evaluate.
   service::ResultCache* result_cache = nullptr;
+  /// Optional intra-query worker pool: the DAG scheduler runs ready plan
+  /// nodes on it and EvaluateWithMorsels borrows lanes for partition
+  /// evaluation. Null means fully sequential execution.
+  common::ThreadPool* exec_pool = nullptr;
 };
 
 /// \brief One executable, versioned implementation of a logical function.
@@ -110,5 +127,38 @@ Result<std::unique_ptr<PhysicalFunction>> InstantiateFunction(
 
 /// True if the interpreter knows this template id.
 bool IsKnownTemplate(const std::string& template_id);
+
+/// True for templates that map input rows independently (each output
+/// chunk is a function of the corresponding input chunk, in order):
+/// these are safe to evaluate per row morsel and concatenate. "sql" is
+/// excluded — its body resolves inputs by catalog name, not row range.
+bool IsRowWiseTemplate(const std::string& template_id);
+
+/// Knobs for morsel-partitioned evaluation (set by the executor from
+/// ExecutorOptions; the partitioning is a function of morsel_size only,
+/// never of the worker count, so results, per-partition cache keys and
+/// lineage are identical however many lanes evaluate them).
+struct MorselOptions {
+  /// Rows per partition; 0 disables splitting.
+  size_t morsel_size = 0;
+  /// Worker pool for partition evaluation; the calling thread always
+  /// participates, so a null (or saturated) pool degrades to sequential
+  /// partition evaluation rather than blocking.
+  common::ThreadPool* pool = nullptr;
+};
+
+/// Evaluates `spec` over `inputs`. When the function is row-wise
+/// (IsRowWiseTemplate + a one_to_one/one_to_many dependency pattern),
+/// has exactly one input table and `morsels.morsel_size` is non-zero,
+/// the input is split into row morsels, each partition is evaluated
+/// through the cache-aware PhysicalFunction::Evaluate (so cross-query
+/// memoization keys are per-partition content hashes) and the outputs
+/// are concatenated order-stably — row lineage ids carry through
+/// unchanged. Falls back to a whole-input Evaluate otherwise. Errors
+/// surface deterministically: the lowest failing partition wins.
+Result<rel::Table> EvaluateWithMorsels(const FunctionSpec& spec,
+                                       const std::vector<rel::TablePtr>& inputs,
+                                       ExecContext* ctx,
+                                       const MorselOptions& morsels);
 
 }  // namespace kathdb::fao

@@ -11,6 +11,7 @@ Result<std::string> ScriptedUser::Ask(const std::string& stage,
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(reply_latency_ms_));
   }
+  std::lock_guard<std::mutex> lock(mu_);
   ++questions_;
   std::string answer = "OK";
   if (!replies_.empty()) {
@@ -23,6 +24,7 @@ Result<std::string> ScriptedUser::Ask(const std::string& stage,
 
 void ScriptedUser::Notify(const std::string& stage,
                           const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
   history_.push_back({stage, message, ""});
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <deque>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,12 @@ class UserChannel {
 };
 
 /// \brief Replays a scripted queue of replies; answers "OK" when empty.
+///
+/// Internally synchronized: DAG-parallel execution can escalate repairs
+/// or anomalies from several node tasks of one query concurrently (the
+/// executor serializes the escalations themselves, but notifications may
+/// interleave with questions). `history()` returns a reference and is
+/// only safe once the query has finished.
 class ScriptedUser : public UserChannel {
  public:
   ScriptedUser() = default;
@@ -55,7 +62,10 @@ class ScriptedUser : public UserChannel {
       : replies_(replies.begin(), replies.end()) {}
 
   /// Appends a reply to the script.
-  void Push(const std::string& reply) { replies_.push_back(reply); }
+  void Push(const std::string& reply) {
+    std::lock_guard<std::mutex> lock(mu_);
+    replies_.push_back(reply);
+  }
 
   /// Simulated think time: each Ask blocks this many milliseconds before
   /// answering, reproducing a remote user on the other end of the
@@ -68,9 +78,13 @@ class ScriptedUser : public UserChannel {
                           const std::string& question) override;
   void Notify(const std::string& stage, const std::string& message) override;
   const std::vector<Exchange>& history() const override { return history_; }
-  size_t questions_asked() const override { return questions_; }
+  size_t questions_asked() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return questions_;
+  }
 
  private:
+  mutable std::mutex mu_;
   std::deque<std::string> replies_;
   std::vector<Exchange> history_;
   size_t questions_ = 0;

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <map>
 
 #include "common/strings.h"
 #include "sql/engine.h"
@@ -14,14 +15,38 @@ using fao::LogicalPlan;
 using rel::Table;
 using rel::TablePtr;
 
+std::vector<std::vector<size_t>> PhysicalPlan::ComputeDeps() const {
+  // Map each output name to its producer; outputs are unique (verifier)
+  // and producers precede consumers, so keeping the last index seen
+  // before the consumer is unambiguous.
+  std::map<std::string, size_t> producer_of;
+  std::vector<std::vector<size_t>> out(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (const auto& in : nodes[i].sig.inputs) {
+      auto it = producer_of.find(in);
+      if (it != producer_of.end()) out[i].push_back(it->second);
+    }
+    producer_of[nodes[i].sig.output] = i;
+  }
+  return out;
+}
+
 std::string PhysicalPlan::ToText() const {
   std::string out = "Physical plan (" + std::to_string(nodes.size()) +
                     " nodes, final output: " + final_output + ")\n";
+  std::vector<std::vector<size_t>> edges =
+      deps.size() == nodes.size() ? deps : ComputeDeps();
   for (size_t i = 0; i < nodes.size(); ++i) {
     const PhysicalNode& n = nodes[i];
     out += "  " + std::to_string(i + 1) + ". " + n.sig.name + " [" +
            n.spec.template_id + " v" + std::to_string(n.spec.ver_id) + ", " +
-           n.spec.dependency_pattern + "] -> " + n.sig.output + "\n";
+           n.spec.dependency_pattern + "] -> " + n.sig.output;
+    if (!edges[i].empty()) {
+      std::vector<std::string> parents;
+      for (size_t d : edges[i]) parents.push_back(std::to_string(d + 1));
+      out += " (after " + Join(parents, ",") + ")";
+    }
+    out += "\n";
   }
   return out;
 }
@@ -631,6 +656,7 @@ Result<PhysicalPlan> QueryOptimizer::Optimize(const LogicalPlan& plan,
     chosen.ver_id = registry_->RegisterNewVersion(chosen);
     pplan.nodes.push_back({sig, chosen});
   }
+  pplan.BuildEdges();
   return pplan;
 }
 

@@ -36,10 +36,24 @@ struct PhysicalNode {
   fao::FunctionSpec spec;
 };
 
-/// Ordered executable plan (valid topological order).
+/// Executable plan: `nodes` stays a valid topological order (sequential
+/// executors walk it unchanged), while `deps` makes the dependency DAG
+/// explicit so the scheduler can run independent branches concurrently.
 struct PhysicalPlan {
   std::vector<PhysicalNode> nodes;
   std::string final_output;
+  /// deps[i] lists the indices of the nodes whose outputs node i
+  /// consumes (derived from sig.inputs/sig.output; inputs that name a
+  /// base relation or view contribute no edge). Kept in sync by
+  /// BuildEdges; empty for hand-built plans until it is called.
+  std::vector<std::vector<size_t>> deps;
+
+  /// Dependency edges derived from the nodes' signatures. Only backward
+  /// references (producer before consumer) become edges, so the result
+  /// is acyclic whenever `nodes` is a valid topological order.
+  std::vector<std::vector<size_t>> ComputeDeps() const;
+  /// Stores ComputeDeps() into `deps`.
+  void BuildEdges() { deps = ComputeDeps(); }
 
   std::string ToText() const;
 };

@@ -151,6 +151,7 @@ bool Catalog::Joinable(const std::string& left, const std::string& right,
 Status ScopedCatalog::Register(TablePtr table, RelationKind kind) {
   if (table == nullptr) return Status::InvalidArgument("null table");
   const std::string name = table->name();
+  std::unique_lock<std::shared_mutex> lock(overlay_mu_);
   if (overlay_.count(name) > 0 || base_->Has(name)) {
     return Status::AlreadyExists("relation '" + name +
                                  "' already registered");
@@ -163,21 +164,30 @@ Status ScopedCatalog::Register(TablePtr table, RelationKind kind) {
 void ScopedCatalog::Upsert(TablePtr table, RelationKind kind) {
   if (table == nullptr) return;
   const std::string name = table->name();
+  std::unique_lock<std::shared_mutex> lock(overlay_mu_);
   if (overlay_.count(name) == 0) order_.push_back(name);
   overlay_[name] = OverlayEntry{std::move(table), kind};
 }
 
 Result<TablePtr> ScopedCatalog::Get(const std::string& name) const {
-  auto it = overlay_.find(name);
-  if (it != overlay_.end()) return it->second.table;
+  {
+    std::shared_lock<std::shared_mutex> lock(overlay_mu_);
+    auto it = overlay_.find(name);
+    if (it != overlay_.end()) return it->second.table;
+  }
   return base_->Get(name);
 }
 
 bool ScopedCatalog::Has(const std::string& name) const {
-  return overlay_.count(name) > 0 || base_->Has(name);
+  {
+    std::shared_lock<std::shared_mutex> lock(overlay_mu_);
+    if (overlay_.count(name) > 0) return true;
+  }
+  return base_->Has(name);
 }
 
 Status ScopedCatalog::Drop(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(overlay_mu_);
   auto it = overlay_.find(name);
   if (it == overlay_.end()) {
     if (base_->Has(name)) {
@@ -192,13 +202,17 @@ Status ScopedCatalog::Drop(const std::string& name) {
 }
 
 RelationKind ScopedCatalog::KindOf(const std::string& name) const {
-  auto it = overlay_.find(name);
-  if (it != overlay_.end()) return it->second.kind;
+  {
+    std::shared_lock<std::shared_mutex> lock(overlay_mu_);
+    auto it = overlay_.find(name);
+    if (it != overlay_.end()) return it->second.kind;
+  }
   return base_->KindOf(name);
 }
 
 std::vector<std::string> ScopedCatalog::ListNames() const {
   std::vector<std::string> names = base_->ListNames();
+  std::shared_lock<std::shared_mutex> lock(overlay_mu_);
   for (const auto& name : order_) {
     if (!base_->Has(name)) names.push_back(name);
   }

@@ -88,9 +88,10 @@ class Catalog {
 /// (Register/Upsert/Drop) touches only the overlay. A concurrent query
 /// therefore sees the shared corpus plus its *own* intermediates, and two
 /// queries materializing the same output name never race — the executor
-/// re-entrancy building block of the service layer. The overlay itself is
-/// confined to one query (one worker thread) and needs no locking beyond
-/// what the base provides.
+/// re-entrancy building block of the service layer. The overlay is
+/// internally synchronized (its own shared_mutex): with DAG-parallel
+/// intra-query execution the nodes of *one* query materialize their
+/// outputs from several worker threads into the same overlay.
 class ScopedCatalog : public Catalog {
  public:
   /// `base` must outlive the overlay; may not be null.
@@ -113,7 +114,10 @@ class ScopedCatalog : public Catalog {
                 std::string* on_column) const override;
 
   /// Number of query-local relations (diagnostics).
-  size_t overlay_size() const { return overlay_.size(); }
+  size_t overlay_size() const {
+    std::shared_lock<std::shared_mutex> lock(overlay_mu_);
+    return overlay_.size();
+  }
 
  private:
   struct OverlayEntry {
@@ -121,6 +125,7 @@ class ScopedCatalog : public Catalog {
     RelationKind kind;
   };
   const Catalog* base_;
+  mutable std::shared_mutex overlay_mu_;
   std::vector<std::string> order_;
   std::map<std::string, OverlayEntry> overlay_;
 };

@@ -44,6 +44,16 @@ Table Table::Head(size_t n) const {
   return out;
 }
 
+Table Table::Slice(size_t begin, size_t end) const {
+  Table out(name_, schema_);
+  out.set_table_lid(table_lid_);
+  end = std::min(end, rows_.size());
+  for (size_t i = begin; i < end; ++i) {
+    out.AppendRow(rows_[i], row_lid(i));
+  }
+  return out;
+}
+
 std::string Table::ToText(size_t max_rows) const {
   std::vector<size_t> widths(schema_.num_columns());
   std::vector<std::vector<std::string>> cells;

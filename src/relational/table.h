@@ -64,6 +64,11 @@ class Table {
   /// First `n` rows as a new table (used by samplers / profilers).
   Table Head(size_t n) const;
 
+  /// Rows [begin, end) as a new table carrying the same name, schema,
+  /// table lid and per-row lineage ids — the cheap sub-table behind
+  /// morsel-partitioned FAO evaluation. `end` is clamped to num_rows().
+  Table Slice(size_t begin, size_t end) const;
+
   /// ASCII rendering with header, separator and up to `max_rows` rows.
   std::string ToText(size_t max_rows = 20) const;
 

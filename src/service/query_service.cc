@@ -46,10 +46,15 @@ QueryService::QueryService(engine::KathDB* db, ServiceOptions options)
                  : nullptr),
       pool_(options.workers, options.max_queue) {
   db_->set_result_cache(cache_.get());
+  if (options_.intra_query_parallelism > 1) {
+    exec_pool_ =
+        std::make_unique<common::ThreadPool>(options_.intra_query_parallelism);
+  }
 }
 
 QueryService::~QueryService() {
   pool_.Shutdown();  // drains admitted queries, then joins the workers
+  if (exec_pool_ != nullptr) exec_pool_->Shutdown();
   // Detach only if still attached: if a later service already re-pointed
   // the engine's cache hook, leave its attachment alone.
   if (db_->result_cache() == cache_.get()) {
@@ -110,8 +115,10 @@ Result<OutcomeFuture> QueryService::Submit(SessionId id, std::string nl_query,
     // so concurrent queries of one session never race on replies.
     llm::ScriptedUser user(replies);
     user.set_reply_latency_ms(options_.reply_latency_ms);
-    Result<engine::QueryOutcome> outcome =
-        db_->QueryDetached(nl_query, &user);
+    engine::ExecutorOptions exec_opts = MakeExecOptions();
+    Result<engine::QueryOutcome> outcome = db_->QueryDetached(
+        nl_query, &user, exec_opts,
+        exec_opts.max_parallel_nodes > 1 ? exec_pool_.get() : nullptr);
     session->RecordOutcome(outcome, user.questions_asked());
     if (outcome.ok()) {
       completed_.fetch_add(1, std::memory_order_relaxed);
@@ -136,6 +143,19 @@ Result<engine::QueryOutcome> QueryService::Query(
   KATHDB_ASSIGN_OR_RETURN(OutcomeFuture future,
                           Submit(id, nl_query, std::move(replies)));
   return future.get();
+}
+
+engine::ExecutorOptions QueryService::MakeExecOptions() const {
+  engine::ExecutorOptions opts =
+      static_cast<const engine::KathDB*>(db_)->options().executor;
+  opts.max_parallel_nodes = options_.intra_query_parallelism;
+  opts.morsel_size = options_.intra_query_morsel_size;
+  // Trade intra-query speedup for multi-session throughput: with queries
+  // already waiting for a worker, an idle-core budget does not exist.
+  if (options_.adaptive_intra_query && pool_.queue_depth() > 0) {
+    opts.max_parallel_nodes = 1;
+  }
+  return opts;
 }
 
 void QueryService::Drain() { pool_.Wait(); }

@@ -51,6 +51,18 @@ struct ServiceOptions {
   /// do not answer instantly); benches use it to reproduce the blocking
   /// the worker pool overlaps. 0 = instant replies.
   double reply_latency_ms = 0.0;
+  /// Per-query intra-query parallelism budget: the maximum DAG nodes of
+  /// one query in flight at once (and the lane count for morsel
+  /// evaluation), served by a dedicated exec pool of the same size that
+  /// all in-flight queries share. 1 keeps queries sequential inside —
+  /// the right default when the session count already saturates cores.
+  int intra_query_parallelism = 1;
+  /// Morsel size handed to the executor (0 = whole-table evaluation).
+  size_t intra_query_morsel_size = 0;
+  /// When true, a query admitted while others are still waiting in the
+  /// admission queue runs with a budget of 1: under heavy multi-session
+  /// load, cores go to throughput, not to intra-query latency.
+  bool adaptive_intra_query = true;
 };
 
 /// Aggregated service counters (cheap to sample at any time).
@@ -153,10 +165,17 @@ class QueryService {
   engine::KathDB* db() { return db_; }
 
  private:
+  /// Executor options for one query, honoring the intra-query budget
+  /// and the adaptive load rule.
+  engine::ExecutorOptions MakeExecOptions() const;
+
   engine::KathDB* db_;
   ServiceOptions options_;
   std::unique_ptr<ResultCache> cache_;  ///< null when disabled
   common::ThreadPool pool_;
+  /// Shared intra-query pool (DAG nodes + morsels); null when the
+  /// configured budget is 1.
+  std::unique_ptr<common::ThreadPool> exec_pool_;
 
   mutable std::mutex sessions_mu_;
   std::map<SessionId, SessionPtr> sessions_;

@@ -148,6 +148,50 @@ TEST(MonitorTest, UnrepairableErrorPropagates) {
   EXPECT_TRUE(report.status().IsSyntacticError());
 }
 
+TEST(MonitorTest, RepairExhaustionSurfacesOriginalError) {
+  // With the repair budget exhausted (0 attempts) the monitor never gets
+  // to wrap or replace the diagnosis: the original decoder error must
+  // surface to the caller verbatim.
+  data::DatasetOptions opts;
+  opts.num_movies = 10;
+  opts.heic_fraction = 1.0;
+  KathDBOptions db_opts;
+  db_opts.optimizer.boring_impl = "pixels";
+  db_opts.executor.max_repair_attempts = 0;
+  auto db = MakeDb(opts, db_opts);
+  auto user = PaperUser();
+  auto outcome = RunPaper(db.get(), &user);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.status().IsSyntacticError());
+  std::string msg = outcome.status().ToString();
+  EXPECT_NE(msg.find("heic"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("monitor cannot repair"), std::string::npos) << msg;
+}
+
+TEST(MonitorTest, RepairedVersionIsReflectedInNodeRun) {
+  data::DatasetOptions opts;
+  opts.num_movies = 14;
+  opts.heic_fraction = 0.5;
+  KathDBOptions db_opts;
+  db_opts.optimizer.boring_impl = "pixels";
+  auto db = MakeDb(opts, db_opts);
+  auto user = PaperUser();
+  auto outcome = RunPaper(db.get(), &user);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const NodeRun* classify = nullptr;
+  for (const auto& run : outcome->report.node_runs) {
+    if (run.name == "classify_boring") classify = &run;
+  }
+  ASSERT_NE(classify, nullptr);
+  ASSERT_GE(classify->repair_attempts, 1);
+  // The run records the *patched* version the node finally executed
+  // with, i.e. the latest registry version, not the original.
+  auto versions = db->registry()->VersionsOf("classify_boring");
+  ASSERT_GE(versions.size(), 2u);
+  EXPECT_EQ(classify->ver_id, versions.back().ver_id);
+  EXPECT_GT(classify->ver_id, versions.front().ver_id);
+}
+
 // ------------------------------------------------ semantic anomaly (E11)
 
 TEST(MonitorTest, DuplicatePosterAnomalyEscalatedAndFixed) {
