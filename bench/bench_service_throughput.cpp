@@ -15,6 +15,15 @@
 // hosted model round-trip would. Hiding exactly this per-session blocking
 // is the worker pool's job, so throughput scales with workers even when
 // query CPU is a single core.
+//
+// The second table isolates the async batch scheduler: with the pixel
+// classifier paying kVisionLatencyMs per image, the synchronous path
+// sleeps once per row while the batched path coalesces identical
+// partitions across all sessions and pays one round trip per flush. The
+// grid sweeps batch size x flush deadline at 8 workers against the
+// batching-off baseline (cache disabled on both sides so the speedup is
+// batching, not memoization). Acceptance target: >= 2x qps with batching
+// at 8 workers vs the synchronous baseline.
 
 #include <benchmark/benchmark.h>
 
@@ -32,7 +41,8 @@ namespace {
 constexpr int kCorpusMovies = 40;
 constexpr int kSessions = 8;
 constexpr int kQueriesPerSession = 6;
-constexpr double kReplyLatencyMs = 3.0;  // remote-user think time / RTT
+constexpr double kReplyLatencyMs = 3.0;   // remote-user think time / RTT
+constexpr double kVisionLatencyMs = 4.0;  // per-image model RTT (batch grid)
 
 struct RunResult {
   double qps = 0.0;
@@ -40,15 +50,26 @@ struct RunResult {
   int64_t completed = 0;
 };
 
+/// Knobs for the async LLM batch scheduler; `enabled = false` is the
+/// synchronous baseline every grid cell is compared against.
+struct BatchConfig {
+  bool enabled = false;
+  int batch_size = 8;
+  double deadline_ms = 1.0;
+};
+
 /// Serves kSessions * kQueriesPerSession paper queries with `workers`
 /// workers; one warm-up query optionally pre-fills the shared cache.
 RunResult ServeWorkload(engine::KathDB* db, int workers, bool enable_cache,
-                        bool warm) {
+                        bool warm, const BatchConfig& batching = {}) {
   service::ServiceOptions opts;
   opts.workers = workers;
   opts.max_queue = kSessions * kQueriesPerSession + 8;
   opts.enable_result_cache = enable_cache;
   opts.reply_latency_ms = kReplyLatencyMs;
+  opts.enable_llm_batching = batching.enabled;
+  opts.llm_batch_size = batching.batch_size;
+  opts.llm_flush_deadline_ms = batching.deadline_ms;
   service::QueryService service(db, opts);
 
   std::vector<service::SessionId> sessions;
@@ -126,6 +147,44 @@ void PrintScalingTable() {
   std::printf("\n");
 }
 
+/// A corpus whose classify node pays a real per-image model round trip:
+/// the batching grid must show latency collapse, so the plan is pinned to
+/// the pixel implementation (the "auto" profiler could pick the free
+/// stats path and hide the effect) and every image costs kVisionLatencyMs.
+BenchDb MakeVisionLatencyDb() {
+  engine::KathDBOptions db_opts;
+  db_opts.optimizer.boring_impl = "pixels";
+  db_opts.optimizer.vision_latency_ms_per_image = kVisionLatencyMs;
+  return MakeIngestedDb(kCorpusMovies, {}, db_opts);
+}
+
+void PrintBatchingGrid() {
+  std::printf(
+      "=== async LLM batching: %d sessions x %d queries, 8 workers, "
+      "%.0fms/image vision RTT, cache off ===\n",
+      kSessions, kQueriesPerSession, kVisionLatencyMs);
+  BenchDb b = MakeVisionLatencyDb();
+  RunResult sync = ServeWorkload(b.db.get(), /*workers=*/8,
+                                 /*enable_cache=*/false, /*warm=*/false);
+  std::printf("%-12s %-14s %-10s %-14s\n", "batch_size", "deadline_ms",
+              "qps", "speedup vs sync");
+  std::printf("%-12s %-14s %-10.1f %.2fx\n", "(off)", "-", sync.qps, 1.0);
+  for (int batch_size : {4, 8, 16}) {
+    for (double deadline_ms : {0.5, 1.0, 2.0}) {
+      BatchConfig cfg;
+      cfg.enabled = true;
+      cfg.batch_size = batch_size;
+      cfg.deadline_ms = deadline_ms;
+      RunResult r = ServeWorkload(b.db.get(), /*workers=*/8,
+                                  /*enable_cache=*/false, /*warm=*/false,
+                                  cfg);
+      std::printf("%-12d %-14.1f %-10.1f %.2fx\n", batch_size, deadline_ms,
+                  r.qps, sync.qps > 0 ? r.qps / sync.qps : 0.0);
+    }
+  }
+  std::printf("\n");
+}
+
 void BM_ServiceThroughput(benchmark::State& state) {
   int workers = static_cast<int>(state.range(0));
   bool cached = state.range(1) != 0;
@@ -153,10 +212,45 @@ BENCHMARK(BM_ServiceThroughput)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/// Args: {batch_size, flush_deadline_us}; {0, 0} is the synchronous
+/// baseline (batching off). All cells run 8 workers, cache off, on the
+/// vision-latency corpus, so the JSON artifact carries the same grid as
+/// PrintBatchingGrid.
+void BM_ServiceThroughputBatched(benchmark::State& state) {
+  int batch_size = static_cast<int>(state.range(0));
+  double deadline_ms = static_cast<double>(state.range(1)) / 1000.0;
+  BatchConfig cfg;
+  cfg.enabled = batch_size > 0;
+  cfg.batch_size = cfg.enabled ? batch_size : 8;
+  cfg.deadline_ms = deadline_ms;
+  BenchDb b = MakeVisionLatencyDb();
+  int64_t queries = 0;
+  for (auto _ : state) {
+    RunResult r = ServeWorkload(b.db.get(), /*workers=*/8,
+                                /*enable_cache=*/false, /*warm=*/false, cfg);
+    queries += r.completed;
+    benchmark::DoNotOptimize(r.qps);
+  }
+  state.SetItemsProcessed(queries);  // items/sec == queries/sec
+  state.counters["batch_size"] = batch_size;
+  state.counters["flush_deadline_ms"] = deadline_ms;
+  state.SetLabel(cfg.enabled ? "batched" : "sync");
+}
+BENCHMARK(BM_ServiceThroughputBatched)
+    ->Args({0, 0})
+    ->Args({4, 1000})
+    ->Args({8, 500})
+    ->Args({8, 1000})
+    ->Args({8, 2000})
+    ->Args({16, 1000})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintScalingTable();
+  PrintBatchingGrid();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,70 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace kathdb::common {
+
+Clock* Clock::System() {
+  static SystemClock* clock = new SystemClock();
+  return clock;
+}
+
+int64_t SystemClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::SleepFor(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(ms * 1000.0)));
+}
+
+void SystemClock::WaitUntil(std::unique_lock<std::mutex>& lock,
+                            std::condition_variable& cv,
+                            int64_t deadline_micros) {
+  int64_t now = NowMicros();
+  if (deadline_micros <= now) return;
+  cv.wait_for(lock, std::chrono::microseconds(deadline_micros - now));
+}
+
+void ManualClock::WaitUntil(std::unique_lock<std::mutex>& lock,
+                            std::condition_variable& cv,
+                            int64_t deadline_micros) {
+  if (deadline_micros <= NowMicros()) return;
+  // Virtual time only moves via Advance(), which fires the wakers that
+  // notify `cv`; a plain wait (no timeout) keeps tests fully
+  // deterministic. Spurious wakeups are fine — callers re-check.
+  cv.wait(lock);
+}
+
+void ManualClock::Advance(double ms) {
+  if (ms > 0.0) {
+    now_micros_.fetch_add(static_cast<int64_t>(ms * 1000.0),
+                          std::memory_order_acq_rel);
+  }
+  std::vector<std::function<void()>> to_fire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    to_fire.reserve(wakers_.size());
+    for (const auto& [id, waker] : wakers_) to_fire.push_back(waker);
+  }
+  for (const auto& waker : to_fire) waker();
+}
+
+int64_t ManualClock::RegisterWaker(std::function<void()> waker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t id = next_waker_id_++;
+  wakers_[id] = std::move(waker);
+  return id;
+}
+
+void ManualClock::UnregisterWaker(int64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wakers_.erase(id);
+}
+
+}  // namespace kathdb::common

@@ -1,0 +1,101 @@
+/// \file clock.h
+/// \brief Injectable time source for latency simulation and batching.
+///
+/// Everything in KathDB that "waits" — simulated model round trips,
+/// scripted user think time, the batch scheduler's flush deadline — goes
+/// through a Clock so production code runs on the wall clock while tests
+/// drive a ManualClock deterministically (no real sleep_for, no flaky
+/// timing under ThreadSanitizer).
+///
+/// \ingroup kathdb_common
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+
+namespace kathdb::common {
+
+/// \brief Abstract monotonic time source.
+///
+/// Implementations must be safe for concurrent use.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic "now" in microseconds.
+  virtual int64_t NowMicros() const = 0;
+
+  /// Blocks the caller for `ms` of this clock's time. On the system clock
+  /// this is a real sleep; on a manual clock it advances virtual time and
+  /// returns immediately.
+  virtual void SleepFor(double ms) = 0;
+
+  /// Waits on `cv` (with `lock` held) until notified or until this
+  /// clock's time reaches `deadline_micros`. May wake spuriously; callers
+  /// must re-check their predicate and the clock. On a manual clock this
+  /// waits for a notification only — Advance() wakes registered wakers so
+  /// deadline expiry is re-evaluated.
+  virtual void WaitUntil(std::unique_lock<std::mutex>& lock,
+                         std::condition_variable& cv,
+                         int64_t deadline_micros) = 0;
+
+  /// Process-wide wall clock singleton.
+  static Clock* System();
+};
+
+/// \brief Wall-clock implementation over std::chrono::steady_clock.
+class SystemClock : public Clock {
+ public:
+  int64_t NowMicros() const override;
+  void SleepFor(double ms) override;
+  void WaitUntil(std::unique_lock<std::mutex>& lock,
+                 std::condition_variable& cv,
+                 int64_t deadline_micros) override;
+};
+
+/// \brief Virtual clock for deterministic tests.
+///
+/// Time only moves when a test (or a SleepFor caller) calls Advance().
+/// Components that block on deadlines register a waker; Advance() invokes
+/// every waker after bumping the time so deadline loops re-evaluate. A
+/// waker must be safe to call from any thread (typical implementation:
+/// take the component's lock, drop it, notify its condition variable).
+/// The clock must outlive every component holding a registration.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_micros = 0) : now_micros_(start_micros) {}
+
+  int64_t NowMicros() const override {
+    return now_micros_.load(std::memory_order_acquire);
+  }
+
+  /// SleepFor on a manual clock advances virtual time: the "sleeper" is
+  /// modelled as the thing that makes time pass (a simulated model RTT),
+  /// so deadline waiters elsewhere observe the jump.
+  void SleepFor(double ms) override { Advance(ms); }
+
+  void WaitUntil(std::unique_lock<std::mutex>& lock,
+                 std::condition_variable& cv,
+                 int64_t deadline_micros) override;
+
+  /// Moves virtual time forward and fires every registered waker.
+  void Advance(double ms);
+
+  /// Registers a waker invoked after every Advance(); returns an id for
+  /// UnregisterWaker. Wakers run on the advancing thread.
+  int64_t RegisterWaker(std::function<void()> waker);
+  void UnregisterWaker(int64_t id);
+
+ private:
+  std::atomic<int64_t> now_micros_;
+  std::mutex mu_;
+  int64_t next_waker_id_ = 1;
+  std::map<int64_t, std::function<void()>> wakers_;
+};
+
+}  // namespace kathdb::common

@@ -1,6 +1,7 @@
 #include "engine/executor.h"
 
 #include <chrono>
+#include <future>
 #include <map>
 #include <set>
 
@@ -227,12 +228,87 @@ Status Executor::RunNode(const opt::PhysicalNode& node, fao::ExecContext* ctx,
   morsels.morsel_size = options_.morsel_size;
   morsels.pool = ctx->exec_pool;
 
-  FunctionSpec spec = node.spec;
-  Result<Table> result = Status::RuntimeError("not executed");
   auto t0 = std::chrono::steady_clock::now();
-  for (int attempt = 0; attempt <= options_.max_repair_attempts;
-       ++attempt) {
-    result = fao::EvaluateWithMorsels(spec, inputs, ctx, morsels);
+  Result<Table> result =
+      fao::EvaluateWithMorsels(node.spec, inputs, ctx, morsels);
+  return FinishNode(node, ctx, run, out_table, inputs, node.spec,
+                    std::move(result), t0);
+}
+
+void Executor::RunNodeAsync(const opt::PhysicalNode& node,
+                            fao::ExecContext* ctx, NodeRun* run,
+                            TablePtr* out_table, DagScheduler::DoneFn done) {
+  bool batched = options_.enable_llm_batching && ctx->batcher != nullptr &&
+                 fao::IsBatchableTemplate(node.spec.template_id);
+  if (!batched) {
+    done(RunNode(node, ctx, run, out_table));
+    return;
+  }
+
+  run->name = node.sig.name;
+  run->template_id = node.spec.template_id;
+  run->ver_id = node.spec.ver_id;
+  run->dependency_pattern = node.spec.dependency_pattern;
+  std::vector<TablePtr> inputs;
+  for (const auto& in : node.sig.inputs) {
+    auto t = ctx->catalog->Get(in);
+    if (!t.ok()) {
+      done(t.status());
+      return;
+    }
+    inputs.push_back(std::move(t).value());
+  }
+  fao::MorselOptions morsels;
+  morsels.morsel_size = options_.morsel_size;
+  morsels.pool = ctx->exec_pool;
+  auto t0 = std::chrono::steady_clock::now();
+
+  if (ctx->exec_pool == nullptr || options_.max_parallel_nodes <= 1) {
+    // Sequential mode: nothing to resume on, so await the batch here.
+    // Cross-query coalescing and the single-RTT flush still apply; only
+    // this query's thread blocks, never the flusher.
+    std::promise<Result<Table>> landed;
+    fao::EvaluateBatched(
+        node.spec, inputs, ctx, morsels,
+        [&landed](Result<Table> r) { landed.set_value(std::move(r)); });
+    done(FinishNode(node, ctx, run, out_table, inputs, node.spec,
+                    landed.get_future().get(), t0));
+    return;
+  }
+
+  // Parallel mode: park. The NodeRun state lives in this callback; the
+  // dispatched worker returns to the pool as soon as every partition is
+  // submitted, and the finish tail resumes on the exec pool when the
+  // last batch lands (inline on the completing thread if the pool
+  // refuses) — open LLM requests no longer occupy threads.
+  const opt::PhysicalNode* nodep = &node;
+  fao::EvaluateBatched(
+      node.spec, inputs, ctx, morsels,
+      [this, nodep, ctx, run, out_table, inputs, done,
+       t0](Result<Table> r) {
+        auto resume = [this, nodep, ctx, run, out_table, inputs, done, t0,
+                       r]() mutable {
+          done(FinishNode(*nodep, ctx, run, out_table, inputs, nodep->spec,
+                          std::move(r), t0));
+        };
+        if (!ctx->exec_pool->TrySubmit(resume)) resume();
+      });
+}
+
+Status Executor::FinishNode(const opt::PhysicalNode& node,
+                            fao::ExecContext* ctx, NodeRun* run,
+                            TablePtr* out_table,
+                            const std::vector<TablePtr>& inputs,
+                            FunctionSpec spec, Result<Table> result,
+                            std::chrono::steady_clock::time_point started) {
+  fao::MorselOptions morsels;
+  morsels.morsel_size = options_.morsel_size;
+  morsels.pool = ctx->exec_pool;
+
+  // Syntactic-repair loop over the first evaluation's outcome; repaired
+  // specs re-evaluate synchronously (a repair changes the spec, so its
+  // fingerprints no longer coalesce with in-flight twins anyway).
+  for (int attempt = 0;; ++attempt) {
     if (result.ok()) break;
     if (!result.status().IsSyntacticError() ||
         attempt == options_.max_repair_attempts) {
@@ -246,10 +322,11 @@ Status Executor::RunNode(const opt::PhysicalNode& node, fao::ExecContext* ctx,
           spec, monitor_.RepairSyntactic(spec, result.status(), ctx));
     }
     ++run->repair_attempts;
+    result = fao::EvaluateWithMorsels(spec, inputs, ctx, morsels);
   }
   auto t1 = std::chrono::steady_clock::now();
   run->runtime_ms =
-      std::chrono::duration<double, std::milli>(t1 - t0).count();
+      std::chrono::duration<double, std::milli>(t1 - started).count();
   run->ver_id = spec.ver_id;
   Table out = std::move(result).value();
   out.set_name(node.sig.output);
@@ -331,10 +408,12 @@ Result<ExecutionReport> Executor::Run(const opt::PhysicalPlan& plan,
   SchedulerOptions sched;
   sched.max_parallel_nodes = options_.max_parallel_nodes;
   sched.pool = ctx->exec_pool;
-  KATHDB_RETURN_IF_ERROR(DagScheduler::Run(
-      plan, sched, [this, &plan, ctx, &report, &outputs](size_t idx) {
-        return RunNode(plan.nodes[idx], ctx, &report.node_runs[idx],
-                       &outputs[idx]);
+  KATHDB_RETURN_IF_ERROR(DagScheduler::RunAsync(
+      plan, sched,
+      [this, &plan, ctx, &report, &outputs](size_t idx,
+                                            DagScheduler::DoneFn done) {
+        RunNodeAsync(plan.nodes[idx], ctx, &report.node_runs[idx],
+                     &outputs[idx], std::move(done));
       }));
 
   TablePtr final_table;

@@ -20,11 +20,13 @@
 
 #pragma once
 
+#include <chrono>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "engine/scheduler.h"
 #include "fao/function.h"
 #include "fao/registry.h"
 #include "llm/channel.h"
@@ -79,6 +81,14 @@ struct ExecutorOptions {
   /// therefore result-cache keys) depends only on this value, never on
   /// the worker count.
   size_t morsel_size = 0;
+  /// Cross-query batched LLM execution: when true and the ExecContext
+  /// carries a llm::BatchScheduler, pure FAO nodes evaluate through the
+  /// async submit -> flush -> resume path (fao::EvaluateBatched) instead
+  /// of blocking a worker per simulated model round trip. Results,
+  /// lineage, and usage accounting are byte-identical to the sequential
+  /// path; only scheduling changes. Off by default — the service layer
+  /// turns it on.
+  bool enable_llm_batching = false;
 };
 
 /// \brief The agentic monitor: reviewer (diagnose) + rewriter (patch).
@@ -134,6 +144,28 @@ class Executor {
   /// catalog. Safe to call from concurrent node tasks of one plan.
   Status RunNode(const opt::PhysicalNode& node, fao::ExecContext* ctx,
                  NodeRun* run, rel::TablePtr* out);
+
+  /// Continuation-style RunNode used under the DAG scheduler's async
+  /// path. Without batching this is RunNode with an inline `done`. With
+  /// batching, the node's first evaluation goes through
+  /// fao::EvaluateBatched: the NodeRun state parks in the completion
+  /// callback, the calling worker returns to the pool, and the finish
+  /// tail resumes on ctx->exec_pool when the batch lands (inline on the
+  /// completing thread if the pool refuses). In sequential mode (budget
+  /// 1 / no pool) the batch is awaited on the calling thread instead —
+  /// cross-query coalescing still applies, only this query blocks.
+  void RunNodeAsync(const opt::PhysicalNode& node, fao::ExecContext* ctx,
+                    NodeRun* run, rel::TablePtr* out,
+                    DagScheduler::DoneFn done);
+
+  /// Shared tail of both paths, starting from the first evaluation's
+  /// result: syntactic-repair loop (re-evaluations run synchronously),
+  /// dedup, lineage recording, semantic monitoring, catalog upsert.
+  Status FinishNode(const opt::PhysicalNode& node, fao::ExecContext* ctx,
+                    NodeRun* run, rel::TablePtr* out,
+                    const std::vector<rel::TablePtr>& inputs,
+                    fao::FunctionSpec spec, Result<rel::Table> result,
+                    std::chrono::steady_clock::time_point started);
 
   AgenticMonitor monitor_;
   ExecutorOptions options_;

@@ -23,12 +23,19 @@ fao::ExecContext KathDB::MakeContext() {
   ctx.images = &images_;
   ctx.result_cache = result_cache_;
   ctx.exec_pool = exec_pool_.get();
+  ctx.clock = clock_;
+  ctx.batcher = batcher_;
   return ctx;
 }
 
 void KathDB::set_result_cache(service::ResultCache* cache) {
   result_cache_ = cache;
   llm_.set_result_cache(cache);
+}
+
+void KathDB::set_batch_scheduler(llm::BatchScheduler* batcher) {
+  batcher_ = batcher;
+  llm_.set_batch_scheduler(batcher);
 }
 
 Status KathDB::RegisterTable(rel::TablePtr table, rel::RelationKind kind) {

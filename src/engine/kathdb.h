@@ -98,6 +98,18 @@ class KathDB {
   void set_result_cache(service::ResultCache* cache);
   service::ResultCache* result_cache() const { return result_cache_; }
 
+  /// Attaches a cross-query LLM batch scheduler: FAO evaluation (via the
+  /// exec context, when the executor enables batching) and the simulated
+  /// LLM's Submit both route through it. Same ownership and lifecycle
+  /// discipline as set_result_cache; pass nullptr to detach.
+  void set_batch_scheduler(llm::BatchScheduler* batcher);
+  llm::BatchScheduler* batch_scheduler() const { return batcher_; }
+
+  /// Injects the time source used for simulated model round trips (the
+  /// ExecContext clock). Null (default) means the wall clock.
+  void set_clock(common::Clock* clock) { clock_ = clock; }
+  common::Clock* clock() const { return clock_; }
+
   /// Execution context wired to this instance's components.
   fao::ExecContext MakeContext();
 
@@ -172,6 +184,8 @@ class KathDB {
   mm::SimulatedVlm vlm_;
   mm::SimulatedNer ner_;
   service::ResultCache* result_cache_ = nullptr;  ///< not owned
+  llm::BatchScheduler* batcher_ = nullptr;        ///< not owned
+  common::Clock* clock_ = nullptr;                ///< not owned
   std::optional<QueryOutcome> last_;
 };
 

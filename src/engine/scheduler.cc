@@ -11,15 +11,38 @@ namespace kathdb::engine {
 Status DagScheduler::Run(const opt::PhysicalPlan& plan,
                          const SchedulerOptions& options,
                          const NodeFn& run_node) {
+  return RunAsync(plan, options,
+                  [&run_node](size_t idx, DoneFn done) { done(run_node(idx)); });
+}
+
+Status DagScheduler::RunAsync(const opt::PhysicalPlan& plan,
+                              const SchedulerOptions& options,
+                              const AsyncNodeFn& run_node) {
   const size_t n = plan.nodes.size();
   if (n == 0) return Status::OK();
   const std::vector<std::vector<size_t>> deps =
       plan.deps.size() == n ? plan.deps : plan.ComputeDeps();
 
-  // Sequential fast path: exactly the classic topological walk.
+  // Sequential fast path: exactly the classic topological walk, awaiting
+  // each node's completion signal in turn (a parked node blocks only this
+  // caller; batch flushes still progress on the scheduler's own thread).
   if (options.max_parallel_nodes <= 1 || options.pool == nullptr || n < 2) {
     for (size_t i = 0; i < n; ++i) {
-      KATHDB_RETURN_IF_ERROR(run_node(i));
+      std::mutex m;
+      std::condition_variable c;
+      bool signalled = false;
+      Status node_status = Status::OK();
+      run_node(i, [&](Status st) {
+        {
+          std::lock_guard<std::mutex> node_lock(m);
+          node_status = std::move(st);
+          signalled = true;
+        }
+        c.notify_all();
+      });
+      std::unique_lock<std::mutex> node_lock(m);
+      c.wait(node_lock, [&] { return signalled; });
+      KATHDB_RETURN_IF_ERROR(node_status);
     }
     return Status::OK();
   }
@@ -82,12 +105,16 @@ Status DagScheduler::Run(const opt::PhysicalPlan& plan,
       ready.pop();
       ++inflight;
       lock.unlock();
+      // The node slot stays in flight until the body's DoneFn fires —
+      // the dispatched task itself may return early after parking its
+      // state on a batch, freeing the worker.
+      auto done = [&finish, idx](Status st) { finish(idx, std::move(st)); };
       bool submitted = options.pool->TrySubmit(
-          [&finish, &run_node, idx] { finish(idx, run_node(idx)); });
+          [&run_node, idx, done] { run_node(idx, done); });
       if (!submitted) {
         // Pool saturated or shutting down: run the node on this thread
         // so scheduling never blocks on a free worker.
-        finish(idx, run_node(idx));
+        run_node(idx, done);
       }
       lock.lock();
     }

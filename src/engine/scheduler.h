@@ -44,6 +44,17 @@ class DagScheduler {
   /// of the node's dependencies completed successfully.
   using NodeFn = std::function<Status(size_t index)>;
 
+  /// Signals completion of an asynchronously executed node. Must be
+  /// invoked exactly once, from any thread; may be invoked inline.
+  using DoneFn = std::function<void(Status)>;
+
+  /// Continuation-style node body: starts node `index` and arranges for
+  /// `done` to fire when it completes. A body that parks on a batched
+  /// LLM round trip returns immediately — the task's worker goes back to
+  /// the pool and the node slot stays "in flight" until `done` fires, so
+  /// concurrent LLM work scales with open requests, not threads.
+  using AsyncNodeFn = std::function<void(size_t index, DoneFn done)>;
+
   /// Runs every node of `plan` respecting its dependency edges (taken
   /// from plan.deps when built, re-derived otherwise). Ready nodes are
   /// dispatched lowest-index-first. On the first node error no further
@@ -51,6 +62,15 @@ class DagScheduler {
   /// returned. Blocks until all dispatched work completed.
   static Status Run(const opt::PhysicalPlan& plan,
                     const SchedulerOptions& options, const NodeFn& run_node);
+
+  /// Continuation-style variant of Run: a node occupies a parallelism
+  /// slot from dispatch until its DoneFn fires, but no thread is held
+  /// while it is parked. Blocks until every dispatched node completed.
+  /// The sequential fast path (budget 1 / no pool) awaits each node's
+  /// DoneFn in turn, byte-for-byte reproducing the sequential walk.
+  static Status RunAsync(const opt::PhysicalPlan& plan,
+                         const SchedulerOptions& options,
+                         const AsyncNodeFn& run_node);
 };
 
 }  // namespace kathdb::engine

@@ -12,6 +12,7 @@
 
 #include "common/hash.h"
 #include "common/strings.h"
+#include "llm/batch_scheduler.h"
 #include "sql/engine.h"
 
 namespace kathdb::fao {
@@ -43,11 +44,17 @@ Result<size_t> RequireColumn(const Table& t, const std::string& col,
 
 /// Simulated model round-trip: a remote vision/LLM call has per-request
 /// wall latency on top of token cost. 0 (the default everywhere outside
-/// latency benches) keeps calls instant.
-void SimulateModelLatency(double ms) {
-  if (ms > 0.0) {
-    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
-  }
+/// latency benches) keeps calls instant. Goes through the context clock
+/// so tests drive it deterministically; inside a batch generator the
+/// flush already paid the batch's single round trip, so per-row latency
+/// is prepaid and skipped.
+void SimulateModelLatency(const ExecContext* ctx, double ms) {
+  if (ms <= 0.0) return;
+  if (ctx != nullptr && ctx->model_latency_prepaid) return;
+  common::Clock* clock = (ctx != nullptr && ctx->clock != nullptr)
+                             ? ctx->clock
+                             : common::Clock::System();
+  clock->SleepFor(ms);
 }
 
 Status RequireInputs(const std::vector<TablePtr>& inputs, size_t n,
@@ -388,7 +395,7 @@ class ClassifyBoringPixelsFunction : public PhysicalFunction {
       // syntactic faults for the monitor to repair.
       KATHDB_ASSIGN_OR_RETURN(mm::SyntheticImage img,
                               ctx->image_loader->Decode(raw));
-      SimulateModelLatency(latency_ms);
+      SimulateModelLatency(ctx, latency_ms);
       if (ctx->meter != nullptr) {
         ctx->meter->Record(vision, vision_tokens, vision_tokens / 6);
       }
@@ -461,7 +468,7 @@ class ClassifyBoringCascadeFunction : public PhysicalFunction {
         KATHDB_ASSIGN_OR_RETURN(mm::SyntheticImage img,
                                 ctx->image_loader->Decode(raw));
         SimulateModelLatency(
-            spec_.params.GetDouble("latency_ms_per_image", 0.0));
+            ctx, spec_.params.GetDouble("latency_ms_per_image", 0.0));
         if (ctx->meter != nullptr) {
           ctx->meter->Record(vision, vision_tokens, vision_tokens / 6);
         }
@@ -731,6 +738,164 @@ Result<rel::Table> EvaluateWithMorsels(const FunctionSpec& spec,
     }
   }
   return merged;
+}
+
+bool IsBatchableTemplate(const std::string& template_id) {
+  // Exactly the pure set: coalescing two identical submissions onto one
+  // generation is only sound when the output is a function of spec +
+  // input contents, which is the cacheability condition.
+  return PhysicalFunction::IsCacheableTemplate(template_id);
+}
+
+namespace {
+
+/// Per-round-trip latency this spec would pay for one model call; the
+/// batch pays max over its items instead of the per-row sum.
+double BatchRttMs(const FunctionSpec& spec) {
+  return spec.params.GetDouble("latency_ms_per_image", 0.0);
+}
+
+/// Join state of one asynchronous evaluation: every partition writes its
+/// own slot; the last completion (atomic countdown) merges and fires the
+/// callback, on whichever thread finished last.
+struct BatchJoinState {
+  size_t parts = 0;
+  bool split = false;
+  int64_t table_lid = 0;
+  std::vector<std::optional<Result<Table>>> results;
+  std::atomic<size_t> remaining{0};
+  EvalCallback done;
+
+  void CompleteOne() {
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+    // Deterministic error surfacing: the lowest failing partition wins,
+    // exactly as EvaluateWithMorsels surfaces it.
+    for (size_t p = 0; p < parts; ++p) {
+      if (!results[p]->ok()) {
+        done(results[p]->status());
+        return;
+      }
+    }
+    if (!split) {
+      done(std::move(*results[0]));
+      return;
+    }
+    Table merged(results[0]->value().name(), results[0]->value().schema());
+    merged.set_table_lid(table_lid);
+    for (size_t p = 0; p < parts; ++p) {
+      const Table& part = results[p]->value();
+      for (size_t r = 0; r < part.num_rows(); ++r) {
+        merged.AppendRow(part.row(r), part.row_lid(r));
+      }
+    }
+    done(std::move(merged));
+  }
+};
+
+}  // namespace
+
+void EvaluateBatched(const FunctionSpec& spec,
+                     const std::vector<rel::TablePtr>& inputs,
+                     ExecContext* ctx, const MorselOptions& morsels,
+                     EvalCallback done) {
+  if (ctx == nullptr || ctx->batcher == nullptr ||
+      !IsBatchableTemplate(spec.template_id)) {
+    done(EvaluateWithMorsels(spec, inputs, ctx, morsels));
+    return;
+  }
+  // Same partitioning predicate and geometry as EvaluateWithMorsels: the
+  // split is a function of morsel_size only, so per-partition cache keys
+  // and batch fingerprints line up with the sequential path.
+  bool narrow = spec.dependency_pattern == "one_to_one" ||
+                spec.dependency_pattern == "one_to_many";
+  bool splittable = morsels.morsel_size > 0 && narrow &&
+                    inputs.size() == 1 && inputs[0] != nullptr &&
+                    IsRowWiseTemplate(spec.template_id) &&
+                    inputs[0]->num_rows() > morsels.morsel_size;
+
+  std::vector<std::vector<TablePtr>> item_inputs;
+  if (splittable) {
+    const Table& in = *inputs[0];
+    size_t parts =
+        (in.num_rows() + morsels.morsel_size - 1) / morsels.morsel_size;
+    item_inputs.reserve(parts);
+    for (size_t p = 0; p < parts; ++p) {
+      size_t begin = p * morsels.morsel_size;
+      item_inputs.push_back({std::make_shared<Table>(
+          in.Slice(begin, begin + morsels.morsel_size))});
+    }
+  } else {
+    item_inputs.push_back(inputs);
+  }
+
+  auto state = std::make_shared<BatchJoinState>();
+  state->parts = item_inputs.size();
+  state->split = splittable;
+  state->table_lid = splittable ? inputs[0]->table_lid() : 0;
+  state->results.resize(state->parts);
+  state->remaining.store(state->parts, std::memory_order_relaxed);
+  state->done = std::move(done);
+
+  // Instantiated once up front for the spec fingerprint; generators build
+  // their own instances (implementations keep per-call scratch state).
+  auto proto = InstantiateFunction(spec);
+  if (!proto.ok()) {
+    state->parts = 1;
+    state->results.resize(1);
+    state->results[0].emplace(proto.status());
+    state->remaining.store(1, std::memory_order_relaxed);
+    state->CompleteOne();
+    return;
+  }
+  uint64_t spec_fp = proto.value()->SpecFingerprint();
+  service::ResultCache* cache = ctx->result_cache;
+
+  for (size_t i = 0; i < item_inputs.size(); ++i) {
+    uint64_t key = common::HashCombine(
+        spec_fp, service::FingerprintTables(item_inputs[i]));
+    // Cache lookup before submit: a memoized partition resolves inline
+    // (and counts the same hit the sequential path would count).
+    if (cache != nullptr) {
+      if (auto hit = cache->Get(key);
+          hit.has_value() && hit->table != nullptr) {
+        state->results[i].emplace(*hit->table);
+        state->CompleteOne();
+        continue;
+      }
+    }
+    std::vector<TablePtr> slice = item_inputs[i];
+    ctx->batcher->Submit(
+        key,
+        [spec, slice, ctx, cache, key]() -> Result<llm::BatchResult> {
+          auto fn = InstantiateFunction(spec);
+          if (!fn.ok()) return fn.status();
+          // The flush already slept the batch's one round trip; per-row
+          // model latency inside the body is prepaid.
+          ExecContext bctx = *ctx;
+          bctx.model_latency_prepaid = true;
+          auto out = fn.value()->Execute(slice, &bctx);
+          if (!out.ok()) return out.status();
+          auto table = std::make_shared<Table>(std::move(out).value());
+          // Insert on completion: later queries (and later flights of the
+          // same fingerprint) resolve from the cache.
+          if (cache != nullptr) {
+            cache->Put(key, service::CacheEntry{table, std::string()});
+          }
+          return llm::BatchResult{table, std::string()};
+        },
+        BatchRttMs(spec),
+        [state, i](const Result<llm::BatchResult>& r) {
+          if (r.ok() && r.value().table != nullptr) {
+            state->results[i].emplace(*r.value().table);
+          } else if (r.ok()) {
+            state->results[i].emplace(Status::RuntimeError(
+                "batched evaluation produced no table"));
+          } else {
+            state->results[i].emplace(r.status());
+          }
+          state->CompleteOne();
+        });
+  }
 }
 
 Result<std::unique_ptr<PhysicalFunction>> InstantiateFunction(

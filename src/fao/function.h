@@ -12,12 +12,14 @@
 
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "fao/spec.h"
@@ -29,6 +31,10 @@
 #include "multimodal/text_graph.h"
 #include "relational/catalog.h"
 #include "vector/embedding.h"
+
+namespace kathdb::llm {
+class BatchScheduler;
+}  // namespace kathdb::llm
 
 namespace kathdb::fao {
 
@@ -81,6 +87,17 @@ struct ExecContext {
   /// nodes on it and EvaluateWithMorsels borrows lanes for partition
   /// evaluation. Null means fully sequential execution.
   common::ThreadPool* exec_pool = nullptr;
+  /// Time source for simulated model round trips and user think time.
+  /// Null means the wall clock (common::Clock::System()).
+  common::Clock* clock = nullptr;
+  /// Optional cross-query LLM batch scheduler: when set (service layer)
+  /// and the executor enables batching, pure FAO evaluations go through
+  /// EvaluateBatched instead of blocking a worker per round trip.
+  llm::BatchScheduler* batcher = nullptr;
+  /// Set inside batch generators: the flush already paid the batch's one
+  /// simulated round trip, so per-row SimulateModelLatency calls are
+  /// no-ops (the latency collapse that batching buys).
+  bool model_latency_prepaid = false;
 };
 
 /// \brief One executable, versioned implementation of a logical function.
@@ -160,5 +177,34 @@ Result<rel::Table> EvaluateWithMorsels(const FunctionSpec& spec,
                                        const std::vector<rel::TablePtr>& inputs,
                                        ExecContext* ctx,
                                        const MorselOptions& morsels);
+
+/// Completion of one asynchronous FAO evaluation. May be invoked inline
+/// (cache hits, non-batchable templates) or later on the batch
+/// scheduler's flusher thread.
+using EvalCallback = std::function<void(Result<rel::Table>)>;
+
+/// True for templates eligible for cross-query batched evaluation: pure
+/// templates whose output is determined by spec + input contents (the
+/// cacheable set), so coalescing two identical submissions onto one
+/// generation is indistinguishable from a cache hit.
+bool IsBatchableTemplate(const std::string& template_id);
+
+/// Asynchronous counterpart of EvaluateWithMorsels, used when
+/// `ctx->batcher` is set and the executor enabled batching. The input is
+/// partitioned exactly as EvaluateWithMorsels would (same morsel_size
+/// predicate — whole input when unsplittable), and every partition is
+/// resolved through the same cache key EvaluateWithMorsels uses
+/// (spec-fingerprint x partition-content-fingerprint): cache hit first,
+/// else submitted to the batch scheduler under that key, so identical
+/// work from other morsels/queries/sessions coalesces onto one
+/// generation and the result is byte-identical to the sequential path.
+/// `done` fires exactly once with the order-stable merge (lowest failing
+/// partition wins), inline when every partition was a cache hit or the
+/// template is not batchable (plain EvaluateWithMorsels), otherwise on
+/// the flusher thread after the last batch completes.
+void EvaluateBatched(const FunctionSpec& spec,
+                     const std::vector<rel::TablePtr>& inputs,
+                     ExecContext* ctx, const MorselOptions& morsels,
+                     EvalCallback done);
 
 }  // namespace kathdb::fao

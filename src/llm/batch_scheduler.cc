@@ -1,0 +1,188 @@
+#include "llm/batch_scheduler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace kathdb::llm {
+
+std::string BatchStats::ToText() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "batch: submitted=%lld coalesced=%lld generated=%lld "
+                "flushes=%lld (size=%lld deadline=%lld) failed=%lld",
+                static_cast<long long>(submitted),
+                static_cast<long long>(coalesced),
+                static_cast<long long>(generated),
+                static_cast<long long>(flushes),
+                static_cast<long long>(size_flushes),
+                static_cast<long long>(deadline_flushes),
+                static_cast<long long>(failed));
+  return buf;
+}
+
+BatchScheduler::BatchScheduler(BatchOptions options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : common::Clock::System()) {
+  if (options_.max_batch_size < 1) options_.max_batch_size = 1;
+  if (options_.flush_deadline_ms < 0.0) options_.flush_deadline_ms = 0.0;
+  if (auto* manual = dynamic_cast<common::ManualClock*>(clock_)) {
+    // Advancing virtual time must re-evaluate the flush deadline: lock
+    // then notify so the wake cannot slip between the flusher's deadline
+    // check and its wait.
+    waker_id_ = manual->RegisterWaker([this] {
+      { std::lock_guard<std::mutex> lock(mu_); }
+      cv_.notify_all();
+    });
+  }
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+BatchScheduler::~BatchScheduler() {
+  Shutdown();
+  if (waker_id_ != 0) {
+    if (auto* manual = dynamic_cast<common::ManualClock*>(clock_)) {
+      manual->UnregisterWaker(waker_id_);
+    }
+  }
+}
+
+void BatchScheduler::Submit(uint64_t fingerprint, BatchGenerator generate,
+                            double latency_ms, BatchCallback on_done) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      stats_.submitted++;
+      auto idx = fp_to_seq_.find(fingerprint);
+      if (idx != fp_to_seq_.end()) {
+        // In-flight dedup: join the pending twin; its single generation
+        // serves every coalesced waiter.
+        PendingItem& item = pending_[idx->second];
+        item.waiters.push_back(std::move(on_done));
+        item.latency_ms = std::max(item.latency_ms, latency_ms);
+        stats_.coalesced++;
+      } else {
+        int64_t seq = next_seq_++;
+        PendingItem item;
+        item.fingerprint = fingerprint;
+        item.generate = std::move(generate);
+        item.latency_ms = latency_ms;
+        item.submitted_micros = clock_->NowMicros();
+        item.waiters.push_back(std::move(on_done));
+        pending_.emplace(seq, std::move(item));
+        fp_to_seq_[fingerprint] = seq;
+      }
+      cv_.notify_all();
+      return;
+    }
+  }
+  // Shut down: complete the waiter inline so no caller ever hangs.
+  on_done(Status::Unavailable("batch scheduler is shut down"));
+}
+
+std::future<Result<BatchResult>> BatchScheduler::SubmitFuture(
+    uint64_t fingerprint, BatchGenerator generate, double latency_ms) {
+  auto promise = std::make_shared<std::promise<Result<BatchResult>>>();
+  auto future = promise->get_future();
+  Submit(fingerprint, std::move(generate), latency_ms,
+         [promise](const Result<BatchResult>& result) {
+           promise->set_value(result);
+         });
+  return future;
+}
+
+void BatchScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    cv_.notify_all();
+  }
+  if (flusher_.joinable()) flusher_.join();
+}
+
+BatchStats BatchScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t BatchScheduler::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+void BatchScheduler::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const int64_t deadline_us =
+      static_cast<int64_t>(options_.flush_deadline_ms * 1000.0);
+  for (;;) {
+    if (pending_.empty()) {
+      if (shutdown_) return;
+      cv_.wait(lock);
+      continue;
+    }
+    bool size_hit =
+        pending_.size() >= static_cast<size_t>(options_.max_batch_size);
+    int64_t oldest_deadline =
+        pending_.begin()->second.submitted_micros + deadline_us;
+    bool deadline_hit = shutdown_ || clock_->NowMicros() >= oldest_deadline;
+    if (size_hit || deadline_hit) {
+      FlushBatch(lock, /*deadline_hit=*/deadline_hit && !size_hit);
+      continue;
+    }
+    clock_->WaitUntil(lock, cv_, oldest_deadline);
+  }
+}
+
+size_t BatchScheduler::FlushBatch(std::unique_lock<std::mutex>& lock,
+                                  bool deadline_hit) {
+  std::vector<PendingItem> batch;
+  batch.reserve(std::min<size_t>(pending_.size(),
+                                 static_cast<size_t>(options_.max_batch_size)));
+  while (!pending_.empty() &&
+         batch.size() < static_cast<size_t>(options_.max_batch_size)) {
+    auto oldest = pending_.begin();
+    fp_to_seq_.erase(oldest->second.fingerprint);
+    batch.push_back(std::move(oldest->second));
+    pending_.erase(oldest);
+  }
+  stats_.flushes++;
+  if (deadline_hit) {
+    stats_.deadline_flushes++;
+  } else {
+    stats_.size_flushes++;
+  }
+  lock.unlock();
+
+  // One simulated round trip for the whole batch: the max of its items'
+  // solo latencies plus the fixed transport overhead — this is the
+  // latency collapse that batching buys.
+  double rtt_ms = options_.batch_latency_ms;
+  for (const auto& item : batch) rtt_ms = std::max(rtt_ms, item.latency_ms);
+  if (rtt_ms > 0.0) clock_->SleepFor(rtt_ms);
+
+  std::vector<Result<BatchResult>> results;
+  results.reserve(batch.size());
+  int64_t failed = 0;
+  for (auto& item : batch) {
+    results.push_back(item.generate());
+    if (!results.back().ok()) failed++;
+  }
+
+  // Publish the generation counters *before* waking any waiter: a caller
+  // that observes its future completed must also observe the stats that
+  // paid for it.
+  lock.lock();
+  stats_.generated += static_cast<int64_t>(batch.size());
+  stats_.failed += failed;
+  lock.unlock();
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    for (auto& waiter : batch[i].waiters) waiter(results[i]);
+  }
+
+  lock.lock();
+  return batch.size();
+}
+
+}  // namespace kathdb::llm

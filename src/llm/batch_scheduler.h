@@ -1,0 +1,155 @@
+/// \file batch_scheduler.h
+/// \brief Cross-query batching of simulated LLM/vision round trips.
+///
+/// Every FAO morsel and agent prompt used to pay its own blocking model
+/// round trip, so throughput was bounded by thread count. The
+/// BatchScheduler turns those calls into asynchronous submissions: work
+/// items land in a pending map keyed by a compact 64-bit prompt
+/// fingerprint (common/hash.h FNV-1a/splitmix64 — the memory-lean lookup
+/// idiom of SHIP/Othello, not a heap-heavy string map), identical
+/// fingerprints coalesce onto one generation regardless of which morsel,
+/// query, or session submitted them, and a single flusher thread fires the
+/// batch when either the size cap or the flush deadline (injectable Clock)
+/// is reached. One batch pays one simulated round trip — max of its items'
+/// latencies, not the sum — and each unique fingerprint is generated and
+/// charged exactly once.
+///
+/// \ingroup kathdb_llm
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace kathdb::rel {
+class Table;
+}  // namespace kathdb::rel
+
+namespace kathdb::llm {
+
+/// Value produced by one batched generation: either a relational table
+/// (FAO partition evaluation) or a text completion (agent prompt). The
+/// scheduler is agnostic — it just transports the result to every waiter
+/// coalesced onto the fingerprint.
+struct BatchResult {
+  std::shared_ptr<const rel::Table> table;
+  std::string text;
+};
+
+/// Runs the actual model work for one unique fingerprint. Executed on the
+/// flusher thread, exactly once per fingerprint per flight, with the
+/// batch's round-trip latency already paid — generators must not sleep.
+using BatchGenerator = std::function<Result<BatchResult>()>;
+
+/// Completion callback; invoked exactly once per Submit, on the flusher
+/// thread (or inline when the scheduler is shut down).
+using BatchCallback = std::function<void(const Result<BatchResult>&)>;
+
+struct BatchOptions {
+  /// Flush as soon as this many *unique* fingerprints are pending.
+  int max_batch_size = 8;
+  /// Flush a pending item at latest this long after it was submitted.
+  double flush_deadline_ms = 1.0;
+  /// Fixed per-flush overhead added to the batch round trip, modelling
+  /// the transport cost of a batched API call.
+  double batch_latency_ms = 0.0;
+  /// Time source; defaults to the wall clock. Tests inject a ManualClock
+  /// for deterministic deadline control.
+  common::Clock* clock = nullptr;
+};
+
+struct BatchStats {
+  int64_t submitted = 0;    ///< Submit calls accepted
+  int64_t coalesced = 0;    ///< submissions that joined an in-flight twin
+  int64_t generated = 0;    ///< unique generations executed
+  int64_t flushes = 0;      ///< batches fired
+  int64_t size_flushes = 0; ///< ... because the size cap filled
+  int64_t deadline_flushes = 0;  ///< ... because the deadline expired
+  int64_t failed = 0;       ///< generations that returned an error
+
+  std::string ToText() const;
+};
+
+/// \brief Deadline/size-cap batching scheduler with in-flight dedup.
+///
+/// Thread-safe. Submissions from any thread; one internal flusher thread
+/// owns batch execution, so generators for a given fingerprint never race.
+/// Shutdown drains: pending work is flushed (and waiters completed)
+/// before the flusher joins; Submit after shutdown completes the waiter
+/// inline with kUnavailable.
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(BatchOptions options = {});
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Enqueues work for `fingerprint`. If an identical fingerprint is
+  /// already pending, the submission coalesces onto it — `generate` is
+  /// dropped and the waiter shares the twin's single generation.
+  /// `latency_ms` is the round trip this item would have paid alone; the
+  /// flush pays max over the batch. `on_done` is always invoked exactly
+  /// once — with the generation result, the generation error, or
+  /// kUnavailable after shutdown.
+  void Submit(uint64_t fingerprint, BatchGenerator generate,
+              double latency_ms, BatchCallback on_done);
+
+  /// Future-returning convenience over the callback form.
+  std::future<Result<BatchResult>> SubmitFuture(uint64_t fingerprint,
+                                                BatchGenerator generate,
+                                                double latency_ms);
+
+  /// Flushes everything pending, synchronously waits for completion, then
+  /// stops the flusher. Idempotent.
+  void Shutdown();
+
+  BatchStats stats() const;
+  const BatchOptions& options() const { return options_; }
+  common::Clock* clock() const { return clock_; }
+
+  /// Unique fingerprints currently pending (test/diagnostic hook).
+  size_t pending() const;
+
+ private:
+  struct PendingItem {
+    uint64_t fingerprint = 0;
+    BatchGenerator generate;
+    double latency_ms = 0.0;
+    int64_t submitted_micros = 0;
+    std::vector<BatchCallback> waiters;
+  };
+
+  void FlusherLoop();
+  /// Moves up to max_batch_size oldest pending items out and executes
+  /// them. Called on the flusher thread only. Returns items flushed.
+  size_t FlushBatch(std::unique_lock<std::mutex>& lock, bool deadline_hit);
+
+  BatchOptions options_;
+  common::Clock* clock_;
+  int64_t waker_id_ = 0;  ///< ManualClock waker registration, 0 if none
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // Insertion-ordered pending map: seq -> item, with a fingerprint index
+  // for O(log n) coalescing. Oldest item defines the flush deadline.
+  std::map<int64_t, PendingItem> pending_;
+  std::map<uint64_t, int64_t> fp_to_seq_;
+  int64_t next_seq_ = 1;
+  bool shutdown_ = false;
+  BatchStats stats_;
+  std::thread flusher_;
+};
+
+}  // namespace kathdb::llm

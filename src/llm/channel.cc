@@ -1,15 +1,16 @@
 #include "llm/channel.h"
 
-#include <chrono>
-#include <thread>
-
 namespace kathdb::llm {
 
 Result<std::string> ScriptedUser::Ask(const std::string& stage,
                                       const std::string& question) {
   if (reply_latency_ms_ > 0.0) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double, std::milli>(reply_latency_ms_));
+    // Think time goes through the injectable clock: real sleep on the
+    // wall clock, a deterministic virtual-time jump on a ManualClock (no
+    // sleep_for timing for TSan to trip over).
+    common::Clock* clock =
+        clock_ != nullptr ? clock_ : common::Clock::System();
+    clock->SleepFor(reply_latency_ms_);
   }
   std::lock_guard<std::mutex> lock(mu_);
   ++questions_;

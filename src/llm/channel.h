@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 
 namespace kathdb::llm {
@@ -74,6 +75,12 @@ class ScriptedUser : public UserChannel {
   void set_reply_latency_ms(double ms) { reply_latency_ms_ = ms; }
   double reply_latency_ms() const { return reply_latency_ms_; }
 
+  /// Time source for the reply latency; null (default) means the wall
+  /// clock. Tests inject a ManualClock so think time is a deterministic
+  /// virtual-time jump instead of a real sleep.
+  void set_clock(common::Clock* clock) { clock_ = clock; }
+  common::Clock* clock() const { return clock_; }
+
   Result<std::string> Ask(const std::string& stage,
                           const std::string& question) override;
   void Notify(const std::string& stage, const std::string& message) override;
@@ -89,6 +96,7 @@ class ScriptedUser : public UserChannel {
   std::vector<Exchange> history_;
   size_t questions_ = 0;
   double reply_latency_ms_ = 0.0;
+  common::Clock* clock_ = nullptr;
 };
 
 }  // namespace kathdb::llm

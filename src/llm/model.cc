@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "common/strings.h"
+#include "llm/batch_scheduler.h"
 #include "service/result_cache.h"
 #include "vector/embedding.h"
 
@@ -74,14 +75,9 @@ void SimulatedLLM::Charge(const std::string& prompt,
   }
 }
 
-std::string SimulatedLLM::Complete(
-    const std::string& prompt, const std::function<std::string()>& generate) {
-  uint64_t key = 0;
-  if (cache_ != nullptr) {
-    key = common::HashCombine(common::Fnv1a64(spec_.name),
-                              common::Fnv1a64(prompt));
-    if (auto hit = cache_->Get(key)) return hit->text;
-  }
+std::string SimulatedLLM::CompleteSync(
+    uint64_t key, const std::string& prompt,
+    const std::function<std::string()>& generate) {
   std::string completion = generate();
   // Metered directly: the completion entry below already dedups repeat
   // calls, so Charge's marker entry would only waste cache slots.
@@ -93,6 +89,53 @@ std::string SimulatedLLM::Complete(
     cache_->Put(key, service::CacheEntry{nullptr, completion});
   }
   return completion;
+}
+
+std::future<Result<std::string>> SimulatedLLM::Submit(
+    const std::string& prompt, const std::function<std::string()>& generate) {
+  // The batch fingerprint doubles as the completion cache key, so a
+  // coalesced twin and a cache hit produce byte-identical outcomes.
+  uint64_t key = common::HashCombine(common::Fnv1a64(spec_.name),
+                                     common::Fnv1a64(prompt));
+  auto promise = std::make_shared<std::promise<Result<std::string>>>();
+  auto future = promise->get_future();
+  if (cache_ != nullptr) {
+    if (auto hit = cache_->Get(key)) {
+      promise->set_value(hit->text);
+      return future;
+    }
+  }
+  if (batcher_ == nullptr) {
+    promise->set_value(CompleteSync(key, prompt, generate));
+    return future;
+  }
+  batcher_->Submit(
+      key,
+      [this, key, prompt, generate]() -> Result<BatchResult> {
+        // Runs on the flusher thread, exactly once per unique in-flight
+        // prompt: every coalesced waiter shares this one charge.
+        return BatchResult{nullptr, CompleteSync(key, prompt, generate)};
+      },
+      /*latency_ms=*/0.0,
+      [promise](const Result<BatchResult>& result) {
+        if (result.ok()) {
+          promise->set_value(result.value().text);
+        } else {
+          promise->set_value(result.status());
+        }
+      });
+  return future;
+}
+
+std::string SimulatedLLM::Complete(
+    const std::string& prompt, const std::function<std::string()>& generate) {
+  auto result = Submit(prompt, generate).get();
+  if (result.ok()) return std::move(result).value();
+  // kUnavailable (scheduler shut down mid-query): degrade to the
+  // synchronous path rather than dropping the completion.
+  uint64_t key = common::HashCombine(common::Fnv1a64(spec_.name),
+                                     common::Fnv1a64(prompt));
+  return CompleteSync(key, prompt, generate);
 }
 
 std::vector<std::string> SimulatedLLM::DetectAmbiguousTerms(

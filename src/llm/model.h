@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <map>
 #include <mutex>
 #include <string>
@@ -28,6 +29,8 @@ class ResultCache;
 }  // namespace kathdb::service
 
 namespace kathdb::llm {
+
+class BatchScheduler;
 
 /// Pricing & quality profile of one simulated model tier.
 struct ModelSpec {
@@ -107,11 +110,30 @@ class SimulatedLLM {
   void set_result_cache(service::ResultCache* cache) { cache_ = cache; }
   service::ResultCache* result_cache() const { return cache_; }
 
+  /// Attaches a cross-query batch scheduler (may be null to detach).
+  /// Like the cache pointer, set before concurrent use begins.
+  void set_batch_scheduler(BatchScheduler* batcher) { batcher_ = batcher; }
+  BatchScheduler* batch_scheduler() const { return batcher_; }
+
+  /// Asynchronous submit/complete interface. Cache hits resolve to a
+  /// ready future without metering; otherwise the prompt is submitted to
+  /// the batch scheduler under the fingerprint
+  /// hash(model, prompt) — identical prompts from any morsel, query, or
+  /// session coalesce onto one generation, metered and cached exactly
+  /// once per unique prompt. Without a scheduler the future is completed
+  /// inline (synchronous degradation). The only error the future can
+  /// carry is kUnavailable from a shut-down scheduler.
+  std::future<Result<std::string>> Submit(
+      const std::string& prompt,
+      const std::function<std::string()>& generate);
+
   /// Memoized completion for `prompt`: a cache hit returns the stored
   /// completion without metering a call (the whole point — a repeated
   /// identical call costs no tokens); a miss runs `generate`, meters the
   /// prompt/completion pair, and stores it. Without an attached cache
-  /// this is exactly generate-then-Charge.
+  /// this is exactly generate-then-Charge. With a batch scheduler
+  /// attached this blocks on Submit (falling back to the synchronous
+  /// path if the scheduler is already shut down).
   std::string Complete(const std::string& prompt,
                        const std::function<std::string()>& generate);
 
@@ -135,9 +157,15 @@ class SimulatedLLM {
   std::string Summarize(const std::string& text);
 
  private:
+  /// Synchronous generate + meter + cache-store body shared by the
+  /// scheduler-less path and the shutdown fallback.
+  std::string CompleteSync(uint64_t key, const std::string& prompt,
+                           const std::function<std::string()>& generate);
+
   ModelSpec spec_;
   UsageMeter* meter_;
   service::ResultCache* cache_ = nullptr;
+  BatchScheduler* batcher_ = nullptr;
 };
 
 }  // namespace kathdb::llm

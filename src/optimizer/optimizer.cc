@@ -369,6 +369,11 @@ Result<std::vector<FunctionSpec>> QueryOptimizer::SynthesizeCandidates(
       spec.params.Set("output_column", Json::Str(term + "_poster"));
       spec.params.Set("variance_threshold", Json::Double(0.055));
       spec.params.Set("max_objects", Json::Int(4));
+      if (options_.vision_latency_ms_per_image > 0.0 &&
+          tmpl != "classify_boring_stats") {
+        spec.params.Set("latency_ms_per_image",
+                        Json::Double(options_.vision_latency_ms_per_image));
+      }
       spec.dependency_pattern = "one_to_one";
       if (tmpl == "classify_boring_stats") {
         spec.source_text =

@@ -74,6 +74,11 @@ struct OptimizerOptions {
   /// Emit a reversed recency score first so the critic's semantic check
   /// has a real bug to catch (reproduces the Section-4 example).
   bool inject_recency_bug = false;
+  /// Simulated vision-model round trip stamped into pixel-touching
+  /// classify_* specs as `latency_ms_per_image`. Benches raise it to
+  /// model a remote VLM; the batch scheduler pays it once per flush
+  /// instead of once per morsel. 0 keeps evaluation instant.
+  double vision_latency_ms_per_image = 0.0;
 };
 
 /// Profiling record for one candidate implementation (bench E8 output).

@@ -18,7 +18,9 @@ std::string ServiceStats::ToText() const {
       static_cast<long long>(sessions_opened), cache.ToText().c_str(),
       static_cast<long long>(llm_calls), static_cast<long long>(llm_tokens),
       llm_cost_usd);
-  return buf;
+  std::string text = buf;
+  if (batching.submitted > 0) text += " | " + batching.ToText();
+  return text;
 }
 
 std::optional<engine::QueryOutcome> Session::last_outcome() const {
@@ -46,6 +48,16 @@ QueryService::QueryService(engine::KathDB* db, ServiceOptions options)
                  : nullptr),
       pool_(options.workers, options.max_queue) {
   db_->set_result_cache(cache_.get());
+  if (options_.enable_llm_batching) {
+    llm::BatchOptions bopts;
+    bopts.max_batch_size = static_cast<size_t>(options_.llm_batch_size);
+    bopts.flush_deadline_ms = options_.llm_flush_deadline_ms;
+    bopts.batch_latency_ms = options_.llm_batch_latency_ms;
+    bopts.clock = options_.clock;
+    batcher_ = std::make_unique<llm::BatchScheduler>(bopts);
+    db_->set_batch_scheduler(batcher_.get());
+  }
+  if (options_.clock != nullptr) db_->set_clock(options_.clock);
   if (options_.intra_query_parallelism > 1) {
     exec_pool_ =
         std::make_unique<common::ThreadPool>(options_.intra_query_parallelism);
@@ -55,8 +67,18 @@ QueryService::QueryService(engine::KathDB* db, ServiceOptions options)
 QueryService::~QueryService() {
   pool_.Shutdown();  // drains admitted queries, then joins the workers
   if (exec_pool_ != nullptr) exec_pool_->Shutdown();
+  // The batcher outlives the worker pools: a parked query must see its
+  // batch flushed before its worker can finish. Only after the pools
+  // drain is it safe to stop the flusher.
+  if (batcher_ != nullptr) batcher_->Shutdown();
   // Detach only if still attached: if a later service already re-pointed
-  // the engine's cache hook, leave its attachment alone.
+  // the engine's hooks, leave its attachments alone.
+  if (db_->batch_scheduler() == batcher_.get() && batcher_ != nullptr) {
+    db_->set_batch_scheduler(nullptr);
+  }
+  if (options_.clock != nullptr && db_->clock() == options_.clock) {
+    db_->set_clock(nullptr);
+  }
   if (db_->result_cache() == cache_.get()) {
     db_->set_result_cache(nullptr);
   }
@@ -115,6 +137,7 @@ Result<OutcomeFuture> QueryService::Submit(SessionId id, std::string nl_query,
     // so concurrent queries of one session never race on replies.
     llm::ScriptedUser user(replies);
     user.set_reply_latency_ms(options_.reply_latency_ms);
+    user.set_clock(options_.clock);
     engine::ExecutorOptions exec_opts = MakeExecOptions();
     Result<engine::QueryOutcome> outcome = db_->QueryDetached(
         nl_query, &user, exec_opts,
@@ -150,6 +173,7 @@ engine::ExecutorOptions QueryService::MakeExecOptions() const {
       static_cast<const engine::KathDB*>(db_)->options().executor;
   opts.max_parallel_nodes = options_.intra_query_parallelism;
   opts.morsel_size = options_.intra_query_morsel_size;
+  opts.enable_llm_batching = batcher_ != nullptr;
   // Trade intra-query speedup for multi-session throughput: with queries
   // already waiting for a worker, an idle-core budget does not exist.
   if (options_.adaptive_intra_query && pool_.queue_depth() > 0) {
@@ -169,6 +193,7 @@ ServiceStats QueryService::stats() const {
   st.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
   st.sessions_active = static_cast<int64_t>(num_sessions());
   if (cache_ != nullptr) st.cache = cache_->stats();
+  if (batcher_ != nullptr) st.batching = batcher_->stats();
   const llm::UsageMeter* meter = static_cast<const engine::KathDB*>(db_)->meter();
   st.llm_calls = meter->total_calls();
   st.llm_tokens = meter->total_tokens();

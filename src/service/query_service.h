@@ -33,9 +33,11 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/kathdb.h"
+#include "llm/batch_scheduler.h"
 #include "service/result_cache.h"
 
 namespace kathdb::service {
@@ -63,6 +65,24 @@ struct ServiceOptions {
   /// admission queue runs with a budget of 1: under heavy multi-session
   /// load, cores go to throughput, not to intra-query latency.
   bool adaptive_intra_query = true;
+  /// Cross-query batched LLM execution: the service owns a
+  /// llm::BatchScheduler, attaches it to the engine, and pure FAO
+  /// evaluations (plus agent completions) go through the async
+  /// submit -> flush -> resume path. Identical-fingerprint work from any
+  /// morsel, query, or session coalesces onto one generation; a flush
+  /// pays one simulated round trip for the whole batch. Results, lineage
+  /// and usage accounting stay byte-identical to the synchronous path.
+  bool enable_llm_batching = true;
+  /// Flush a batch as soon as this many unique prompts are pending.
+  int llm_batch_size = 8;
+  /// ... or at latest this long after its oldest prompt was submitted.
+  double llm_flush_deadline_ms = 1.0;
+  /// Fixed per-flush transport overhead added to the batch round trip.
+  double llm_batch_latency_ms = 0.0;
+  /// Time source for reply latency, simulated model round trips, and the
+  /// batch flush deadline. Null = wall clock; tests inject a ManualClock
+  /// for deterministic timing.
+  common::Clock* clock = nullptr;
 };
 
 /// Aggregated service counters (cheap to sample at any time).
@@ -74,6 +94,7 @@ struct ServiceStats {
   int64_t sessions_opened = 0;
   int64_t sessions_active = 0;
   ResultCacheStats cache;  ///< zeros when the cache is disabled
+  llm::BatchStats batching;  ///< zeros when batching is disabled
   // Usage aggregated across every session (the shared meter).
   int64_t llm_calls = 0;
   int64_t llm_tokens = 0;
@@ -162,6 +183,9 @@ class QueryService {
 
   ServiceStats stats() const;
   ResultCache* cache() { return cache_.get(); }
+  /// The service-owned batch scheduler; null when batching is disabled.
+  /// Exposed for fault-injection tests and diagnostics.
+  llm::BatchScheduler* batcher() { return batcher_.get(); }
   engine::KathDB* db() { return db_; }
 
  private:
@@ -172,6 +196,10 @@ class QueryService {
   engine::KathDB* db_;
   ServiceOptions options_;
   std::unique_ptr<ResultCache> cache_;  ///< null when disabled
+  /// Cross-query LLM batch scheduler; null when batching is disabled.
+  /// Declared before the worker pool and shut down after it: parked
+  /// queries must see their batches flushed before the workers join.
+  std::unique_ptr<llm::BatchScheduler> batcher_;
   common::ThreadPool pool_;
   /// Shared intra-query pool (DAG nodes + morsels); null when the
   /// configured budget is 1.

@@ -1,0 +1,279 @@
+// Deterministic-time tests for the cross-query LLM batch scheduler.
+//
+// Every test drives a common::ManualClock — no real sleeps anywhere, so
+// the suite is exact (not "probably fast enough") and TSan-safe: deadline
+// flushes happen because the test advanced virtual time, size-cap flushes
+// because the test filled the batch, and shutdown drains are asserted by
+// blocking on the futures the scheduler must complete.
+
+#include "llm/batch_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "llm/model.h"
+#include "service/result_cache.h"
+
+namespace kathdb::llm {
+namespace {
+
+BatchGenerator TextGen(std::string text, std::atomic<int>* calls) {
+  return [text = std::move(text), calls]() -> Result<BatchResult> {
+    calls->fetch_add(1);
+    BatchResult r;
+    r.text = text;
+    return r;
+  };
+}
+
+TEST(BatchSchedulerTest, DeadlineFlushOnManualClock) {
+  common::ManualClock clock;
+  BatchOptions opts;
+  opts.max_batch_size = 8;  // never reached: one item
+  opts.flush_deadline_ms = 5.0;
+  opts.clock = &clock;
+  BatchScheduler sched(opts);
+
+  std::atomic<int> calls{0};
+  auto fut = sched.SubmitFuture(/*fingerprint=*/1, TextGen("alpha", &calls),
+                                /*latency_ms=*/0.0);
+
+  // Nothing has expired yet; the item must still be pending (the flusher
+  // can only remove it by flushing, which needs 5 virtual ms).
+  EXPECT_EQ(sched.pending(), 1u);
+
+  clock.Advance(5.0);  // deadline reached -> flusher wakes and flushes
+  Result<BatchResult> r = fut.get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().text, "alpha");
+  EXPECT_EQ(calls.load(), 1);
+
+  BatchStats st = sched.stats();
+  EXPECT_EQ(st.submitted, 1);
+  EXPECT_EQ(st.coalesced, 0);
+  EXPECT_EQ(st.generated, 1);
+  EXPECT_EQ(st.flushes, 1);
+  EXPECT_EQ(st.deadline_flushes, 1);
+  EXPECT_EQ(st.size_flushes, 0);
+}
+
+TEST(BatchSchedulerTest, SizeCapFlushWithoutTimePassing) {
+  common::ManualClock clock;
+  BatchOptions opts;
+  opts.max_batch_size = 3;
+  opts.flush_deadline_ms = 1e9;  // deadline effectively never fires
+  opts.clock = &clock;
+  BatchScheduler sched(opts);
+
+  std::atomic<int> calls{0};
+  std::vector<std::future<Result<BatchResult>>> futs;
+  for (uint64_t fp = 1; fp <= 3; ++fp) {
+    futs.push_back(
+        sched.SubmitFuture(fp, TextGen("t" + std::to_string(fp), &calls), 0.0));
+  }
+  // The third unique fingerprint fills the cap; no Advance() needed.
+  for (size_t i = 0; i < futs.size(); ++i) {
+    Result<BatchResult> r = futs[i].get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().text, "t" + std::to_string(i + 1));
+  }
+  EXPECT_EQ(calls.load(), 3);
+
+  BatchStats st = sched.stats();
+  EXPECT_EQ(st.generated, 3);
+  EXPECT_EQ(st.flushes, 1);
+  EXPECT_EQ(st.size_flushes, 1);
+  EXPECT_EQ(st.deadline_flushes, 0);
+}
+
+TEST(BatchSchedulerTest, CrossSubmitterCoalescingGeneratesOnce) {
+  common::ManualClock clock;
+  BatchOptions opts;
+  opts.max_batch_size = 64;
+  opts.flush_deadline_ms = 2.0;
+  opts.clock = &clock;
+  BatchScheduler sched(opts);
+
+  // Five submitter threads race the same fingerprint in — whichever
+  // arrives first installs the generator; the rest must coalesce.
+  constexpr int kSubmitters = 5;
+  std::atomic<int> calls{0};
+  std::vector<std::future<Result<BatchResult>>> futs(kSubmitters);
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kSubmitters; ++i) {
+      threads.emplace_back([&, i] {
+        futs[i] = sched.SubmitFuture(/*fingerprint=*/77,
+                                     TextGen("shared", &calls), 0.0);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  EXPECT_EQ(sched.pending(), 1u);  // one unique fingerprint
+
+  clock.Advance(2.0);
+  for (auto& f : futs) {
+    Result<BatchResult> r = f.get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().text, "shared");
+  }
+  EXPECT_EQ(calls.load(), 1) << "coalesced twins must share one generation";
+
+  BatchStats st = sched.stats();
+  EXPECT_EQ(st.submitted, kSubmitters);
+  EXPECT_EQ(st.coalesced, kSubmitters - 1);
+  EXPECT_EQ(st.generated, 1);
+}
+
+TEST(BatchSchedulerTest, BatchPaysMaxLatencyNotSum) {
+  common::ManualClock clock;
+  BatchOptions opts;
+  opts.max_batch_size = 3;
+  opts.flush_deadline_ms = 1e9;
+  opts.batch_latency_ms = 1.0;
+  opts.clock = &clock;
+  BatchScheduler sched(opts);
+
+  std::atomic<int> calls{0};
+  std::vector<std::future<Result<BatchResult>>> futs;
+  futs.push_back(sched.SubmitFuture(1, TextGen("a", &calls), 4.0));
+  futs.push_back(sched.SubmitFuture(2, TextGen("b", &calls), 9.0));
+  futs.push_back(sched.SubmitFuture(3, TextGen("c", &calls), 2.0));
+  for (auto& f : futs) ASSERT_TRUE(f.get().ok());
+
+  // The flush slept max(batch_latency, max item latency) = 9 virtual ms —
+  // not 4+9+2. On a ManualClock the sleeper advances time, so the round
+  // trip is visible as exactly one 9 ms jump.
+  EXPECT_EQ(clock.NowMicros(), 9000);
+}
+
+TEST(BatchSchedulerTest, ShutdownDrainsPendingWaiters) {
+  common::ManualClock clock;
+  BatchOptions opts;
+  opts.max_batch_size = 64;
+  opts.flush_deadline_ms = 1e9;  // only shutdown can flush these
+  opts.clock = &clock;
+  BatchScheduler sched(opts);
+
+  std::atomic<int> calls{0};
+  std::vector<std::future<Result<BatchResult>>> futs;
+  for (uint64_t fp = 1; fp <= 7; ++fp) {
+    futs.push_back(sched.SubmitFuture(fp, TextGen("drain", &calls), 0.0));
+  }
+  EXPECT_EQ(sched.pending(), 7u);
+
+  sched.Shutdown();  // must flush, not abandon
+  for (auto& f : futs) {
+    Result<BatchResult> r = f.get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().text, "drain");
+  }
+  EXPECT_EQ(calls.load(), 7);
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_EQ(sched.stats().generated, 7);
+}
+
+TEST(BatchSchedulerTest, SubmitAfterShutdownFailsFast) {
+  common::ManualClock clock;
+  BatchOptions opts;
+  opts.clock = &clock;
+  BatchScheduler sched(opts);
+  sched.Shutdown();
+
+  std::atomic<int> calls{0};
+  auto fut = sched.SubmitFuture(9, TextGen("late", &calls), 0.0);
+  Result<BatchResult> r = fut.get();  // completed inline, no hang
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnavailable());
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(BatchSchedulerTest, GenerationErrorReachesEveryWaiter) {
+  common::ManualClock clock;
+  BatchOptions opts;
+  opts.max_batch_size = 64;
+  opts.flush_deadline_ms = 3.0;
+  opts.clock = &clock;
+  BatchScheduler sched(opts);
+
+  std::vector<std::future<Result<BatchResult>>> futs;
+  for (int i = 0; i < 4; ++i) {
+    futs.push_back(sched.SubmitFuture(
+        /*fingerprint=*/5,
+        []() -> Result<BatchResult> {
+          return Status::IOError("model backend unreachable");
+        },
+        0.0));
+  }
+  clock.Advance(3.0);
+  for (auto& f : futs) {
+    Result<BatchResult> r = f.get();
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().ToString().find("model backend unreachable"),
+              std::string::npos);
+  }
+  BatchStats st = sched.stats();
+  EXPECT_EQ(st.failed, 1);  // one generation failed, four waiters informed
+  EXPECT_EQ(st.coalesced, 3);
+}
+
+// --- exactly-once usage accounting through SimulatedLLM::Submit ---
+
+TEST(BatchSchedulerTest, LlmSubmitChargesOncePerUniquePrompt) {
+  common::ManualClock clock;
+  BatchOptions opts;
+  opts.max_batch_size = 64;
+  opts.flush_deadline_ms = 2.0;
+  opts.clock = &clock;
+  BatchScheduler sched(opts);
+
+  UsageMeter meter;
+  SimulatedLLM llm(KathLargeSpec(), &meter);
+  service::ResultCache cache;
+  llm.set_result_cache(&cache);
+  llm.set_batch_scheduler(&sched);
+
+  std::atomic<int> gen_calls{0};
+  auto generate = [&gen_calls] {
+    gen_calls.fetch_add(1);
+    return std::string("the completion");
+  };
+
+  // Six concurrent submissions of one prompt: one generation, one charge.
+  std::vector<std::future<Result<std::string>>> futs(6);
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 6; ++i) {
+      threads.emplace_back(
+          [&, i] { futs[i] = llm.Submit("summarize the plot", generate); });
+    }
+    for (auto& t : threads) t.join();
+  }
+  clock.Advance(2.0);
+  for (auto& f : futs) {
+    Result<std::string> r = f.get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), "the completion");
+  }
+  EXPECT_EQ(gen_calls.load(), 1);
+  EXPECT_EQ(meter.total_calls(), 1);
+  int64_t tokens_after_first = meter.total_tokens();
+
+  // A later identical prompt hits the completion cache: a ready future,
+  // no new generation, no new charge.
+  Result<std::string> again = llm.Submit("summarize the plot", generate).get();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), "the completion");
+  EXPECT_EQ(gen_calls.load(), 1);
+  EXPECT_EQ(meter.total_calls(), 1);
+  EXPECT_EQ(meter.total_tokens(), tokens_after_first);
+}
+
+}  // namespace
+}  // namespace kathdb::llm

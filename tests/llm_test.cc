@@ -1,10 +1,16 @@
 // Unit tests for src/llm: model specs, usage metering, capabilities,
-// user channels.
+// user channels, and the batched-vs-synchronous completion differential.
 
 #include <gtest/gtest.h>
 
+#include <future>
+#include <vector>
+
+#include "common/clock.h"
+#include "llm/batch_scheduler.h"
 #include "llm/channel.h"
 #include "llm/model.h"
+#include "service/result_cache.h"
 
 namespace kathdb::llm {
 namespace {
@@ -141,6 +147,84 @@ TEST(ScriptedUserTest, PushAppendsReplies) {
   ScriptedUser user;
   user.Push("later");
   EXPECT_EQ(user.Ask("parse", "q").value(), "later");
+}
+
+TEST(ScriptedUserTest, ReplyLatencyRunsOnTheInjectedClock) {
+  // With a ManualClock the think time is virtual: Ask returns instantly
+  // in wall time but advances the clock by exactly the configured
+  // latency — the TSan-safe replacement for a real sleep_for.
+  common::ManualClock clock;
+  ScriptedUser user({"sure"});
+  user.set_reply_latency_ms(25.0);
+  user.set_clock(&clock);
+  EXPECT_EQ(user.Ask("parse", "q").value(), "sure");
+  EXPECT_EQ(clock.NowMicros(), 25000);
+}
+
+// ------------------- batched vs synchronous completion differential ----
+
+TEST(SimulatedLlmTest, BatchedCompleteMatchesSynchronousExactly) {
+  // Two identical models, one routed through a BatchScheduler. Every
+  // observable — completion text, cache hit behavior, metered calls,
+  // tokens, cost — must be identical.
+  UsageMeter sync_meter;
+  SimulatedLLM sync_llm(KathLargeSpec(), &sync_meter);
+  service::ResultCache sync_cache;
+  sync_llm.set_result_cache(&sync_cache);
+
+  common::ManualClock clock;
+  BatchOptions bopts;
+  bopts.flush_deadline_ms = 0.0;  // flush as soon as the flusher wakes
+  bopts.clock = &clock;
+  BatchScheduler batcher(bopts);
+  UsageMeter batch_meter;
+  SimulatedLLM batch_llm(KathLargeSpec(), &batch_meter);
+  service::ResultCache batch_cache;
+  batch_llm.set_result_cache(&batch_cache);
+  batch_llm.set_batch_scheduler(&batcher);
+
+  const std::vector<std::string> prompts = {
+      "expand the term exciting", "expand the term exciting",
+      "classify this poster", "expand the term exciting"};
+  for (const std::string& p : prompts) {
+    std::string a = sync_llm.Complete(p, [&p] { return "gen:" + p; });
+    std::string b = batch_llm.Complete(p, [&p] { return "gen:" + p; });
+    EXPECT_EQ(a, b) << p;
+  }
+  EXPECT_EQ(sync_meter.total_calls(), batch_meter.total_calls());
+  EXPECT_EQ(sync_meter.total_tokens(), batch_meter.total_tokens());
+  EXPECT_DOUBLE_EQ(sync_meter.total_cost_usd(), batch_meter.total_cost_usd());
+  // Two unique prompts, four calls: exactly two charged on both sides.
+  EXPECT_EQ(batch_meter.total_calls(), 2);
+  EXPECT_EQ(batch_cache.stats().hits, sync_cache.stats().hits);
+  EXPECT_EQ(batch_cache.stats().misses, sync_cache.stats().misses);
+}
+
+TEST(SimulatedLlmTest, ConcurrentIdenticalSubmitsShareOneGeneration) {
+  common::ManualClock clock;
+  BatchOptions bopts;
+  bopts.max_batch_size = 64;
+  bopts.flush_deadline_ms = 3.0;
+  bopts.clock = &clock;
+  BatchScheduler batcher(bopts);
+  UsageMeter meter;
+  SimulatedLLM llm(KathLargeSpec(), &meter);
+  service::ResultCache cache;
+  llm.set_result_cache(&cache);
+  llm.set_batch_scheduler(&batcher);
+
+  // Submissions land while the deadline has not expired; all three join
+  // one pending fingerprint and one metered generation.
+  auto f1 = llm.Submit("the same prompt", [] { return "one"; });
+  auto f2 = llm.Submit("the same prompt", [] { return "one"; });
+  auto f3 = llm.Submit("the same prompt", [] { return "one"; });
+  clock.Advance(3.0);
+  EXPECT_EQ(f1.get().value(), "one");
+  EXPECT_EQ(f2.get().value(), "one");
+  EXPECT_EQ(f3.get().value(), "one");
+  EXPECT_EQ(meter.total_calls(), 1);
+  EXPECT_EQ(batcher.stats().coalesced, 2);
+  EXPECT_EQ(batcher.stats().generated, 1);
 }
 
 }  // namespace

@@ -2,16 +2,22 @@
 // DagScheduler (diamond plans, determinism, error propagation, cycle
 // detection), morsel-partitioned FAO evaluation (merge equivalence,
 // per-partition result-cache keys) and end-to-end parallel == sequential
-// equivalence including lineage lids. Runs under the TSan CI job.
+// equivalence including lineage lids. The batched-execution differential
+// suite at the bottom proves async cross-query LLM batching returns
+// byte-identical tables, lineage lids, usage accounting and cache
+// counters across a worker x batch-size x flush-deadline grid. Runs
+// under the TSan CI job.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <set>
 #include <thread>
 
 #include "common/thread_pool.h"
+#include "llm/batch_scheduler.h"
 #include "data/movie_dataset.h"
 #include "engine/executor.h"
 #include "engine/kathdb.h"
@@ -369,6 +375,167 @@ TEST(ParallelEquivalenceTest, PaperQueryMatchesSequentialIncludingLineage) {
   ExpectSameTable(seq->result, par->result, /*compare_lids=*/true);
   EXPECT_EQ(seq_db->lineage()->num_entries(),
             par_db->lineage()->num_entries());
+}
+
+// ------------------------------------- batched == sequential differential
+
+TEST(BatchedEquivalenceTest, PaperQueryMatchesSequentialAcrossKnobGrid) {
+  // Pin the classifier implementation: "auto" profiles candidates by
+  // wall-clock cost, so the chosen plan (and with it cache and meter
+  // counters) would vary run to run. "pixels" is the vision-model path —
+  // exactly the work batching is for.
+  KathDBOptions seq_opts;
+  seq_opts.optimizer.boring_impl = "pixels";
+  // Reference: the classic synchronous run, no batching, no morsels.
+  auto seq_db = MakeDb(20, seq_opts);
+  auto seq_user = PaperUser();
+  auto seq = seq_db->Query(kPaperQuery, &seq_user);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+
+  for (int workers : {1, 4}) {
+    for (int batch_size : {1, 4, 16}) {
+      for (double deadline_ms : {0.0, 2.0}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers) +
+                     " batch_size=" + std::to_string(batch_size) +
+                     " deadline_ms=" + std::to_string(deadline_ms));
+        KathDBOptions opts;
+        opts.optimizer.boring_impl = "pixels";
+        opts.executor.max_parallel_nodes = workers;
+        opts.executor.morsel_size = 4;
+        opts.executor.enable_llm_batching = true;
+        auto db = MakeDb(20, opts);
+        llm::BatchOptions bopts;
+        bopts.max_batch_size = batch_size;
+        bopts.flush_deadline_ms = deadline_ms;
+        llm::BatchScheduler batcher(bopts);
+        db->set_batch_scheduler(&batcher);
+
+        auto user = PaperUser();
+        auto out = db->Query(kPaperQuery, &user);
+        ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+        // Byte-identical output *including lineage lids* — batching must
+        // be pure scheduling, invisible to results and provenance.
+        ExpectSameTable(seq->result, out->result, /*compare_lids=*/true);
+        EXPECT_EQ(seq_db->lineage()->num_entries(),
+                  db->lineage()->num_entries());
+        // ... and invisible to usage accounting: exactly the same calls,
+        // tokens and dollars as the synchronous run.
+        EXPECT_EQ(seq_db->meter()->total_calls(), db->meter()->total_calls());
+        EXPECT_EQ(seq_db->meter()->total_tokens(),
+                  db->meter()->total_tokens());
+        EXPECT_DOUBLE_EQ(seq_db->meter()->total_cost_usd(),
+                         db->meter()->total_cost_usd());
+        db->set_batch_scheduler(nullptr);
+      }
+    }
+  }
+}
+
+TEST(BatchedEquivalenceTest, CacheCountersMatchSequentialMorselRun) {
+  // Same spec, same input, same morsel geometry — so the per-partition
+  // cache keys are identical — evaluated once through the synchronous
+  // morsel path and once through the batched path. Cold run: one miss +
+  // one insertion per partition on both sides (batching must not
+  // double-insert or skip the cache). Warm run: one hit per partition on
+  // both sides (cache lookup happens before submit).
+  auto db = MakeDb(24);
+  auto base = db->catalog()->Get("movie_table");
+  ASSERT_TRUE(base.ok());
+  size_t rows = base.value()->num_rows();
+  opt::PhysicalNode node =
+      RecencyNode("gen_recency_score", "movie_table", "scored", "r_score");
+  fao::MorselOptions morsels;
+  morsels.morsel_size = 5;
+  size_t parts = (rows + morsels.morsel_size - 1) / morsels.morsel_size;
+
+  service::ResultCache seq_cache;
+  fao::ExecContext seq_ctx = db->MakeContext();
+  seq_ctx.result_cache = &seq_cache;
+  auto seq_cold =
+      fao::EvaluateWithMorsels(node.spec, {base.value()}, &seq_ctx, morsels);
+  ASSERT_TRUE(seq_cold.ok());
+  ASSERT_TRUE(
+      fao::EvaluateWithMorsels(node.spec, {base.value()}, &seq_ctx, morsels)
+          .ok());
+
+  service::ResultCache bat_cache;
+  llm::BatchOptions bopts;
+  bopts.max_batch_size = 3;  // forces a mid-node size flush
+  bopts.flush_deadline_ms = 1.0;
+  llm::BatchScheduler batcher(bopts);
+  fao::ExecContext bat_ctx = db->MakeContext();
+  bat_ctx.result_cache = &bat_cache;
+  bat_ctx.batcher = &batcher;
+  for (int i = 0; i < 2; ++i) {
+    std::promise<Result<rel::Table>> landed;
+    fao::EvaluateBatched(node.spec, {base.value()}, &bat_ctx, morsels,
+                         [&landed](Result<rel::Table> r) {
+                           landed.set_value(std::move(r));
+                         });
+    auto batched = landed.get_future().get();
+    ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+    ExpectSameTable(seq_cold.value(), batched.value(),
+                    /*compare_lids=*/true);
+  }
+
+  auto seq_stats = seq_cache.stats();
+  auto bat_stats = bat_cache.stats();
+  EXPECT_EQ(bat_stats.hits, seq_stats.hits);
+  EXPECT_EQ(bat_stats.misses, seq_stats.misses);
+  EXPECT_EQ(bat_stats.insertions, seq_stats.insertions);
+  EXPECT_EQ(bat_stats.misses, static_cast<int64_t>(parts));
+  EXPECT_EQ(bat_stats.hits, static_cast<int64_t>(parts));
+}
+
+TEST(BatchedEquivalenceTest, ServiceWithBatchingMatchesServiceWithout) {
+  // The full service stack (admission, sessions, shared cache) with
+  // batching on vs off: same tables out, same usage totals.
+  auto run = [&](bool batching, rel::Table* table_out, int64_t* calls_out) {
+    KathDBOptions db_opts;
+    db_opts.optimizer.boring_impl = "pixels";
+    auto db = MakeDb(16, db_opts);
+    service::ServiceOptions opts;
+    opts.workers = 4;
+    opts.intra_query_parallelism = 2;
+    opts.intra_query_morsel_size = 4;
+    opts.adaptive_intra_query = false;
+    opts.enable_result_cache = false;  // isolate the batching effect
+    opts.enable_llm_batching = batching;
+    opts.llm_batch_size = 4;
+    opts.llm_flush_deadline_ms = 1.0;
+    service::QueryService service(db.get(), opts);
+    auto sid = service.OpenSession(
+        {"uncommon scenes", "prefer recent movies", "OK"});
+    std::vector<service::OutcomeFuture> futs;
+    for (int i = 0; i < 6; ++i) {
+      auto f = service.Submit(sid, kPaperQuery);
+      ASSERT_TRUE(f.ok()) << f.status().ToString();
+      futs.push_back(f.value());
+    }
+    service.Drain();
+    std::vector<rel::Table> tables;
+    for (auto& f : futs) {
+      auto outcome = f.get();
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      tables.push_back(outcome.value().result);
+    }
+    for (size_t i = 1; i < tables.size(); ++i) {
+      ExpectSameTable(tables[0], tables[i], /*compare_lids=*/false);
+    }
+    *table_out = tables[0];
+    *calls_out = db->meter()->total_calls();
+  };
+
+  rel::Table sync_table, batch_table;
+  int64_t sync_calls = 0, batch_calls = 0;
+  run(false, &sync_table, &sync_calls);
+  run(true, &batch_table, &batch_calls);
+  ExpectSameTable(sync_table, batch_table, /*compare_lids=*/false);
+  // Batching coalesces identical in-flight work, so it may *save* calls,
+  // but it must never charge more than the synchronous service did.
+  EXPECT_LE(batch_calls, sync_calls);
+  EXPECT_GT(batch_calls, 0);
 }
 
 TEST(ParallelEquivalenceTest, ServiceBudgetRunsQueriesCorrectly) {

@@ -6,12 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <future>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "data/movie_dataset.h"
 #include "engine/kathdb.h"
+#include "llm/batch_scheduler.h"
 
 namespace kathdb::service {
 namespace {
@@ -220,6 +222,94 @@ TEST_F(ServiceFixture, DetachedQueriesKeepFacadeLastOutcomeClean) {
   // explanation entry points keep refusing until a facade query runs.
   EXPECT_FALSE(db_->last_outcome().has_value());
   EXPECT_FALSE(db_->ExplainPipeline().ok());
+}
+
+// --------------------------- batching fault injection and load shedding
+
+TEST_F(ServiceFixture, FailedBatchPropagatesToEveryWaiterWithoutDoubleCharge) {
+  ServiceOptions opts;
+  opts.workers = 2;
+  // Generous deadline: all injected submissions land in one pending
+  // batch, so exactly one (failing) generation serves every waiter.
+  opts.llm_flush_deadline_ms = 50.0;
+  QueryService service(db_.get(), opts);
+  ASSERT_NE(service.batcher(), nullptr);
+  int64_t calls_before = db_->meter()->total_calls();
+
+  std::vector<std::future<Result<llm::BatchResult>>> futs;
+  for (int i = 0; i < 4; ++i) {
+    futs.push_back(service.batcher()->SubmitFuture(
+        /*fingerprint=*/0xFA11EDu,
+        []() -> Result<llm::BatchResult> {
+          return Status::IOError("injected model failure");
+        },
+        /*latency_ms=*/0.0));
+  }
+  for (auto& f : futs) {
+    Result<llm::BatchResult> r = f.get();  // must complete, never hang
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().ToString().find("injected model failure"),
+              std::string::npos);
+  }
+  llm::BatchStats bst = service.batcher()->stats();
+  EXPECT_EQ(bst.failed, 1);     // one generation attempt...
+  EXPECT_EQ(bst.coalesced, 3);  // ... shared by all four waiters
+  // A failed generation is never metered — no charge, no double-charge.
+  EXPECT_EQ(db_->meter()->total_calls(), calls_before);
+
+  // The scheduler (and the service) keep serving after a failed batch.
+  SessionId sid = service.OpenSession(kPaperReplies);
+  auto outcome = service.Query(sid, kPaperQuery);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GT(service.stats().batching.submitted, bst.submitted);
+}
+
+TEST_F(ServiceFixture, SheddingWithBatchesInFlightNeitherHangsNorLeaks) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.max_queue = 1;
+  opts.reply_latency_ms = 40.0;  // holds the single worker busy
+  opts.llm_flush_deadline_ms = 10.0;
+  QueryService service(db_.get(), opts);
+  SessionId sid = service.OpenSession(kPaperReplies);
+
+  // A batch item is pending (deadline not yet reached) while admission
+  // control starts shedding.
+  auto inflight = service.batcher()->SubmitFuture(
+      /*fingerprint=*/0xBEEFu,
+      []() -> Result<llm::BatchResult> {
+        llm::BatchResult r;
+        r.text = "late but fine";
+        return r;
+      },
+      /*latency_ms=*/0.0);
+
+  std::vector<OutcomeFuture> admitted;
+  bool rejected = false;
+  for (int i = 0; i < 12 && !rejected; ++i) {
+    auto fut = service.Submit(sid, kPaperQuery);
+    if (fut.ok()) {
+      admitted.push_back(fut.value());
+    } else {
+      EXPECT_TRUE(fut.status().IsUnavailable());
+      rejected = true;
+    }
+  }
+  EXPECT_TRUE(rejected) << "queue bound never triggered load shedding";
+
+  // Shedding must not strand in-flight batch work: the pending item
+  // still flushes, and every *admitted* query runs to completion.
+  Result<llm::BatchResult> r = inflight.get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().text, "late but fine");
+  service.Drain();
+  for (auto& f : admitted) {
+    auto outcome = f.get();
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  }
+  ServiceStats st = service.stats();
+  EXPECT_GT(st.rejected, 0);
+  EXPECT_EQ(st.completed, static_cast<int64_t>(admitted.size()));
 }
 
 TEST_F(ServiceFixture, ConstAccessorsServeReadOnlyCallers) {
