@@ -21,11 +21,22 @@ BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-${BENCH_OUT_DIR:-${BUILD_DIR}}}"
 FILTER="${3:-}"
 
-BENCH_BIN_DIR="${BUILD_DIR}/bench"
-if ! compgen -G "${BENCH_BIN_DIR}/bench_*" >/dev/null; then
-  BENCH_BIN_DIR="${BUILD_DIR}"  # older layouts kept binaries at the build root
-fi
-if ! compgen -G "${BENCH_BIN_DIR}/bench_*" >/dev/null; then
+# Auto-discover every bench binary: current layout puts them in
+# BUILD_DIR/bench, older trees kept them at the build root. Scan both so
+# a freshly added bench_*.cpp (picked up by the CMake glob) is always
+# run without touching this script.
+BENCH_BINS=()
+seen=" "
+for dir in "${BUILD_DIR}/bench" "${BUILD_DIR}"; do
+  for bin in "${dir}"/bench_*; do
+    [ -x "${bin}" ] && [ -f "${bin}" ] || continue
+    base="$(basename "${bin}")"
+    case "${seen}" in *" ${base} "*) continue ;; esac  # bench/ copy wins
+    seen="${seen}${base} "
+    BENCH_BINS+=("${bin}")
+  done
+done
+if [ "${#BENCH_BINS[@]}" -eq 0 ]; then
   echo "error: no bench_* binaries in '${BUILD_DIR}'." >&2
   echo "Configure with: cmake -B ${BUILD_DIR} -S . -DKATHDB_BUILD_BENCH=ON && cmake --build ${BUILD_DIR} -j" >&2
   exit 1
@@ -35,8 +46,7 @@ mkdir -p "${OUT_DIR}"
 
 status=0
 matched=0
-for bin in "${BENCH_BIN_DIR}"/bench_*; do
-  [ -x "${bin}" ] && [ -f "${bin}" ] || continue
+for bin in "${BENCH_BINS[@]}"; do
   name="$(basename "${bin}")"
   if [ -n "${FILTER}" ] && [[ "${name}" != *"${FILTER}"* ]]; then
     continue

@@ -2,8 +2,7 @@
 
 namespace kathdb {
 
-namespace {
-const char* CodeName(StatusCode code) {
+const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -32,11 +31,10 @@ const char* CodeName(StatusCode code) {
   }
   return "Unknown";
 }
-}  // namespace
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   if (!msg_.empty()) {
     out += ": ";
     out += msg_;

@@ -42,6 +42,14 @@ enum class StatusCode {
   kUnavailable,
 };
 
+/// Number of StatusCode values (for per-code counter arrays).
+inline constexpr int kNumStatusCodes =
+    static_cast<int>(StatusCode::kUnavailable) + 1;
+
+/// Stable name of a status code ("OK", "Unavailable", ...), as used by
+/// Status::ToString and the service layer's per-status counters.
+const char* StatusCodeName(StatusCode code);
+
 /// \brief Outcome of an operation: a code plus a human-readable message.
 class Status {
  public:

@@ -209,7 +209,7 @@ Table DedupByColumn(const Table& in, const std::string& key) {
 }  // namespace
 
 Status Executor::RunNode(const opt::PhysicalNode& node, fao::ExecContext* ctx,
-                         NodeRun* run, TablePtr* out_table) {
+                         NodeRun* run, TablePtr* out_table, bool is_final) {
   run->name = node.sig.name;
   run->template_id = node.spec.template_id;
   run->ver_id = node.spec.ver_id;
@@ -232,16 +232,17 @@ Status Executor::RunNode(const opt::PhysicalNode& node, fao::ExecContext* ctx,
   Result<Table> result =
       fao::EvaluateWithMorsels(node.spec, inputs, ctx, morsels);
   return FinishNode(node, ctx, run, out_table, inputs, node.spec,
-                    std::move(result), t0);
+                    std::move(result), t0, is_final);
 }
 
 void Executor::RunNodeAsync(const opt::PhysicalNode& node,
                             fao::ExecContext* ctx, NodeRun* run,
-                            TablePtr* out_table, DagScheduler::DoneFn done) {
+                            TablePtr* out_table, bool is_final,
+                            DagScheduler::DoneFn done) {
   bool batched = options_.enable_llm_batching && ctx->batcher != nullptr &&
                  fao::IsBatchableTemplate(node.spec.template_id);
   if (!batched) {
-    done(RunNode(node, ctx, run, out_table));
+    done(RunNode(node, ctx, run, out_table, is_final));
     return;
   }
 
@@ -272,7 +273,7 @@ void Executor::RunNodeAsync(const opt::PhysicalNode& node,
         node.spec, inputs, ctx, morsels,
         [&landed](Result<Table> r) { landed.set_value(std::move(r)); });
     done(FinishNode(node, ctx, run, out_table, inputs, node.spec,
-                    landed.get_future().get(), t0));
+                    landed.get_future().get(), t0, is_final));
     return;
   }
 
@@ -284,12 +285,12 @@ void Executor::RunNodeAsync(const opt::PhysicalNode& node,
   const opt::PhysicalNode* nodep = &node;
   fao::EvaluateBatched(
       node.spec, inputs, ctx, morsels,
-      [this, nodep, ctx, run, out_table, inputs, done,
-       t0](Result<Table> r) {
+      [this, nodep, ctx, run, out_table, inputs, done, t0,
+       is_final](Result<Table> r) {
         auto resume = [this, nodep, ctx, run, out_table, inputs, done, t0,
-                       r]() mutable {
+                       is_final, r]() mutable {
           done(FinishNode(*nodep, ctx, run, out_table, inputs, nodep->spec,
-                          std::move(r), t0));
+                          std::move(r), t0, is_final));
         };
         if (!ctx->exec_pool->TrySubmit(resume)) resume();
       });
@@ -300,7 +301,8 @@ Status Executor::FinishNode(const opt::PhysicalNode& node,
                             TablePtr* out_table,
                             const std::vector<TablePtr>& inputs,
                             FunctionSpec spec, Result<Table> result,
-                            std::chrono::steady_clock::time_point started) {
+                            std::chrono::steady_clock::time_point started,
+                            bool is_final) {
   fao::MorselOptions morsels;
   morsels.morsel_size = options_.morsel_size;
   morsels.pool = ctx->exec_pool;
@@ -392,8 +394,29 @@ Status Executor::FinishNode(const opt::PhysicalNode& node,
   run->output_rows = out.num_rows();
   TablePtr shared = std::make_shared<Table>(std::move(out));
   ctx->catalog->Upsert(shared, rel::RelationKind::kIntermediate);
-  *out_table = std::move(shared);
+  *out_table = shared;
+  EmitProgress(*run, shared, is_final);
   return Status::OK();
+}
+
+void Executor::EmitProgress(const NodeRun& run, const TablePtr& table,
+                            bool is_final) {
+  ProgressSink* sink = options_.progress;
+  if (sink == nullptr) return;
+  sink->OnNodeComplete(run, is_final);
+  if (!is_final || table == nullptr) return;
+  const Table& t = *table;
+  size_t chunk = options_.stream_chunk_rows;
+  if (chunk == 0 || chunk >= t.num_rows()) {
+    // One chunk — emitted even for an empty table so the consumer always
+    // learns the output schema.
+    sink->OnResultChunk(t, 0, /*last=*/true);
+    return;
+  }
+  for (size_t off = 0; off < t.num_rows(); off += chunk) {
+    bool last = off + chunk >= t.num_rows();
+    sink->OnResultChunk(t.Slice(off, off + chunk), off, last);
+  }
 }
 
 Result<ExecutionReport> Executor::Run(const opt::PhysicalPlan& plan,
@@ -401,6 +424,13 @@ Result<ExecutionReport> Executor::Run(const opt::PhysicalPlan& plan,
   ExecutionReport report;
   report.node_runs.resize(plan.nodes.size());
   std::vector<TablePtr> outputs(plan.nodes.size());
+
+  // The node producing the plan's final output (mirrors the final_table
+  // selection below): its completion triggers streamed result chunks.
+  size_t final_idx = plan.nodes.empty() ? 0 : plan.nodes.size() - 1;
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    if (plan.nodes[i].sig.output == plan.final_output) final_idx = i;
+  }
 
   // Each node task writes only its own node_runs / outputs slot, so the
   // report keeps plan order however branches are interleaved; the
@@ -410,10 +440,10 @@ Result<ExecutionReport> Executor::Run(const opt::PhysicalPlan& plan,
   sched.pool = ctx->exec_pool;
   KATHDB_RETURN_IF_ERROR(DagScheduler::RunAsync(
       plan, sched,
-      [this, &plan, ctx, &report, &outputs](size_t idx,
-                                            DagScheduler::DoneFn done) {
+      [this, &plan, ctx, &report, &outputs, final_idx](
+          size_t idx, DagScheduler::DoneFn done) {
         RunNodeAsync(plan.nodes[idx], ctx, &report.node_runs[idx],
-                     &outputs[idx], std::move(done));
+                     &outputs[idx], idx == final_idx, std::move(done));
       }));
 
   TablePtr final_table;

@@ -1,0 +1,207 @@
+#include "net/event_loop.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define KATHDB_NET_HAVE_EPOLL 1
+#endif
+
+namespace kathdb::net {
+
+namespace {
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+}  // namespace
+
+EventLoop::EventLoop(PollBackend backend) {
+  if (::pipe(wake_pipe_) == 0) {
+    SetNonBlocking(wake_pipe_[0]);
+    SetNonBlocking(wake_pipe_[1]);
+  }
+#if KATHDB_NET_HAVE_EPOLL
+  if (backend != PollBackend::kPoll) {
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ >= 0) {
+      struct epoll_event ev;
+      memset(&ev, 0, sizeof(ev));
+      ev.events = EPOLLIN;
+      ev.data.fd = wake_pipe_[0];
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_pipe_[0], &ev);
+    }
+  }
+#else
+  (void)backend;
+#endif
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+Status EventLoop::Add(int fd, uint32_t interest, EventFn fn) {
+  if (entries_.count(fd) > 0) {
+    return Status::AlreadyExists("fd " + std::to_string(fd) +
+                                 " already registered");
+  }
+#if KATHDB_NET_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    struct epoll_event ev;
+    memset(&ev, 0, sizeof(ev));
+    ev.events = ((interest & kEventRead) ? EPOLLIN : 0u) |
+                ((interest & kEventWrite) ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return Status::IOError(std::string("epoll_ctl(ADD): ") +
+                             strerror(errno));
+    }
+  }
+#endif
+  entries_[fd] = Entry{interest, std::move(fn)};
+  return Status::OK();
+}
+
+Status EventLoop::SetInterest(int fd, uint32_t interest) {
+  auto it = entries_.find(fd);
+  if (it == entries_.end()) {
+    return Status::NotFound("fd " + std::to_string(fd) + " not registered");
+  }
+  if (it->second.interest == interest) return Status::OK();
+  it->second.interest = interest;
+#if KATHDB_NET_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    struct epoll_event ev;
+    memset(&ev, 0, sizeof(ev));
+    ev.events = ((interest & kEventRead) ? EPOLLIN : 0u) |
+                ((interest & kEventWrite) ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+      return Status::IOError(std::string("epoll_ctl(MOD): ") +
+                             strerror(errno));
+    }
+  }
+#endif
+  return Status::OK();
+}
+
+void EventLoop::Remove(int fd) {
+#if KATHDB_NET_HAVE_EPOLL
+  if (epoll_fd_ >= 0 && entries_.count(fd) > 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+  entries_.erase(fd);
+}
+
+void EventLoop::Run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (epoll_fd_ >= 0) {
+      RunEpoll();
+    } else {
+      RunPoll();
+    }
+    DispatchTasks();
+  }
+  // A final drain so tasks queued right before Stop still run.
+  DispatchTasks();
+}
+
+void EventLoop::RunEpoll() {
+#if KATHDB_NET_HAVE_EPOLL
+  struct epoll_event events[64];
+  int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+  if (n < 0) return;  // EINTR
+  for (int i = 0; i < n; ++i) {
+    int fd = events[i].data.fd;
+    if (fd == wake_pipe_[0]) {
+      char buf[256];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+      continue;
+    }
+    uint32_t ev = 0;
+    // Errors and hangups surface as readability so the handler's read()
+    // observes EOF / the error and closes the connection.
+    if (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) ev |= kEventRead;
+    if (events[i].events & EPOLLOUT) ev |= kEventWrite;
+    Dispatch(fd, ev);
+  }
+#endif
+}
+
+void EventLoop::RunPoll() {
+  std::vector<struct pollfd> fds;
+  fds.reserve(entries_.size() + 1);
+  fds.push_back({wake_pipe_[0], POLLIN, 0});
+  for (const auto& [fd, entry] : entries_) {
+    short events = 0;
+    if (entry.interest & kEventRead) events |= POLLIN;
+    if (entry.interest & kEventWrite) events |= POLLOUT;
+    fds.push_back({fd, events, 0});
+  }
+  int n = ::poll(fds.data(), fds.size(), -1);
+  if (n <= 0) return;  // EINTR
+  if (fds[0].revents & POLLIN) {
+    char buf[256];
+    while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+    }
+  }
+  for (size_t i = 1; i < fds.size(); ++i) {
+    uint32_t ev = 0;
+    if (fds[i].revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL)) {
+      ev |= kEventRead;
+    }
+    if (fds[i].revents & POLLOUT) ev |= kEventWrite;
+    if (ev != 0) Dispatch(fds[i].fd, ev);
+  }
+}
+
+void EventLoop::Dispatch(int fd, uint32_t events) {
+  // A handler earlier in this batch may have removed the fd: look it up
+  // fresh and copy the callback, since the handler may remove itself.
+  auto it = entries_.find(fd);
+  if (it == entries_.end()) return;
+  EventFn fn = it->second.fn;
+  fn(events);
+}
+
+void EventLoop::DispatchTasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks.swap(tasks_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  Wakeup();
+}
+
+void EventLoop::RunInLoop(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  Wakeup();
+}
+
+void EventLoop::Wakeup() {
+  char byte = 1;
+  // Best-effort: a full pipe already guarantees a pending wakeup.
+  ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  (void)ignored;
+}
+
+}  // namespace kathdb::net

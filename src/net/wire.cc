@@ -1,0 +1,127 @@
+#include "net/wire.h"
+
+namespace kathdb::net {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kHello: return "HELLO";
+    case Op::kOpenSession: return "OPEN_SESSION";
+    case Op::kCloseSession: return "CLOSE_SESSION";
+    case Op::kQuery: return "QUERY";
+    case Op::kReply: return "REPLY";
+    case Op::kCancel: return "CANCEL";
+    case Op::kStats: return "STATS";
+    case Op::kPing: return "PING";
+    case Op::kHelloOk: return "HELLO_OK";
+    case Op::kSessionOpened: return "SESSION_OPENED";
+    case Op::kSessionClosed: return "SESSION_CLOSED";
+    case Op::kQueryAccepted: return "QUERY_ACCEPTED";
+    case Op::kAsk: return "ASK";
+    case Op::kNotify: return "NOTIFY";
+    case Op::kPartialResult: return "PARTIAL_RESULT";
+    case Op::kFinal: return "FINAL";
+    case Op::kError: return "ERROR";
+    case Op::kStatsOk: return "STATS_OK";
+    case Op::kPong: return "PONG";
+  }
+  return "UNKNOWN";
+}
+
+std::string EncodeFrame(Op op, const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + 1 + payload.size());
+  uint32_t length = static_cast<uint32_t>(payload.size() + 1);  // + opcode
+  out.push_back(static_cast<char>((length >> 24) & 0xff));
+  out.push_back(static_cast<char>((length >> 16) & 0xff));
+  out.push_back(static_cast<char>((length >> 8) & 0xff));
+  out.push_back(static_cast<char>(length & 0xff));
+  out.push_back(static_cast<char>(op));
+  out += payload;
+  return out;
+}
+
+Result<bool> FrameReader::Next(Frame* out) {
+  // Compact once the consumed prefix dominates, so long-lived
+  // connections never grow the buffer without bound.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return false;
+  const unsigned char* h =
+      reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
+  uint32_t length = (static_cast<uint32_t>(h[0]) << 24) |
+                    (static_cast<uint32_t>(h[1]) << 16) |
+                    (static_cast<uint32_t>(h[2]) << 8) |
+                    static_cast<uint32_t>(h[3]);
+  if (length == 0) {
+    return Status::InvalidArgument("zero-length frame");
+  }
+  if (length > max_frame_bytes_ + 1) {  // +1: opcode rides in `length`
+    return Status::InvalidArgument(
+        "frame of " + std::to_string(length) + " bytes exceeds the " +
+        std::to_string(max_frame_bytes_) + "-byte limit");
+  }
+  if (avail < kFrameHeaderBytes + length) return false;
+  out->op = static_cast<Op>(
+      static_cast<uint8_t>(buf_[pos_ + kFrameHeaderBytes]));
+  out->payload.assign(buf_, pos_ + kFrameHeaderBytes + 1, length - 1);
+  pos_ += kFrameHeaderBytes + length;
+  return true;
+}
+
+void PayloadWriter::PutU32(uint32_t v) {
+  out_.push_back(static_cast<char>((v >> 24) & 0xff));
+  out_.push_back(static_cast<char>((v >> 16) & 0xff));
+  out_.push_back(static_cast<char>((v >> 8) & 0xff));
+  out_.push_back(static_cast<char>(v & 0xff));
+}
+
+void PayloadWriter::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v >> 32));
+  PutU32(static_cast<uint32_t>(v & 0xffffffffu));
+}
+
+void PayloadWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  out_ += s;
+}
+
+Result<uint8_t> PayloadReader::U8() {
+  if (pos_ + 1 > p_.size()) {
+    return Status::InvalidArgument("truncated payload (u8)");
+  }
+  return static_cast<uint8_t>(p_[pos_++]);
+}
+
+Result<uint32_t> PayloadReader::U32() {
+  if (pos_ + 4 > p_.size()) {
+    return Status::InvalidArgument("truncated payload (u32)");
+  }
+  const unsigned char* b =
+      reinterpret_cast<const unsigned char*>(p_.data() + pos_);
+  pos_ += 4;
+  return (static_cast<uint32_t>(b[0]) << 24) |
+         (static_cast<uint32_t>(b[1]) << 16) |
+         (static_cast<uint32_t>(b[2]) << 8) | static_cast<uint32_t>(b[3]);
+}
+
+Result<uint64_t> PayloadReader::U64() {
+  KATHDB_ASSIGN_OR_RETURN(uint32_t hi, U32());
+  KATHDB_ASSIGN_OR_RETURN(uint32_t lo, U32());
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+Result<std::string> PayloadReader::String() {
+  KATHDB_ASSIGN_OR_RETURN(uint32_t len, U32());
+  if (pos_ + len > p_.size()) {
+    return Status::InvalidArgument("truncated payload (string of " +
+                                   std::to_string(len) + " bytes)");
+  }
+  std::string s = p_.substr(pos_, len);
+  pos_ += len;
+  return s;
+}
+
+}  // namespace kathdb::net

@@ -262,9 +262,17 @@ Result<std::vector<FunctionSpec>> QueryOptimizer::SynthesizeCandidates(
         llm_->GenerateKeywords(rank_term, context);
     // Two physical implementations of the same signature: per-row
     // embedding vs a distinct-token similarity cache (same scores,
-    // different runtime) — the profiler picks by measured cost.
-    for (const char* tmpl :
-         {"keyword_similarity_cached", "keyword_similarity_score"}) {
+    // different runtime) — the profiler picks by measured cost unless
+    // options pin one.
+    std::vector<const char*> tmpls;
+    if (options_.similarity_impl == "score") {
+      tmpls = {"keyword_similarity_score"};
+    } else if (options_.similarity_impl == "cached") {
+      tmpls = {"keyword_similarity_cached"};
+    } else {
+      tmpls = {"keyword_similarity_cached", "keyword_similarity_score"};
+    }
+    for (const char* tmpl : tmpls) {
       FunctionSpec spec;
       spec.name = name;
       spec.template_id = tmpl;

@@ -66,6 +66,11 @@ struct OptimizerOptions {
   /// Physical choice for classify_* nodes: "stats", "pixels", "cascade"
   /// or "auto" (cost-based selection against the pixel reference).
   std::string boring_impl = "auto";
+  /// Physical choice for gen_*_score similarity nodes: "score" (per-row
+  /// embedding), "cached" (distinct-token cache) or "auto" (profiled by
+  /// measured runtime — the two produce identical scores, so "auto" is
+  /// timing-dependent; differential tests pin one).
+  std::string similarity_impl = "auto";
   /// Minimum sample agreement with the reference implementation that a
   /// cheaper candidate must reach to be chosen under "auto".
   double accuracy_floor = 0.75;

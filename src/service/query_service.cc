@@ -6,19 +6,26 @@
 namespace kathdb::service {
 
 std::string ServiceStats::ToText() const {
-  char buf[320];
+  char buf[384];
   std::snprintf(
       buf, sizeof(buf),
-      "queries: submitted=%lld completed=%lld failed=%lld rejected=%lld | "
-      "sessions: active=%lld opened=%lld | cache: %s | llm: calls=%lld "
-      "tokens=%lld cost=$%.4f",
+      "queries: submitted=%lld completed=%lld failed=%lld rejected=%lld "
+      "queue=%lld inflight=%lld | sessions: active=%lld opened=%lld | "
+      "cache: %s | llm: calls=%lld tokens=%lld cost=$%.4f",
       static_cast<long long>(submitted), static_cast<long long>(completed),
       static_cast<long long>(failed), static_cast<long long>(rejected),
+      static_cast<long long>(queue_depth), static_cast<long long>(in_flight),
       static_cast<long long>(sessions_active),
       static_cast<long long>(sessions_opened), cache.ToText().c_str(),
       static_cast<long long>(llm_calls), static_cast<long long>(llm_tokens),
       llm_cost_usd);
   std::string text = buf;
+  if (!responses.empty()) {
+    text += " | responses:";
+    for (const auto& [code, count] : responses) {
+      text += " " + code + "=" + std::to_string(count);
+    }
+  }
   if (batching.submitted > 0) text += " | " + batching.ToText();
   return text;
 }
@@ -119,8 +126,17 @@ size_t QueryService::num_sessions() const {
 
 Result<OutcomeFuture> QueryService::Submit(SessionId id, std::string nl_query,
                                            std::vector<std::string> replies) {
+  SubmitOptions opts;
+  opts.replies = std::move(replies);
+  return Submit(id, std::move(nl_query), std::move(opts));
+}
+
+Result<OutcomeFuture> QueryService::Submit(SessionId id, std::string nl_query,
+                                           SubmitOptions opts) {
   KATHDB_ASSIGN_OR_RETURN(SessionPtr session, GetSession(id));
-  if (replies.empty()) replies = session->default_replies();
+  if (opts.user == nullptr && opts.replies.empty()) {
+    opts.replies = session->default_replies();
+  }
 
   auto promise =
       std::make_shared<std::promise<Result<engine::QueryOutcome>>>();
@@ -132,27 +148,39 @@ Result<OutcomeFuture> QueryService::Submit(SessionId id, std::string nl_query,
   submitted_.fetch_add(1, std::memory_order_relaxed);
   bool admitted = pool_.TrySubmit([this, session,
                                    nl_query = std::move(nl_query),
-                                   replies = std::move(replies), promise] {
-    // Each query gets a private channel replaying the session's script,
-    // so concurrent queries of one session never race on replies.
-    llm::ScriptedUser user(replies);
-    user.set_reply_latency_ms(options_.reply_latency_ms);
-    user.set_clock(options_.clock);
+                                   opts = std::move(opts), promise] {
+    // Without an external channel, each query gets a private channel
+    // replaying the session's script, so concurrent queries of one
+    // session never race on replies.
+    llm::ScriptedUser scripted(opts.replies);
+    llm::UserChannel* user = opts.user;
+    if (user == nullptr) {
+      scripted.set_reply_latency_ms(options_.reply_latency_ms);
+      scripted.set_clock(options_.clock);
+      user = &scripted;
+    }
     engine::ExecutorOptions exec_opts = MakeExecOptions();
+    exec_opts.progress = opts.progress;
+    exec_opts.stream_chunk_rows = opts.stream_chunk_rows;
     Result<engine::QueryOutcome> outcome = db_->QueryDetached(
-        nl_query, &user, exec_opts,
+        nl_query, user, exec_opts,
         exec_opts.max_parallel_nodes > 1 ? exec_pool_.get() : nullptr);
-    session->RecordOutcome(outcome, user.questions_asked());
+    session->RecordOutcome(outcome, user->questions_asked());
+    responses_[static_cast<int>(outcome.status().code())].fetch_add(
+        1, std::memory_order_relaxed);
     if (outcome.ok()) {
       completed_.fetch_add(1, std::memory_order_relaxed);
     } else {
       failed_.fetch_add(1, std::memory_order_relaxed);
     }
+    if (opts.on_complete) opts.on_complete(outcome);
     promise->set_value(std::move(outcome));
   });
   if (!admitted) {
     submitted_.fetch_sub(1, std::memory_order_relaxed);
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    responses_[static_cast<int>(StatusCode::kUnavailable)].fetch_add(
+        1, std::memory_order_relaxed);
     return Status::Unavailable(
         "admission queue full (" + std::to_string(options_.max_queue) +
         " pending); retry later");
@@ -192,6 +220,12 @@ ServiceStats QueryService::stats() const {
   st.failed = failed_.load(std::memory_order_relaxed);
   st.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
   st.sessions_active = static_cast<int64_t>(num_sessions());
+  st.queue_depth = static_cast<int64_t>(pool_.queue_depth());
+  st.in_flight = static_cast<int64_t>(pool_.active());
+  for (int c = 0; c < kNumStatusCodes; ++c) {
+    int64_t count = responses_[c].load(std::memory_order_relaxed);
+    if (count > 0) st.responses[StatusCodeName(static_cast<StatusCode>(c))] = count;
+  }
   if (cache_ != nullptr) st.cache = cache_->stats();
   if (batcher_ != nullptr) st.batching = batcher_->stats();
   const llm::UsageMeter* meter = static_cast<const engine::KathDB*>(db_)->meter();

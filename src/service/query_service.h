@@ -23,8 +23,10 @@
 
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -93,6 +95,16 @@ struct ServiceStats {
   int64_t failed = 0;      ///< queries that returned an error status
   int64_t sessions_opened = 0;
   int64_t sessions_active = 0;
+  // Load gauges, sampled at stats() time: admitted queries still waiting
+  // for a worker, and queries currently executing on one. The network
+  // front-end reports both in its stats frame so clients can see server
+  // load before being shed.
+  int64_t queue_depth = 0;
+  int64_t in_flight = 0;
+  /// Responses by status-code name ("OK", "Unavailable", ...): one count
+  /// per finished query plus one kUnavailable count per shed submission.
+  /// Zero-count codes are omitted.
+  std::map<std::string, int64_t> responses;
   ResultCacheStats cache;  ///< zeros when the cache is disabled
   llm::BatchStats batching;  ///< zeros when batching is disabled
   // Usage aggregated across every session (the shared meter).
@@ -105,6 +117,30 @@ struct ServiceStats {
 
 /// The future half of an async submission.
 using OutcomeFuture = std::shared_future<Result<engine::QueryOutcome>>;
+
+/// Per-query extensions for Submit, used by the network front-end
+/// (src/net) to attach wire-backed channels and streaming hooks.
+struct SubmitOptions {
+  /// Scripted replies overriding the session's defaults for this query.
+  /// Ignored when `user` is set — an external channel answers its own
+  /// questions.
+  std::vector<std::string> replies;
+  /// External user channel (e.g. net's remote channel relaying ASK
+  /// frames to the client). Not owned; must stay valid until the query
+  /// completes. Null = a per-query ScriptedUser replaying `replies`.
+  llm::UserChannel* user = nullptr;
+  /// Streamed partial results: the executor reports node completions and
+  /// final-output row chunks through this sink as they happen. Not
+  /// owned; must be thread-safe and outlive the query.
+  engine::ProgressSink* progress = nullptr;
+  /// Rows per streamed chunk (0 = whole table in one chunk).
+  size_t stream_chunk_rows = 0;
+  /// Invoked on the worker thread right after the outcome is recorded
+  /// and *before* the future resolves — the net layer sends its FINAL
+  /// frame here so it is ordered after every streamed chunk. Captured
+  /// state stays alive until the callback has run.
+  std::function<void(const Result<engine::QueryOutcome>&)> on_complete;
+};
 
 /// \brief One connected user: scripted reply channel + outcome state.
 class Session {
@@ -173,6 +209,11 @@ class QueryService {
   Result<OutcomeFuture> Submit(SessionId id, std::string nl_query,
                                std::vector<std::string> replies = {});
 
+  /// Full-control variant: external user channel, progress sink and
+  /// completion callback (see SubmitOptions). Same admission rules.
+  Result<OutcomeFuture> Submit(SessionId id, std::string nl_query,
+                               SubmitOptions opts);
+
   /// Convenience: Submit + wait.
   Result<engine::QueryOutcome> Query(SessionId id,
                                      const std::string& nl_query,
@@ -214,6 +255,9 @@ class QueryService {
   std::atomic<int64_t> completed_{0};
   std::atomic<int64_t> failed_{0};
   std::atomic<int64_t> sessions_opened_{0};
+  /// Responses by StatusCode: one slot per finished query plus one
+  /// kUnavailable slot per shed submission.
+  std::array<std::atomic<int64_t>, kNumStatusCodes> responses_{};
 };
 
 }  // namespace kathdb::service

@@ -187,6 +187,40 @@ TEST_F(ServiceFixture, BackpressureRejectsWithUnavailable) {
   ServiceStats st = service.stats();
   EXPECT_EQ(st.rejected, rejected);
   EXPECT_EQ(st.submitted, static_cast<int64_t>(admitted.size()));
+  // Every shed submission is tallied under its status-code name; the
+  // admitted ones all completed OK.
+  EXPECT_EQ(st.responses["Unavailable"], rejected);
+  EXPECT_EQ(st.responses["OK"], static_cast<int64_t>(admitted.size()));
+}
+
+TEST_F(ServiceFixture, PerStatusResponseCountersTrackOutcomes) {
+  QueryService service(db_.get());
+  SessionId sid = service.OpenSession(kPaperReplies);
+  ASSERT_TRUE(service.Query(sid, kPaperQuery).ok());
+  ASSERT_TRUE(service.Query(sid, kPaperQuery).ok());
+  EXPECT_FALSE(service.Query(sid, "").ok());  // empty NL fails validation
+  ServiceStats st = service.stats();
+  EXPECT_EQ(st.responses["OK"], st.completed);
+  EXPECT_EQ(st.completed, 2);
+  EXPECT_EQ(st.failed, 1);
+  int64_t non_ok = 0;
+  for (const auto& [name, count] : st.responses) {
+    EXPECT_GT(count, 0) << "zero-count code " << name << " not omitted";
+    if (name != "OK") non_ok += count;
+  }
+  EXPECT_EQ(non_ok, st.failed + st.rejected);
+  // The rendered stats include the per-status breakdown.
+  EXPECT_NE(st.ToText().find("responses"), std::string::npos);
+}
+
+TEST_F(ServiceFixture, LoadGaugesReadZeroAtRest) {
+  QueryService service(db_.get());
+  SessionId sid = service.OpenSession(kPaperReplies);
+  ASSERT_TRUE(service.Query(sid, kPaperQuery).ok());
+  service.Drain();
+  ServiceStats st = service.stats();
+  EXPECT_EQ(st.queue_depth, 0);
+  EXPECT_EQ(st.in_flight, 0);
 }
 
 TEST_F(ServiceFixture, PerQueryRepliesOverrideSessionScript) {
