@@ -26,6 +26,9 @@
 #include "common/thread_pool.h"
 #include "engine/executor.h"
 #include "engine/scheduler.h"
+#include "relational/expr.h"
+#include "relational/ops.h"
+#include "relational/table.h"
 #include "service/result_cache.h"
 
 using namespace kathdb;         // NOLINT
@@ -242,6 +245,79 @@ void PrintScalingTable() {
   std::printf("speedup at 4 workers: %.2fx (target >= 2.0x)\n\n",
               speedup_4w);
 }
+
+// --------------------------------------------------- layout comparison
+//
+// The morsel grid above answers "what does parallel scheduling buy";
+// this point answers "what does the storage layout buy" on the same
+// scan+filter shape, so the two speedups stay separable in the JSON:
+// layout_speedup here is purely row-vs-columnar, workers fixed at 1.
+
+constexpr size_t kLayoutRows = 200'000;
+
+rel::TablePtr MakeLayoutTable(size_t rows) {
+  rel::Schema schema;
+  schema.AddColumn("mid", rel::DataType::kInt);
+  schema.AddColumn("year", rel::DataType::kInt);
+  schema.AddColumn("score", rel::DataType::kDouble);
+  auto t = std::make_shared<rel::Table>("facts", schema);
+  uint64_t s = 0x9E3779B97F4A7C15ULL;
+  for (size_t i = 0; i < rows; ++i) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;  // xorshift64
+    t->AppendRow({rel::Value::Int(static_cast<int64_t>(i)),
+                  rel::Value::Int(1950 + static_cast<int64_t>(s % 75)),
+                  rel::Value::Double(static_cast<double>(s % 10000) /
+                                     10000.0)},
+                 static_cast<int64_t>(i + 1));
+  }
+  return t;
+}
+
+rel::OperatorPtr MakeLayoutScanFilter(rel::TablePtr table) {
+  auto pred = rel::Expr::Binary(
+      rel::BinaryOp::kAnd,
+      rel::Expr::Binary(rel::BinaryOp::kLt, rel::Expr::Column("score"),
+                        rel::Expr::Literal(rel::Value::Double(0.05))),
+      rel::Expr::Binary(rel::BinaryOp::kGe, rel::Expr::Column("year"),
+                        rel::Expr::Literal(rel::Value::Int(1990))));
+  return rel::MakeFilter(rel::MakeSeqScan(std::move(table)),
+                         std::move(pred));
+}
+
+void BM_LayoutScanFilter(benchmark::State& state) {
+  auto facts = MakeLayoutTable(static_cast<size_t>(state.range(0)));
+  double row_ms = 0.0;
+  double col_ms = 0.0;
+  size_t out_rows = 0;
+  for (auto _ : state) {
+    auto op_r = MakeLayoutScanFilter(facts);
+    auto t0 = std::chrono::steady_clock::now();
+    auto by_rows = rel::MaterializeRows(op_r.get(), "out");
+    auto t1 = std::chrono::steady_clock::now();
+    auto op_c = MakeLayoutScanFilter(facts);
+    auto by_chunks = rel::Materialize(op_c.get(), "out");
+    auto t2 = std::chrono::steady_clock::now();
+    if (!by_rows.ok() || !by_chunks.ok() ||
+        by_rows->Fingerprint() != by_chunks->Fingerprint()) {
+      std::fprintf(stderr, "layout paths diverged\n");
+      std::abort();
+    }
+    row_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+    col_ms += std::chrono::duration<double, std::milli>(t2 - t1).count();
+    out_rows = by_chunks->num_rows();
+  }
+  double iters = static_cast<double>(state.iterations());
+  state.counters["row_ms_per_iter"] = row_ms / iters;
+  state.counters["columnar_ms_per_iter"] = col_ms / iters;
+  state.counters["layout_speedup"] = col_ms > 0 ? row_ms / col_ms : 0.0;
+  state.counters["out_rows"] = static_cast<double>(out_rows);
+}
+BENCHMARK(BM_LayoutScanFilter)
+    ->Arg(static_cast<int64_t>(kLayoutRows))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_ParallelExec(benchmark::State& state) {
   int workers = static_cast<int>(state.range(0));

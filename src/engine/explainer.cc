@@ -28,22 +28,24 @@ Result<std::string> ResultExplainer::ExplainTuple(
   std::string out = "Explanation for tuple lid=" + std::to_string(lid) + "\n";
 
   // Locate the row carrying this lid for field values.
-  const rel::Row* row = nullptr;
+  rel::Row row;
+  bool found = false;
   for (size_t r = 0; r < result.num_rows(); ++r) {
     if (result.row_lid(r) == lid) {
-      row = &result.row(r);
+      row = result.row(r);
+      found = true;
       break;
     }
   }
-  if (row != nullptr) {
+  if (found) {
     auto tidx = result.schema().IndexOf("title");
     if (tidx.has_value()) {
-      out += "  tuple: \"" + (*row)[*tidx].ToString() + "\"\n";
+      out += "  tuple: \"" + row[*tidx].ToString() + "\"\n";
     }
     out += "  fields:\n";
     for (size_t c = 0; c < result.schema().num_columns(); ++c) {
       out += "    " + result.schema().column(c).name + " = " +
-             (*row)[c].ToString() + "\n";
+             row[c].ToString() + "\n";
     }
   }
 
@@ -85,7 +87,7 @@ Result<std::string> ResultExplainer::ExplainTuple(
 
   // Field-derivation detail: recompute the combine formula with the
   // actual row values, like Figure 5's fine-grained example.
-  if (row != nullptr) {
+  if (found) {
     auto fidx = result.schema().IndexOf("final_score");
     auto ridx = result.schema().IndexOf("recency_score");
     // The content score carries the user's own term ("exciting_score",
@@ -103,9 +105,9 @@ Result<std::string> ResultExplainer::ExplainTuple(
       }
     }
     if (fidx.has_value() && eidx.has_value() && ridx.has_value()) {
-      double ex = (*row)[*eidx].AsDouble();
-      double re = (*row)[*ridx].AsDouble();
-      double fin = (*row)[*fidx].AsDouble();
+      double ex = row[*eidx].AsDouble();
+      double re = row[*ridx].AsDouble();
+      double fin = row[*fidx].AsDouble();
       // Pull weights from the latest combine implementation if present.
       double w_ex = 0.7;
       double w_re = 0.3;
@@ -138,34 +140,36 @@ Result<std::string> ResultExplainer::ExplainTuple(
 
 Result<std::string> ResultExplainer::ExplainComparison(
     int64_t lid_a, int64_t lid_b, const rel::Table& result) const {
-  const rel::Row* row_a = nullptr;
-  const rel::Row* row_b = nullptr;
+  rel::Row row_a;
+  rel::Row row_b;
+  bool found_a = false;
+  bool found_b = false;
   for (size_t r = 0; r < result.num_rows(); ++r) {
-    if (result.row_lid(r) == lid_a) row_a = &result.row(r);
-    if (result.row_lid(r) == lid_b) row_b = &result.row(r);
+    if (result.row_lid(r) == lid_a) { row_a = result.row(r); found_a = true; }
+    if (result.row_lid(r) == lid_b) { row_b = result.row(r); found_b = true; }
   }
-  if (row_a == nullptr || row_b == nullptr) {
+  if (!found_a || !found_b) {
     return Status::NotFound("one of the tuples is not in the result");
   }
   auto name_of = [&](const rel::Row& row) {
     auto tidx = result.schema().IndexOf("title");
     return tidx.has_value() ? row[*tidx].ToString() : "<tuple>";
   };
-  std::string out = "Why \"" + name_of(*row_a) + "\" (lid " +
+  std::string out = "Why \"" + name_of(row_a) + "\" (lid " +
                     std::to_string(lid_a) + ") ranks relative to \"" +
-                    name_of(*row_b) + "\" (lid " + std::to_string(lid_b) +
+                    name_of(row_b) + "\" (lid " + std::to_string(lid_b) +
                     "):\n";
   for (size_t c = 0; c < result.schema().num_columns(); ++c) {
     const std::string& col = result.schema().column(c).name;
     if (col.find("_score") == std::string::npos && col != "year") continue;
-    double a = (*row_a)[c].AsDouble();
-    double b = (*row_b)[c].AsDouble();
+    double a = row_a[c].AsDouble();
+    double b = row_b[c].AsDouble();
     out += "  " + col + ": " + FormatDouble(a, 6) + " vs " +
            FormatDouble(b, 6);
     if (a > b) {
-      out += "  <- advantage " + name_of(*row_a);
+      out += "  <- advantage " + name_of(row_a);
     } else if (b > a) {
-      out += "  <- advantage " + name_of(*row_b);
+      out += "  <- advantage " + name_of(row_b);
     }
     out += "\n";
   }

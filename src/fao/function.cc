@@ -733,9 +733,7 @@ Result<rel::Table> EvaluateWithMorsels(const FunctionSpec& spec,
   merged.set_table_lid(in.table_lid());
   for (size_t p = 0; p < state->parts; ++p) {
     const Table& part = state->results[p]->value();
-    for (size_t r = 0; r < part.num_rows(); ++r) {
-      merged.AppendRow(part.row(r), part.row_lid(r));
-    }
+    merged.AppendSlice(part, 0, part.num_rows());
   }
   return merged;
 }
@@ -784,9 +782,7 @@ struct BatchJoinState {
     merged.set_table_lid(table_lid);
     for (size_t p = 0; p < parts; ++p) {
       const Table& part = results[p]->value();
-      for (size_t r = 0; r < part.num_rows(); ++r) {
-        merged.AppendRow(part.row(r), part.row_lid(r));
-      }
+      merged.AppendSlice(part, 0, part.num_rows());
     }
     done(std::move(merged));
   }

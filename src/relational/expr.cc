@@ -45,7 +45,7 @@ ExprPtr Expr::Call(std::string fn, std::vector<ExprPtr> args) {
   return e;
 }
 
-namespace {
+namespace detail {
 
 bool IsNumericBinary(BinaryOp op) {
   return op == BinaryOp::kAdd || op == BinaryOp::kSub ||
@@ -82,7 +82,100 @@ Result<Value> EvalNumeric(BinaryOp op, const Value& a, const Value& b) {
   }
 }
 
-}  // namespace
+Value EvalCompare(BinaryOp op, const Value& a, const Value& b) {
+  // Comparisons: NULL compares as NULL (rendered false by filters).
+  if (a.is_null() || b.is_null()) return Value::Null();
+  int c = a.Compare(b);
+  switch (op) {
+    case BinaryOp::kEq:
+      return Value::Bool(c == 0);
+    case BinaryOp::kNe:
+      return Value::Bool(c != 0);
+    case BinaryOp::kLt:
+      return Value::Bool(c < 0);
+    case BinaryOp::kLe:
+      return Value::Bool(c <= 0);
+    case BinaryOp::kGt:
+      return Value::Bool(c > 0);
+    default:
+      return Value::Bool(c >= 0);  // kGe
+  }
+}
+
+Value EvalUnary(UnaryOp op, const Value& v) {
+  if (v.is_null()) return Value::Null();
+  if (op == UnaryOp::kNot) return Value::Bool(!v.AsBool());
+  if (v.type() == DataType::kInt) return Value::Int(-v.AsInt());
+  return Value::Double(-v.AsDouble());
+}
+
+Result<Value> EvalCall(const std::string& name,
+                       const std::vector<Value>& args) {
+  auto need = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return Status::SyntacticError("function " + name + " expects " +
+                                    std::to_string(n) + " args, got " +
+                                    std::to_string(args.size()));
+    }
+    return Status::OK();
+  };
+  if (name == "lower") {
+    KATHDB_RETURN_IF_ERROR(need(1));
+    return Value::Str(ToLower(args[0].ToString()));
+  }
+  if (name == "upper") {
+    KATHDB_RETURN_IF_ERROR(need(1));
+    std::string s = args[0].ToString();
+    for (auto& ch : s) ch = static_cast<char>(std::toupper(
+        static_cast<unsigned char>(ch)));
+    return Value::Str(std::move(s));
+  }
+  if (name == "length") {
+    KATHDB_RETURN_IF_ERROR(need(1));
+    return Value::Int(static_cast<int64_t>(args[0].ToString().size()));
+  }
+  if (name == "abs") {
+    KATHDB_RETURN_IF_ERROR(need(1));
+    if (args[0].type() == DataType::kInt) {
+      return Value::Int(std::abs(args[0].AsInt()));
+    }
+    return Value::Double(std::abs(args[0].AsDouble()));
+  }
+  if (name == "round") {
+    if (args.size() == 1) {
+      return Value::Double(std::round(args[0].AsDouble()));
+    }
+    KATHDB_RETURN_IF_ERROR(need(2));
+    double scale = std::pow(10.0, args[1].AsDouble());
+    return Value::Double(std::round(args[0].AsDouble() * scale) / scale);
+  }
+  if (name == "contains") {
+    KATHDB_RETURN_IF_ERROR(need(2));
+    return Value::Bool(ContainsIgnoreCase(args[0].ToString(),
+                                          args[1].ToString()));
+  }
+  if (name == "coalesce") {
+    for (const auto& a : args) {
+      if (!a.is_null()) return a;
+    }
+    return Value::Null();
+  }
+  if (name == "min2") {
+    KATHDB_RETURN_IF_ERROR(need(2));
+    return args[0].Compare(args[1]) <= 0 ? args[0] : args[1];
+  }
+  if (name == "max2") {
+    KATHDB_RETURN_IF_ERROR(need(2));
+    return args[0].Compare(args[1]) >= 0 ? args[0] : args[1];
+  }
+  if (name == "if") {
+    KATHDB_RETURN_IF_ERROR(need(3));
+    return (!args[0].is_null() && args[0].AsBool()) ? args[1] : args[2];
+  }
+  return Status::SyntacticError("unknown function '" + name + "'");
+}
+
+}  // namespace detail
 
 Result<Value> Expr::Eval(const Row& row, const Schema& schema) const {
   switch (kind_) {
@@ -101,13 +194,7 @@ Result<Value> Expr::Eval(const Row& row, const Schema& schema) const {
     }
     case ExprKind::kUnary: {
       KATHDB_ASSIGN_OR_RETURN(Value v, children_[0]->Eval(row, schema));
-      if (uop_ == UnaryOp::kNot) {
-        if (v.is_null()) return Value::Null();
-        return Value::Bool(!v.AsBool());
-      }
-      if (v.is_null()) return Value::Null();
-      if (v.type() == DataType::kInt) return Value::Int(-v.AsInt());
-      return Value::Double(-v.AsDouble());
+      return detail::EvalUnary(uop_, v);
     }
     case ExprKind::kBinary: {
       if (bop_ == BinaryOp::kAnd || bop_ == BinaryOp::kOr) {
@@ -127,26 +214,10 @@ Result<Value> Expr::Eval(const Row& row, const Schema& schema) const {
       }
       KATHDB_ASSIGN_OR_RETURN(Value a, children_[0]->Eval(row, schema));
       KATHDB_ASSIGN_OR_RETURN(Value b, children_[1]->Eval(row, schema));
-      if (IsNumericBinary(bop_)) return EvalNumeric(bop_, a, b);
-      // Comparisons: NULL compares as NULL (rendered false by filters).
-      if (a.is_null() || b.is_null()) return Value::Null();
-      int c = a.Compare(b);
-      switch (bop_) {
-        case BinaryOp::kEq:
-          return Value::Bool(c == 0);
-        case BinaryOp::kNe:
-          return Value::Bool(c != 0);
-        case BinaryOp::kLt:
-          return Value::Bool(c < 0);
-        case BinaryOp::kLe:
-          return Value::Bool(c <= 0);
-        case BinaryOp::kGt:
-          return Value::Bool(c > 0);
-        case BinaryOp::kGe:
-          return Value::Bool(c >= 0);
-        default:
-          return Status::RuntimeError("unexpected binary op");
+      if (detail::IsNumericBinary(bop_)) {
+        return detail::EvalNumeric(bop_, a, b);
       }
+      return detail::EvalCompare(bop_, a, b);
     }
     case ExprKind::kFunctionCall: {
       std::vector<Value> args;
@@ -155,68 +226,7 @@ Result<Value> Expr::Eval(const Row& row, const Schema& schema) const {
         KATHDB_ASSIGN_OR_RETURN(Value v, c->Eval(row, schema));
         args.push_back(std::move(v));
       }
-      auto need = [&](size_t n) -> Status {
-        if (args.size() != n) {
-          return Status::SyntacticError("function " + name_ + " expects " +
-                                        std::to_string(n) + " args, got " +
-                                        std::to_string(args.size()));
-        }
-        return Status::OK();
-      };
-      if (name_ == "lower") {
-        KATHDB_RETURN_IF_ERROR(need(1));
-        return Value::Str(ToLower(args[0].ToString()));
-      }
-      if (name_ == "upper") {
-        KATHDB_RETURN_IF_ERROR(need(1));
-        std::string s = args[0].ToString();
-        for (auto& ch : s) ch = static_cast<char>(std::toupper(
-            static_cast<unsigned char>(ch)));
-        return Value::Str(std::move(s));
-      }
-      if (name_ == "length") {
-        KATHDB_RETURN_IF_ERROR(need(1));
-        return Value::Int(static_cast<int64_t>(args[0].ToString().size()));
-      }
-      if (name_ == "abs") {
-        KATHDB_RETURN_IF_ERROR(need(1));
-        if (args[0].type() == DataType::kInt) {
-          return Value::Int(std::abs(args[0].AsInt()));
-        }
-        return Value::Double(std::abs(args[0].AsDouble()));
-      }
-      if (name_ == "round") {
-        if (args.size() == 1) {
-          return Value::Double(std::round(args[0].AsDouble()));
-        }
-        KATHDB_RETURN_IF_ERROR(need(2));
-        double scale = std::pow(10.0, args[1].AsDouble());
-        return Value::Double(std::round(args[0].AsDouble() * scale) / scale);
-      }
-      if (name_ == "contains") {
-        KATHDB_RETURN_IF_ERROR(need(2));
-        return Value::Bool(ContainsIgnoreCase(args[0].ToString(),
-                                              args[1].ToString()));
-      }
-      if (name_ == "coalesce") {
-        for (const auto& a : args) {
-          if (!a.is_null()) return a;
-        }
-        return Value::Null();
-      }
-      if (name_ == "min2") {
-        KATHDB_RETURN_IF_ERROR(need(2));
-        return args[0].Compare(args[1]) <= 0 ? args[0] : args[1];
-      }
-      if (name_ == "max2") {
-        KATHDB_RETURN_IF_ERROR(need(2));
-        return args[0].Compare(args[1]) >= 0 ? args[0] : args[1];
-      }
-      if (name_ == "if") {
-        KATHDB_RETURN_IF_ERROR(need(3));
-        return (!args[0].is_null() && args[0].AsBool()) ? args[1] : args[2];
-      }
-      return Status::SyntacticError("unknown function '" + name_ + "'");
+      return detail::EvalCall(name_, args);
     }
   }
   return Status::RuntimeError("corrupt expression node");

@@ -86,4 +86,28 @@ class Expr {
   std::vector<ExprPtr> children_;
 };
 
+/// Scalar kernels shared by the row interpreter (Expr::Eval) and the
+/// vectorized evaluator (expr_vec). Both dispatch into the same functions,
+/// so value and error semantics agree by construction.
+namespace detail {
+
+/// True for +, -, *, / (arithmetic, not comparison/logic).
+bool IsNumericBinary(BinaryOp op);
+
+/// Arithmetic with SQL NULL propagation; string + anything concatenates,
+/// other arithmetic on STRING is a syntactic error, as is division by zero.
+Result<Value> EvalNumeric(BinaryOp op, const Value& a, const Value& b);
+
+/// Comparison via Value::Compare; NULL operands compare as NULL.
+Value EvalCompare(BinaryOp op, const Value& a, const Value& b);
+
+/// NOT / unary minus with NULL propagation.
+Value EvalUnary(UnaryOp op, const Value& v);
+
+/// Built-in scalar function dispatch (lower/upper/length/abs/round/
+/// contains/coalesce/min2/max2/if) over already-evaluated args.
+Result<Value> EvalCall(const std::string& fn, const std::vector<Value>& args);
+
+}  // namespace detail
+
 }  // namespace kathdb::rel

@@ -1,0 +1,419 @@
+#include "relational/expr_vec.h"
+
+#include <numeric>
+
+namespace kathdb::rel {
+
+namespace {
+
+bool IsNumericEnc(ColumnEncoding e) {
+  return e == ColumnEncoding::kInt || e == ColumnEncoding::kDouble;
+}
+
+/// Numeric cell as double; pre: numeric encoding, non-NULL row. Matches
+/// Value::AsDouble, which is what Value::Compare uses for numerics, so
+/// comparing doubles here is exact interpreter parity (including the
+/// int64-beyond-2^53 cases — the interpreter converts those too).
+inline double NumAt(const ColumnVector& c, size_t i) {
+  return c.encoding() == ColumnEncoding::kInt
+             ? static_cast<double>(c.IntAt(i))
+             : c.DoubleAt(i);
+}
+
+bool IsCompareOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline bool CompareResult(BinaryOp op, double x, double y) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return x == y;
+    case BinaryOp::kNe:
+      return x != y;
+    case BinaryOp::kLt:
+      return x < y;
+    case BinaryOp::kLe:
+      return x <= y;
+    case BinaryOp::kGt:
+      return x > y;
+    default:
+      return x >= y;  // kGe
+  }
+}
+
+/// Typed arithmetic loop over two numeric columns (same length n).
+Status NumericArithLoop(BinaryOp op, const ColumnVector& a,
+                        const ColumnVector& b, size_t n, ColumnVector* out) {
+  bool both_int = a.encoding() == ColumnEncoding::kInt &&
+                  b.encoding() == ColumnEncoding::kInt;
+  for (size_t i = 0; i < n; ++i) {
+    if (a.IsNull(i) || b.IsNull(i)) {
+      out->AppendNull();
+      continue;
+    }
+    if (both_int && op != BinaryOp::kDiv) {
+      int64_t x = a.IntAt(i);
+      int64_t y = b.IntAt(i);
+      switch (op) {
+        case BinaryOp::kAdd:
+          out->Append(Value::Int(x + y));
+          break;
+        case BinaryOp::kSub:
+          out->Append(Value::Int(x - y));
+          break;
+        default:  // kMul
+          out->Append(Value::Int(x * y));
+          break;
+      }
+      continue;
+    }
+    double x = NumAt(a, i);
+    double y = NumAt(b, i);
+    switch (op) {
+      case BinaryOp::kAdd:
+        out->Append(Value::Double(x + y));
+        break;
+      case BinaryOp::kSub:
+        out->Append(Value::Double(x - y));
+        break;
+      case BinaryOp::kMul:
+        out->Append(Value::Double(x * y));
+        break;
+      default:  // kDiv
+        if (y == 0.0) return Status::SyntacticError("division by zero");
+        out->Append(Value::Double(x / y));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+/// Typed comparison loop over two numeric columns (same length n).
+void NumericCompareLoop(BinaryOp op, const ColumnVector& a,
+                        const ColumnVector& b, size_t n, ColumnVector* out) {
+  for (size_t i = 0; i < n; ++i) {
+    if (a.IsNull(i) || b.IsNull(i)) {
+      out->AppendNull();
+      continue;
+    }
+    out->Append(Value::Bool(CompareResult(op, NumAt(a, i), NumAt(b, i))));
+  }
+}
+
+}  // namespace
+
+Status EvalExprVector(const Expr& expr, const Table& table,
+                      const uint32_t* sel, size_t n, ColumnVector* out) {
+  const Schema& schema = table.schema();
+  switch (expr.kind()) {
+    case ExprKind::kLiteral: {
+      const Value& v = expr.literal();
+      for (size_t i = 0; i < n; ++i) out->Append(v);
+      return Status::OK();
+    }
+    case ExprKind::kColumnRef: {
+      auto idx = schema.IndexOf(expr.column_name());
+      if (!idx.has_value()) {
+        return Status::SyntacticError("unknown column '" +
+                                      expr.column_name() + "' (schema: " +
+                                      schema.ToString() + ")");
+      }
+      table.GatherColumn(*idx, sel, n, out);
+      return Status::OK();
+    }
+    case ExprKind::kUnary: {
+      ColumnVector v;
+      v.Reserve(n);
+      KATHDB_RETURN_IF_ERROR(
+          EvalExprVector(*expr.children()[0], table, sel, n, &v));
+      for (size_t i = 0; i < n; ++i) {
+        if (v.IsNull(i)) {
+          out->AppendNull();
+        } else {
+          out->Append(detail::EvalUnary(expr.unary_op(), v.Get(i)));
+        }
+      }
+      return Status::OK();
+    }
+    case ExprKind::kBinary: {
+      BinaryOp op = expr.binary_op();
+      if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+        // Short-circuit parity: evaluate the rhs only for rows where the
+        // interpreter would have (lhs NULL, or lhs not deciding the op).
+        ColumnVector a;
+        a.Reserve(n);
+        KATHDB_RETURN_IF_ERROR(
+            EvalExprVector(*expr.children()[0], table, sel, n, &a));
+        std::vector<uint32_t> bsel;     // table rows needing the rhs
+        std::vector<size_t> bslot(n);   // position i -> index into b
+        bsel.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          bool decided = !a.IsNull(i) &&
+                         (op == BinaryOp::kAnd ? !a.Get(i).AsBool()
+                                               : a.Get(i).AsBool());
+          if (decided) {
+            bslot[i] = SIZE_MAX;
+          } else {
+            bslot[i] = bsel.size();
+            bsel.push_back(sel[i]);
+          }
+        }
+        ColumnVector b;
+        b.Reserve(bsel.size());
+        if (!bsel.empty()) {
+          KATHDB_RETURN_IF_ERROR(EvalExprVector(
+              *expr.children()[1], table, bsel.data(), bsel.size(), &b));
+        }
+        for (size_t i = 0; i < n; ++i) {
+          if (bslot[i] == SIZE_MAX) {
+            out->Append(Value::Bool(op == BinaryOp::kOr));
+            continue;
+          }
+          if (a.IsNull(i) || b.IsNull(bslot[i])) {
+            out->AppendNull();
+            continue;
+          }
+          bool av = a.Get(i).AsBool();
+          bool bv = b.Get(bslot[i]).AsBool();
+          out->Append(Value::Bool(op == BinaryOp::kAnd ? (av && bv)
+                                                       : (av || bv)));
+        }
+        return Status::OK();
+      }
+      ColumnVector a;
+      ColumnVector b;
+      a.Reserve(n);
+      b.Reserve(n);
+      KATHDB_RETURN_IF_ERROR(
+          EvalExprVector(*expr.children()[0], table, sel, n, &a));
+      KATHDB_RETURN_IF_ERROR(
+          EvalExprVector(*expr.children()[1], table, sel, n, &b));
+      bool numeric = IsNumericEnc(a.encoding()) && IsNumericEnc(b.encoding());
+      if (numeric && IsCompareOp(op)) {
+        NumericCompareLoop(op, a, b, n, out);
+        return Status::OK();
+      }
+      if (numeric && detail::IsNumericBinary(op)) {
+        return NumericArithLoop(op, a, b, n, out);
+      }
+      // Generic: same scalar kernels as the interpreter, one row at a time.
+      for (size_t i = 0; i < n; ++i) {
+        Value av = a.Get(i);
+        Value bv = b.Get(i);
+        if (detail::IsNumericBinary(op)) {
+          KATHDB_ASSIGN_OR_RETURN(Value r, detail::EvalNumeric(op, av, bv));
+          out->Append(r);
+        } else {
+          out->Append(detail::EvalCompare(op, av, bv));
+        }
+      }
+      return Status::OK();
+    }
+    case ExprKind::kFunctionCall: {
+      std::vector<ColumnVector> argcols(expr.children().size());
+      for (size_t c = 0; c < expr.children().size(); ++c) {
+        argcols[c].Reserve(n);
+        KATHDB_RETURN_IF_ERROR(
+            EvalExprVector(*expr.children()[c], table, sel, n, &argcols[c]));
+      }
+      std::vector<Value> args(argcols.size());
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < argcols.size(); ++c) {
+          args[c] = argcols[c].Get(i);
+        }
+        KATHDB_ASSIGN_OR_RETURN(Value r,
+                                detail::EvalCall(expr.function_name(), args));
+        out->Append(r);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::RuntimeError("corrupt expression node");
+}
+
+namespace {
+
+/// One recognized `col <cmp> literal` conjunct: raw column pointer plus
+/// the literal as double. `flip` marks `literal <cmp> col` operand order.
+struct FastCompare {
+  BinaryOp op = BinaryOp::kEq;
+  const ColumnVector* col = nullptr;
+  size_t off = 0;  ///< table view offset, added to logical row numbers
+  double lit = 0.0;
+  bool flip = false;
+};
+
+/// Row r passes the conjunct: non-NULL and the comparison holds. NULL
+/// never passes, same as the interpreter's three-valued compare.
+inline bool FastPass(const FastCompare& f, size_t r) {
+  size_t p = f.off + r;
+  if (f.col->IsNull(p)) return false;
+  double x = NumAt(*f.col, p);
+  return f.flip ? CompareResult(f.op, f.lit, x)
+                : CompareResult(f.op, x, f.lit);
+}
+
+/// Recognizes `col <cmp> lit` / `lit <cmp> col` over a numeric column
+/// with a numeric/bool literal. kEmpty columns (all NULL so far) are
+/// accepted too: no row can pass, which the pass loop yields naturally.
+bool RecognizeFastCompare(const Expr& pred, const Table& table,
+                          FastCompare* out) {
+  if (pred.kind() != ExprKind::kBinary || !IsCompareOp(pred.binary_op())) {
+    return false;
+  }
+  const Expr& lhs = *pred.children()[0];
+  const Expr& rhs = *pred.children()[1];
+  const Expr* colref = nullptr;
+  const Expr* lit = nullptr;
+  bool flip = false;
+  if (lhs.kind() == ExprKind::kColumnRef && rhs.kind() == ExprKind::kLiteral) {
+    colref = &lhs;
+    lit = &rhs;
+  } else if (lhs.kind() == ExprKind::kLiteral &&
+             rhs.kind() == ExprKind::kColumnRef) {
+    colref = &rhs;
+    lit = &lhs;
+    flip = true;
+  } else {
+    return false;
+  }
+  DataType lt = lit->literal().type();
+  if (lt != DataType::kInt && lt != DataType::kDouble &&
+      lt != DataType::kBool) {
+    return false;
+  }
+  auto idx = table.schema().IndexOf(colref->column_name());
+  // Column must physically exist and be numerically encoded.
+  if (!idx.has_value() || *idx >= table.num_physical_columns()) return false;
+  const ColumnVector& col = table.column(*idx);
+  if (!IsNumericEnc(col.encoding()) &&
+      col.encoding() != ColumnEncoding::kEmpty) {
+    return false;
+  }
+  out->op = pred.binary_op();
+  out->col = &col;
+  out->off = table.offset();
+  out->lit = lit->literal().AsDouble();
+  out->flip = flip;
+  return true;
+}
+
+/// Flattens an AND tree whose every leaf is a fast-comparable conjunct.
+/// A conjunctive filter keeps a row iff every conjunct is non-NULL true,
+/// and these leaves cannot error, so chained selection is exact
+/// interpreter parity (including short-circuit: skipped conjuncts could
+/// only have produced more NULL/false drops).
+bool CollectFastConjuncts(const Expr& pred, const Table& table,
+                          std::vector<FastCompare>* out) {
+  if (pred.kind() == ExprKind::kBinary &&
+      pred.binary_op() == BinaryOp::kAnd) {
+    return CollectFastConjuncts(*pred.children()[0], table, out) &&
+           CollectFastConjuncts(*pred.children()[1], table, out);
+  }
+  FastCompare fc;
+  if (!RecognizeFastCompare(pred, table, &fc)) return false;
+  out->push_back(fc);
+  return true;
+}
+
+/// After the first conjunct seeded sel_out[base..), each further conjunct
+/// compacts the survivor list in place.
+void NarrowByConjuncts(const std::vector<FastCompare>& cmps, size_t base,
+                       std::vector<uint32_t>* sel_out) {
+  for (size_t k = 1; k < cmps.size(); ++k) {
+    size_t w = base;
+    for (size_t i = base; i < sel_out->size(); ++i) {
+      uint32_t r = (*sel_out)[i];
+      if (FastPass(cmps[k], r)) (*sel_out)[w++] = r;
+    }
+    sel_out->resize(w);
+  }
+}
+
+/// Recognizes a conjunction of `col <cmp> lit` comparisons and selects
+/// via tight raw-array loops: no Value, no ColumnVector materialization.
+/// Returns false (sel_out untouched) when the shape does not match.
+bool TryFastSelect(const Expr& pred, const Table& table, size_t begin,
+                   size_t end, std::vector<uint32_t>* sel_out) {
+  std::vector<FastCompare> cmps;
+  if (!CollectFastConjuncts(pred, table, &cmps)) return false;
+  size_t base = sel_out->size();
+  const FastCompare& f0 = cmps[0];
+  for (size_t r = begin; r < end; ++r) {
+    if (FastPass(f0, r)) sel_out->push_back(static_cast<uint32_t>(r));
+  }
+  NarrowByConjuncts(cmps, base, sel_out);
+  return true;
+}
+
+/// TryFastSelect over an explicit selection vector (stacked filters).
+bool TryFastSelectOn(const Expr& pred, const Table& table,
+                     const std::vector<uint32_t>& sel,
+                     std::vector<uint32_t>* sel_out) {
+  std::vector<FastCompare> cmps;
+  if (!CollectFastConjuncts(pred, table, &cmps)) return false;
+  size_t base = sel_out->size();
+  const FastCompare& f0 = cmps[0];
+  for (uint32_t r : sel) {
+    if (FastPass(f0, r)) sel_out->push_back(r);
+  }
+  NarrowByConjuncts(cmps, base, sel_out);
+  return true;
+}
+
+/// Appends sel[i] for rows whose predicate value is non-NULL true — the
+/// same keep rule as the row Filter (NULL drops the row).
+void SelectTrue(const ColumnVector& v, const uint32_t* sel, size_t n,
+                std::vector<uint32_t>* sel_out) {
+  if (v.encoding() == ColumnEncoding::kBool) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!v.IsNull(i) && v.BoolAt(i)) sel_out->push_back(sel[i]);
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Value val = v.Get(i);
+    if (!val.is_null() && val.AsBool()) sel_out->push_back(sel[i]);
+  }
+}
+
+}  // namespace
+
+Status EvalPredicateSelect(const Expr& pred, const Table& table, size_t begin,
+                           size_t end, std::vector<uint32_t>* sel_out) {
+  if (begin >= end) return Status::OK();
+  if (TryFastSelect(pred, table, begin, end, sel_out)) return Status::OK();
+  std::vector<uint32_t> dense(end - begin);
+  std::iota(dense.begin(), dense.end(), static_cast<uint32_t>(begin));
+  ColumnVector v;
+  v.Reserve(dense.size());
+  KATHDB_RETURN_IF_ERROR(
+      EvalExprVector(pred, table, dense.data(), dense.size(), &v));
+  SelectTrue(v, dense.data(), dense.size(), sel_out);
+  return Status::OK();
+}
+
+Status EvalPredicateSelectOn(const Expr& pred, const Table& table,
+                             const std::vector<uint32_t>& sel,
+                             std::vector<uint32_t>* sel_out) {
+  if (sel.empty()) return Status::OK();
+  if (TryFastSelectOn(pred, table, sel, sel_out)) return Status::OK();
+  ColumnVector v;
+  v.Reserve(sel.size());
+  KATHDB_RETURN_IF_ERROR(
+      EvalExprVector(pred, table, sel.data(), sel.size(), &v));
+  SelectTrue(v, sel.data(), sel.size(), sel_out);
+  return Status::OK();
+}
+
+}  // namespace kathdb::rel

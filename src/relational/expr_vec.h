@@ -1,0 +1,46 @@
+/// \file expr_vec.h
+/// \brief Vectorized expression evaluation over columnar tables.
+///
+/// Evaluates an Expr tree one column at a time over a chunk of rows
+/// instead of one Value tree-walk per row. Typed fast loops cover the
+/// numeric arithmetic/comparison cases; everything else falls back to a
+/// generic per-row loop that dispatches into the SAME scalar kernels as
+/// the row interpreter (expr.h detail namespace), so values and error
+/// statuses agree with Expr::Eval by construction. AND/OR evaluate the
+/// right operand only on the sub-selection of rows the interpreter's
+/// short-circuit would have reached, preserving error behavior (e.g. a
+/// division by zero hidden behind `false AND ...` stays hidden).
+///
+/// \ingroup kathdb_relational
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/column.h"
+#include "relational/expr.h"
+#include "relational/table.h"
+
+namespace kathdb::rel {
+
+/// Evaluates `expr` for the `n` table-relative rows named by sel[0..n),
+/// appending one result cell per row into *out (in sel order).
+Status EvalExprVector(const Expr& expr, const Table& table,
+                      const uint32_t* sel, size_t n, ColumnVector* out);
+
+/// Appends to *sel_out the table-relative rows in [begin, end) where
+/// `pred` evaluates to non-NULL true — the Filter hot path. A predicate
+/// of shape `column <cmp> literal` over a numeric column runs as a tight
+/// loop over the raw column array with no Value materialized.
+Status EvalPredicateSelect(const Expr& pred, const Table& table,
+                           size_t begin, size_t end,
+                           std::vector<uint32_t>* sel_out);
+
+/// As above, but over a pre-selected row set (Filter stacked on Filter).
+Status EvalPredicateSelectOn(const Expr& pred, const Table& table,
+                             const std::vector<uint32_t>& sel,
+                             std::vector<uint32_t>* sel_out);
+
+}  // namespace kathdb::rel

@@ -1,12 +1,51 @@
 #include "relational/ops.h"
 
 #include <algorithm>
+#include <numeric>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "relational/expr_vec.h"
+
 namespace kathdb::rel {
 
+Result<bool> Operator::NextChunk(Chunk* chunk) {
+  // Adapter for row-only operators: buffer up to kChunkRows Next() pulls
+  // into a private table and emit it as one dense chunk.
+  auto buf = std::make_shared<Table>(std::string(), output_schema());
+  Row row;
+  int64_t lid = 0;
+  while (buf->num_rows() < kChunkRows) {
+    KATHDB_ASSIGN_OR_RETURN(bool has, Next(&row, &lid));
+    if (!has) break;
+    buf->AppendRow(std::move(row), lid);
+  }
+  if (buf->num_rows() == 0) return false;
+  chunk->begin = 0;
+  chunk->end = buf->num_rows();
+  chunk->sel.clear();
+  chunk->table = std::move(buf);
+  return true;
+}
+
 Result<Table> Materialize(Operator* op, const std::string& name) {
+  KATHDB_RETURN_IF_ERROR(op->Open());
+  Table out(name, op->output_schema());
+  Chunk chunk;
+  while (true) {
+    KATHDB_ASSIGN_OR_RETURN(bool has, op->NextChunk(&chunk));
+    if (!has) break;
+    if (chunk.sel.empty()) {
+      out.AppendSlice(*chunk.table, chunk.begin, chunk.end);
+    } else {
+      out.AppendGather(*chunk.table, chunk.sel.data(), chunk.sel.size());
+    }
+  }
+  op->Close();
+  return out;
+}
+
+Result<Table> MaterializeRows(Operator* op, const std::string& name) {
   KATHDB_RETURN_IF_ERROR(op->Open());
   Table out(name, op->output_schema());
   Row row;
@@ -39,6 +78,16 @@ class SeqScanOp : public Operator {
     ++pos_;
     return true;
   }
+  Result<bool> NextChunk(Chunk* chunk) override {
+    // Zero-copy: a chunk is a window over the scanned table itself.
+    if (pos_ >= table_->num_rows()) return false;
+    chunk->table = table_;
+    chunk->begin = pos_;
+    chunk->end = std::min(pos_ + kChunkRows, table_->num_rows());
+    chunk->sel.clear();
+    pos_ = chunk->end;
+    return true;
+  }
   void Close() override {}
   const Schema& output_schema() const override { return table_->schema(); }
   std::string Describe() const override {
@@ -64,6 +113,30 @@ class FilterOp : public Operator {
       KATHDB_ASSIGN_OR_RETURN(Value v,
                               pred_->Eval(*row, child_->output_schema()));
       if (!v.is_null() && v.AsBool()) return true;
+    }
+  }
+  Result<bool> NextChunk(Chunk* chunk) override {
+    // Vectorized: evaluate the predicate over the child's chunk into a
+    // selection vector; the chunk's table passes through untouched.
+    while (true) {
+      Chunk in;
+      KATHDB_ASSIGN_OR_RETURN(bool has, child_->NextChunk(&in));
+      if (!has) return false;
+      std::vector<uint32_t> keep;
+      keep.reserve(in.size());
+      if (in.sel.empty()) {
+        KATHDB_RETURN_IF_ERROR(EvalPredicateSelect(*pred_, *in.table,
+                                                   in.begin, in.end, &keep));
+      } else {
+        KATHDB_RETURN_IF_ERROR(
+            EvalPredicateSelectOn(*pred_, *in.table, in.sel, &keep));
+      }
+      if (keep.empty()) continue;
+      chunk->table = std::move(in.table);
+      chunk->begin = in.begin;
+      chunk->end = in.end;
+      chunk->sel = std::move(keep);
+      return true;
     }
   }
   void Close() override { child_->Close(); }
@@ -127,6 +200,51 @@ class ProjectOp : public Operator {
     return true;
   }
 
+  Result<bool> NextChunk(Chunk* chunk) override {
+    // Vectorized: evaluate every output expression column-at-a-time over
+    // the child's chunk and assemble the output table from the columns.
+    Chunk in;
+    KATHDB_ASSIGN_OR_RETURN(bool has, child_->NextChunk(&in));
+    if (!has) return false;
+    std::vector<uint32_t> dense;
+    const uint32_t* sel = in.sel.data();
+    size_t n = in.sel.size();
+    if (in.sel.empty()) {
+      dense.resize(in.end - in.begin);
+      std::iota(dense.begin(), dense.end(), static_cast<uint32_t>(in.begin));
+      sel = dense.data();
+      n = dense.size();
+    }
+    std::vector<ColumnPtr> cols;
+    cols.reserve(exprs_.size());
+    for (const auto& e : exprs_) {
+      auto col = std::make_shared<ColumnVector>();
+      col->Reserve(n);
+      KATHDB_RETURN_IF_ERROR(EvalExprVector(*e, *in.table, sel, n,
+                                            col.get()));
+      cols.push_back(std::move(col));
+    }
+    std::vector<int64_t> lids(n);
+    for (size_t i = 0; i < n; ++i) lids[i] = in.table->row_lid(sel[i]);
+    if (!typed_ && n > 0) {
+      // Same refinement rule as the row path, read from the columns.
+      Schema refined;
+      for (size_t i = 0; i < cols.size(); ++i) {
+        DataType t = cols[i]->Get(0).type();
+        refined.AddColumn(names_[i],
+                          t == DataType::kNull ? schema_.column(i).type : t);
+      }
+      schema_ = refined;
+      typed_ = true;
+    }
+    chunk->table = std::make_shared<Table>(Table::FromColumns(
+        std::string(), schema_, std::move(cols), std::move(lids)));
+    chunk->begin = 0;
+    chunk->end = n;
+    chunk->sel.clear();
+    return true;
+  }
+
   void Close() override { child_->Close(); }
   const Schema& output_schema() const override { return schema_; }
   std::string Describe() const override {
@@ -162,8 +280,8 @@ class HashJoinOp : public Operator {
   Status Open() override {
     KATHDB_RETURN_IF_ERROR(left_->Open());
     KATHDB_RETURN_IF_ERROR(right_->Open());
-    auto ridx = right_->output_schema().IndexOf(rcol_);
-    if (!ridx.has_value()) {
+    ridx_ = right_->output_schema().IndexOf(rcol_);
+    if (!ridx_.has_value()) {
       return Status::SyntacticError("hash join: right column '" + rcol_ +
                                     "' not found");
     }
@@ -172,15 +290,30 @@ class HashJoinOp : public Operator {
       return Status::SyntacticError("hash join: left column '" + lcol_ +
                                     "' not found");
     }
-    // Build side: right input.
-    Row row;
-    int64_t lid = 0;
+    // Build side: materialize the right input columnar (chunked bulk
+    // appends) and index build rows by the hash of their key cell — the
+    // hash table holds row indices, not copies of the rows.
+    build_table_ = Table(std::string(), right_->output_schema());
+    Chunk chunk;
     while (true) {
-      KATHDB_ASSIGN_OR_RETURN(bool has, right_->Next(&row, &lid));
+      KATHDB_ASSIGN_OR_RETURN(bool has, right_->NextChunk(&chunk));
       if (!has) break;
-      build_[row[*ridx].Hash()].push_back(row);
+      if (chunk.sel.empty()) {
+        build_table_.AppendSlice(*chunk.table, chunk.begin, chunk.end);
+      } else {
+        build_table_.AppendGather(*chunk.table, chunk.sel.data(),
+                                  chunk.sel.size());
+      }
     }
     right_->Close();
+    build_.clear();
+    if (build_table_.num_rows() > 0 &&
+        *ridx_ < build_table_.num_physical_columns()) {
+      const ColumnVector& key = build_table_.column(*ridx_);
+      for (size_t r = 0; r < build_table_.num_rows(); ++r) {
+        build_[key.HashAt(r)].push_back(static_cast<uint32_t>(r));
+      }
+    }
     match_pos_ = 0;
     matches_ = nullptr;
     return Status::OK();
@@ -189,12 +322,12 @@ class HashJoinOp : public Operator {
   Result<bool> Next(Row* row, int64_t* lid) override {
     while (true) {
       if (matches_ != nullptr && match_pos_ < matches_->size()) {
-        const Row& r = (*matches_)[match_pos_++];
+        uint32_t r = (*matches_)[match_pos_++];
         // Only emit genuine equals (hash collisions filtered here).
-        auto ridx = right_->output_schema().IndexOf(rcol_);
-        if (probe_row_[*lidx_] == r[*ridx]) {
+        if (probe_row_[*lidx_] == build_table_.at(r, *ridx_)) {
           *row = probe_row_;
-          row->insert(row->end(), r.begin(), r.end());
+          Row rr = build_table_.row(r);
+          row->insert(row->end(), rr.begin(), rr.end());
           *lid = probe_lid_;
           return true;
         }
@@ -211,6 +344,7 @@ class HashJoinOp : public Operator {
   void Close() override {
     left_->Close();
     build_.clear();
+    build_table_ = Table();
   }
   const Schema& output_schema() const override { return schema_; }
   std::string Describe() const override {
@@ -224,10 +358,12 @@ class HashJoinOp : public Operator {
   std::string rcol_;
   Schema schema_;
   std::optional<size_t> lidx_;
-  std::unordered_map<uint64_t, std::vector<Row>> build_;
+  std::optional<size_t> ridx_;
+  Table build_table_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> build_;
   Row probe_row_;
   int64_t probe_lid_ = 0;
-  const std::vector<Row>* matches_ = nullptr;
+  const std::vector<uint32_t>* matches_ = nullptr;
   size_t match_pos_ = 0;
 };
 

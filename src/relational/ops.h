@@ -20,7 +20,32 @@
 
 namespace kathdb::rel {
 
+/// Rows produced by one NextChunk() pull: the window [begin, end) of
+/// `table`'s rows, optionally narrowed to the rows named by `sel`
+/// (table-relative indices; empty = the whole dense window). The table is
+/// shared, not copied — a scan chunk is a window over the scanned table
+/// itself, and a filter chunk is the same window plus a selection vector.
+struct Chunk {
+  TablePtr table;
+  size_t begin = 0;
+  size_t end = 0;
+  std::vector<uint32_t> sel;
+
+  size_t size() const { return sel.empty() ? end - begin : sel.size(); }
+};
+
+/// Rows per chunk pulled by the vectorized operators (morsel-sized: the
+/// working set of a chunk stays cache-resident).
+inline constexpr size_t kChunkRows = 2048;
+
 /// \brief Pull-based operator interface: Open / Next / Close.
+///
+/// Operators expose two pull granularities: row-at-a-time Next() (the
+/// classical volcano contract, kept for joins/aggregates and as the
+/// differential-testing reference) and NextChunk(), which produces a
+/// batch of rows at once. Scan, filter and project implement NextChunk
+/// natively (columnar, no per-row Value materialization); every other
+/// operator inherits an adapter that builds chunks from Next() pulls.
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -29,6 +54,9 @@ class Operator {
   /// Produces the next row into *row (and its lineage id into *lid, 0 when
   /// untracked). Returns false when exhausted.
   virtual Result<bool> Next(Row* row, int64_t* lid) = 0;
+  /// Produces the next batch of rows. Returns false when exhausted; never
+  /// produces an empty chunk. Default implementation adapts Next().
+  virtual Result<bool> NextChunk(Chunk* chunk);
   virtual void Close() = 0;
 
   /// Output schema, valid after construction.
@@ -40,8 +68,14 @@ class Operator {
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
-/// Runs an operator tree to completion into a named table.
+/// Runs an operator tree to completion into a named table, consuming
+/// chunks (bulk column appends; the fast path).
 Result<Table> Materialize(Operator* op, const std::string& name);
+
+/// Row-at-a-time reference implementation of Materialize. Kept as the
+/// baseline the differential tests (and benchmarks) compare the chunked
+/// path against; produces byte-identical tables.
+Result<Table> MaterializeRows(Operator* op, const std::string& name);
 
 /// Leaf scan over a materialized table.
 OperatorPtr MakeSeqScan(TablePtr table);

@@ -4,15 +4,26 @@
 
 namespace kathdb::rel {
 
+void Schema::IndexColumn(size_t i) {
+  by_name_.emplace(cols_[i].name, i);            // keeps first occurrence
+  by_lower_name_.emplace(ToLower(cols_[i].name), i);
+}
+
+void Schema::RebuildIndex() {
+  by_name_.clear();
+  by_lower_name_.clear();
+  by_name_.reserve(cols_.size());
+  by_lower_name_.reserve(cols_.size());
+  for (size_t i = 0; i < cols_.size(); ++i) IndexColumn(i);
+}
+
 std::optional<size_t> Schema::IndexOf(const std::string& name) const {
-  // Exact match first, then case-insensitive.
-  for (size_t i = 0; i < cols_.size(); ++i) {
-    if (cols_[i].name == name) return i;
-  }
-  std::string lname = ToLower(name);
-  for (size_t i = 0; i < cols_.size(); ++i) {
-    if (ToLower(cols_[i].name) == lname) return i;
-  }
+  // Exact match first, then case-insensitive — same precedence as the
+  // original linear scans.
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  auto lit = by_lower_name_.find(ToLower(name));
+  if (lit != by_lower_name_.end()) return lit->second;
   return std::nullopt;
 }
 

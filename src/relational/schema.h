@@ -7,6 +7,7 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -24,7 +25,9 @@ struct Column {
 class Schema {
  public:
   Schema() = default;
-  explicit Schema(std::vector<Column> cols) : cols_(std::move(cols)) {}
+  explicit Schema(std::vector<Column> cols) : cols_(std::move(cols)) {
+    RebuildIndex();
+  }
 
   size_t num_columns() const { return cols_.size(); }
   const Column& column(size_t i) const { return cols_[i]; }
@@ -32,9 +35,12 @@ class Schema {
 
   void AddColumn(std::string name, DataType type) {
     cols_.push_back({std::move(name), type});
+    IndexColumn(cols_.size() - 1);
   }
 
-  /// Case-insensitive lookup; nullopt when absent.
+  /// Case-insensitive lookup; nullopt when absent. O(1): backed by a
+  /// name→index map (exact spelling first, then lower-cased), so per-row
+  /// hot loops no longer pay a linear scan per cell.
   std::optional<size_t> IndexOf(const std::string& name) const;
   bool HasColumn(const std::string& name) const {
     return IndexOf(name).has_value();
@@ -51,7 +57,13 @@ class Schema {
   bool operator==(const Schema& other) const;
 
  private:
+  void RebuildIndex();
+  void IndexColumn(size_t i);
+
   std::vector<Column> cols_;
+  // First occurrence wins in both maps, matching the old linear scan.
+  std::unordered_map<std::string, size_t> by_name_;
+  std::unordered_map<std::string, size_t> by_lower_name_;
 };
 
 }  // namespace kathdb::rel

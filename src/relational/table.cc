@@ -2,56 +2,244 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
+
 namespace kathdb::rel {
 
+Table Table::FromColumns(std::string name, Schema schema,
+                         std::vector<ColumnPtr> cols,
+                         std::vector<int64_t> lids) {
+  Table t(std::move(name), std::move(schema));
+  t.rows_ = cols.empty() ? lids.size() : cols[0]->size();
+  t.cols_ = std::move(cols);
+  // Missing trailing columns (schema wider than evaluated outputs) read
+  // as NULL; EnsureColumns backfills if the table is later mutated.
+  bool any_lid = false;
+  for (int64_t lid : lids) any_lid |= lid != 0;
+  if (any_lid) {
+    t.lids_ = std::make_shared<std::vector<int64_t>>(std::move(lids));
+  }
+  return t;
+}
+
+void Table::EnsureColumns() {
+  size_t ncols = schema_.num_columns();
+  while (cols_.size() < ncols) {
+    auto col = std::make_shared<ColumnVector>();
+    // Backfill for rows appended before this column existed.
+    for (size_t i = 0; i < offset_ + rows_; ++i) col->AppendNull();
+    cols_.push_back(std::move(col));
+  }
+}
+
+void Table::DetachCols() {
+  EnsureColumns();
+  if (view_ || offset_ != 0) {
+    // Flatten the view window into exclusively-owned buffers.
+    std::vector<ColumnPtr> fresh;
+    fresh.reserve(cols_.size());
+    for (const auto& col : cols_) {
+      auto copy = std::make_shared<ColumnVector>();
+      copy->AppendRange(*col, offset_, rows_);
+      fresh.push_back(std::move(copy));
+    }
+    cols_ = std::move(fresh);
+    if (lids_ != nullptr) {
+      auto owned = std::make_shared<std::vector<int64_t>>();
+      owned->reserve(rows_);
+      for (size_t i = 0; i < rows_; ++i) owned->push_back(row_lid(i));
+      lids_ = std::move(owned);
+    }
+    offset_ = 0;
+    view_ = false;
+    return;
+  }
+  // Copy-on-write for value-semantics copies sharing our buffers.
+  for (auto& col : cols_) {
+    if (col.use_count() > 1) {
+      auto copy = std::make_shared<ColumnVector>();
+      copy->AppendRange(*col, 0, col->size());
+      col = std::move(copy);
+    }
+  }
+}
+
+void Table::DetachLids() {
+  if (view_ || offset_ != 0) {
+    DetachCols();  // flattens the lid window too
+  }
+  if (lids_ == nullptr) {
+    lids_ = std::make_shared<std::vector<int64_t>>();
+  } else if (lids_.use_count() > 1) {
+    lids_ = std::make_shared<std::vector<int64_t>>(*lids_);
+  }
+}
+
+Row Table::row(size_t i) const {
+  Row out;
+  size_t ncols = schema_.num_columns();
+  out.reserve(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    out.push_back(c < cols_.size() ? cols_[c]->Get(offset_ + i)
+                                   : Value::Null());
+  }
+  return out;
+}
+
 void Table::AppendRow(Row row, int64_t lid) {
-  rows_.push_back(std::move(row));
-  if (lid != 0 || !lids_.empty()) {
-    lids_.resize(rows_.size(), 0);
-    lids_[rows_.size() - 1] = lid;
+  DetachCols();
+  size_t ncols = schema_.num_columns();
+  if (row.size() != ncols) ragged_.emplace_back(rows_, row.size());
+  for (size_t c = 0; c < ncols; ++c) {
+    if (c < row.size()) {
+      cols_[c]->Append(row[c]);
+    } else {
+      cols_[c]->AppendNull();
+    }
+  }
+  ++rows_;
+  if (lid != 0 || lids_ != nullptr) {
+    DetachLids();
+    lids_->resize(rows_, 0);
+    (*lids_)[rows_ - 1] = lid;
+  }
+}
+
+void Table::AppendSlice(const Table& src, size_t begin, size_t end) {
+  end = std::min(end, src.rows_);
+  if (begin >= end) return;
+  DetachCols();
+  size_t len = end - begin;
+  size_t ncols = schema_.num_columns();
+  for (size_t c = 0; c < ncols; ++c) {
+    if (c < src.cols_.size()) {
+      cols_[c]->AppendRange(*src.cols_[c], src.offset_ + begin, len);
+    } else {
+      for (size_t i = 0; i < len; ++i) cols_[c]->AppendNull();
+    }
+  }
+  size_t first = rows_;
+  rows_ += len;
+  if (src.lids_ != nullptr || lids_ != nullptr) {
+    DetachLids();
+    lids_->resize(rows_, 0);
+    for (size_t i = 0; i < len; ++i) {
+      (*lids_)[first + i] = src.row_lid(begin + i);
+    }
+  }
+}
+
+void Table::AppendGather(const Table& src, const uint32_t* sel, size_t n) {
+  if (n == 0) return;
+  DetachCols();
+  size_t ncols = schema_.num_columns();
+  // Translate table-relative selections to physical indices once.
+  std::vector<uint32_t> phys;
+  const uint32_t* psel = sel;
+  if (src.offset_ != 0) {
+    phys.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      phys.push_back(static_cast<uint32_t>(src.offset_ + sel[i]));
+    }
+    psel = phys.data();
+  }
+  for (size_t c = 0; c < ncols; ++c) {
+    if (c < src.cols_.size()) {
+      cols_[c]->AppendGather(*src.cols_[c], psel, n);
+    } else {
+      for (size_t i = 0; i < n; ++i) cols_[c]->AppendNull();
+    }
+  }
+  size_t first = rows_;
+  rows_ += n;
+  if (src.lids_ != nullptr || lids_ != nullptr) {
+    DetachLids();
+    lids_->resize(rows_, 0);
+    for (size_t i = 0; i < n; ++i) {
+      (*lids_)[first + i] = src.row_lid(sel[i]);
+    }
   }
 }
 
 void Table::set_row_lid(size_t i, int64_t lid) {
-  if (lids_.size() < rows_.size()) lids_.resize(rows_.size(), 0);
-  lids_[i] = lid;
+  DetachLids();
+  if (lids_->size() < rows_) lids_->resize(rows_, 0);
+  (*lids_)[i] = lid;
 }
 
 Value Table::GetByName(size_t r, const std::string& col) const {
   auto idx = schema_.IndexOf(col);
-  if (!idx.has_value()) return Value::Null();
-  return rows_[r][*idx];
+  if (!idx.has_value() || *idx >= cols_.size()) return Value::Null();
+  return cols_[*idx]->Get(offset_ + r);
+}
+
+void Table::GatherColumn(size_t c, const uint32_t* sel, size_t n,
+                         ColumnVector* out) const {
+  if (c >= cols_.size()) {
+    for (size_t i = 0; i < n; ++i) out->AppendNull();
+    return;
+  }
+  if (offset_ == 0) {
+    out->AppendGather(*cols_[c], sel, n);
+    return;
+  }
+  std::vector<uint32_t> phys;
+  phys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    phys.push_back(static_cast<uint32_t>(offset_ + sel[i]));
+  }
+  out->AppendGather(*cols_[c], phys.data(), n);
 }
 
 Status Table::Validate() const {
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    if (rows_[i].size() != schema_.num_columns()) {
-      return Status::InvalidArgument(
-          "table '" + name_ + "' row " + std::to_string(i) + " has " +
-          std::to_string(rows_[i].size()) + " values, schema has " +
-          std::to_string(schema_.num_columns()));
-    }
+  if (!ragged_.empty()) {
+    const auto& [row, width] = ragged_.front();
+    return Status::InvalidArgument(
+        "table '" + name_ + "' row " + std::to_string(row) + " has " +
+        std::to_string(width) + " values, schema has " +
+        std::to_string(schema_.num_columns()));
   }
   return Status::OK();
 }
 
 Table Table::Head(size_t n) const {
-  Table out(name_ + "_sample", schema_);
-  size_t k = std::min(n, rows_.size());
-  for (size_t i = 0; i < k; ++i) {
-    out.AppendRow(rows_[i], row_lid(i));
-  }
+  Table out = Slice(0, n);
+  out.set_name(name_ + "_sample");
   return out;
 }
 
 Table Table::Slice(size_t begin, size_t end) const {
+  begin = std::min(begin, rows_);
+  end = std::min(std::max(end, begin), rows_);
   Table out(name_, schema_);
-  out.set_table_lid(table_lid_);
-  end = std::min(end, rows_.size());
-  for (size_t i = begin; i < end; ++i) {
-    out.AppendRow(rows_[i], row_lid(i));
-  }
+  out.cols_ = cols_;  // shared buffers: zero-copy
+  out.lids_ = lids_;
+  out.offset_ = offset_ + begin;
+  out.rows_ = end - begin;
+  out.view_ = true;
+  out.table_lid_ = table_lid_;
   return out;
+}
+
+uint64_t Table::Fingerprint() const {
+  uint64_t h = common::Fnv1a64(schema_.ToString());
+  h = common::HashCombine(h, rows_);
+  size_t ncols = schema_.num_columns();
+  for (size_t c = 0; c < ncols; ++c) {
+    if (c < cols_.size()) {
+      h = common::HashCombine(h, cols_[c]->FingerprintRange(offset_, rows_));
+    } else {
+      h = common::HashCombine(h, 0x6b617468ULL);
+    }
+  }
+  return h;
+}
+
+size_t Table::MemoryBytes() const {
+  size_t n = 0;
+  for (const auto& col : cols_) n += col->MemoryBytes();
+  if (lids_ != nullptr) n += lids_->capacity() * sizeof(int64_t);
+  return n;
 }
 
 std::string Table::ToText(size_t max_rows) const {
@@ -60,11 +248,11 @@ std::string Table::ToText(size_t max_rows) const {
   for (size_t c = 0; c < schema_.num_columns(); ++c) {
     widths[c] = schema_.column(c).name.size();
   }
-  size_t shown = std::min(max_rows, rows_.size());
+  size_t shown = std::min(max_rows, rows_);
   for (size_t r = 0; r < shown; ++r) {
     std::vector<std::string> row_cells;
     for (size_t c = 0; c < schema_.num_columns(); ++c) {
-      std::string s = rows_[r][c].ToString();
+      std::string s = at(r, c).ToString();
       if (s.size() > 40) s = s.substr(0, 37) + "...";
       widths[c] = std::max(widths[c], s.size());
       row_cells.push_back(std::move(s));
@@ -94,8 +282,8 @@ std::string Table::ToText(size_t max_rows) const {
     }
     out += "\n";
   }
-  if (shown < rows_.size()) {
-    out += "... (" + std::to_string(rows_.size() - shown) + " more rows)\n";
+  if (shown < rows_) {
+    out += "... (" + std::to_string(rows_ - shown) + " more rows)\n";
   }
   return out;
 }

@@ -1,10 +1,24 @@
 /// \file table.h
-/// \brief In-memory row table with per-row lineage ids.
+/// \brief In-memory columnar table with per-row lineage ids.
 ///
 /// Every materialized table (base relation, multimodal view, or FAO
 /// intermediate) is a Table. Rows optionally carry a lineage id (lid) so
 /// the provenance model of Section 3 can trace any output tuple back to
 /// its source records.
+///
+/// Storage is columnar: one shared ColumnVector per schema column (typed
+/// contiguous arrays, dictionary-encoded strings, NULL bitmaps) plus a
+/// contiguous lid column. The original row-oriented accessors (at, row,
+/// GetByName, AppendRow) survive as a facade that materializes Values on
+/// demand, so existing call sites keep compiling; the hot scan/filter/
+/// project path reads the columns directly via column()/GatherColumn.
+///
+/// Copies and Slice() are zero-copy: they share the column buffers.
+/// Slice(begin, end) is a view — same buffers, an offset and a length —
+/// so morsel partitioning and result-chunk streaming never touch row
+/// data. Mutators use copy-on-write: the first write to a table whose
+/// buffers are shared (or which is a view) detaches private copies, so
+/// value semantics are preserved exactly.
 ///
 /// \ingroup kathdb_relational
 
@@ -13,9 +27,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "relational/column.h"
 #include "relational/schema.h"
 #include "relational/value.h"
 
@@ -23,29 +39,48 @@ namespace kathdb::rel {
 
 using Row = std::vector<Value>;
 
-/// \brief A named relation: schema + rows + optional per-row lineage ids.
+/// \brief A named relation: schema + columns + optional per-row lineage ids.
 class Table {
  public:
   Table() = default;
   Table(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
 
+  /// Assembles a table directly from evaluated columns (the vectorized
+  /// Project output path). Columns must share one length; `lids` may be
+  /// empty (= no lineage recorded).
+  static Table FromColumns(std::string name, Schema schema,
+                           std::vector<ColumnPtr> cols,
+                           std::vector<int64_t> lids);
+
   const std::string& name() const { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
   const Schema& schema() const { return schema_; }
   Schema* mutable_schema() { return &schema_; }
 
-  size_t num_rows() const { return rows_.size(); }
-  const Row& row(size_t i) const { return rows_[i]; }
-  Row* mutable_row(size_t i) { return &rows_[i]; }
-  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_; }
 
-  /// Appends a row; lid 0 means "no lineage recorded".
+  /// Materializes row `i` as a vector of Values (facade: prefer column
+  /// access in hot loops).
+  Row row(size_t i) const;
+
+  /// Appends a row; lid 0 means "no lineage recorded". Width mismatches
+  /// against the schema are recorded and surfaced by Validate().
   void AppendRow(Row row, int64_t lid = 0);
+
+  /// Bulk-appends rows [begin, end) of `src` (column-wise range copy; no
+  /// per-row Value materialization). Schemas must have equal arity.
+  void AppendSlice(const Table& src, size_t begin, size_t end);
+
+  /// Bulk-appends the `src` rows named by sel[0..n) — the Filter output
+  /// assembly path.
+  void AppendGather(const Table& src, const uint32_t* sel, size_t n);
 
   /// Lineage id of row `i`; 0 when untracked.
   int64_t row_lid(size_t i) const {
-    return i < lids_.size() ? lids_[i] : 0;
+    return lids_ != nullptr && offset_ + i < lids_->size()
+               ? (*lids_)[offset_ + i]
+               : 0;
   }
   void set_row_lid(size_t i, int64_t lid);
   /// Table-level lineage id (assigned when a wide-dependency function
@@ -53,31 +88,70 @@ class Table {
   int64_t table_lid() const { return table_lid_; }
   void set_table_lid(int64_t lid) { table_lid_ = lid; }
 
-  /// Value at (row, column index).
-  const Value& at(size_t r, size_t c) const { return rows_[r][c]; }
+  /// Value at (row, column index), materialized from the column.
+  Value at(size_t r, size_t c) const { return cols_[c]->Get(offset_ + r); }
   /// Value by column name. Returns NULL value when column is absent.
   Value GetByName(size_t r, const std::string& col) const;
 
-  /// Fails with InvalidArgument if any row width differs from the schema.
+  /// Read access to column `c`'s storage. Row `i` of this table lives at
+  /// physical index `offset() + i` (views share their parent's buffers).
+  const ColumnVector& column(size_t c) const { return *cols_[c]; }
+  /// Physically materialized columns (≤ schema width; trailing schema
+  /// columns without storage read as NULL).
+  size_t num_physical_columns() const { return cols_.size(); }
+  /// Physical index of this table's row 0 inside the column buffers.
+  size_t offset() const { return offset_; }
+  /// True when this table is a zero-copy view over another's buffers.
+  bool is_view() const { return view_; }
+
+  /// Appends the cells of column `c` at table-relative rows sel[0..n)
+  /// into `*out` (selection-vector gather for expression evaluation).
+  void GatherColumn(size_t c, const uint32_t* sel, size_t n,
+                    ColumnVector* out) const;
+
+  /// Fails with InvalidArgument if any appended row's width differed from
+  /// the schema.
   Status Validate() const;
 
-  /// First `n` rows as a new table (used by samplers / profilers).
+  /// First `n` rows as a zero-copy view named "<name>_sample" (used by
+  /// samplers / profilers).
   Table Head(size_t n) const;
 
-  /// Rows [begin, end) as a new table carrying the same name, schema,
+  /// Rows [begin, end) as a zero-copy view carrying the same name, schema,
   /// table lid and per-row lineage ids — the cheap sub-table behind
-  /// morsel-partitioned FAO evaluation. `end` is clamped to num_rows().
+  /// morsel-partitioned FAO evaluation and result-chunk streaming. Both
+  /// bounds are clamped to num_rows().
   Table Slice(size_t begin, size_t end) const;
+
+  /// Order-sensitive fingerprint of the table contents (schema string,
+  /// row count, per-column cell hashes) — feeds ResultCache keys without
+  /// materializing a Value per cell.
+  uint64_t Fingerprint() const;
+
+  /// Approximate heap bytes held by the column buffers.
+  size_t MemoryBytes() const;
 
   /// ASCII rendering with header, separator and up to `max_rows` rows.
   std::string ToText(size_t max_rows = 20) const;
 
  private:
+  /// Ensures cols_ has one (possibly empty) column per schema column.
+  void EnsureColumns();
+  /// Makes the column buffers exclusively owned and offset-free; first
+  /// mutation of a view/copy pays a real copy, later ones are free.
+  void DetachCols();
+  void DetachLids();
+
   std::string name_;
   Schema schema_;
-  std::vector<Row> rows_;
-  std::vector<int64_t> lids_;
+  std::vector<ColumnPtr> cols_;
+  std::shared_ptr<std::vector<int64_t>> lids_;  // null = no lineage stored
+  size_t offset_ = 0;
+  size_t rows_ = 0;
+  bool view_ = false;
   int64_t table_lid_ = 0;
+  /// (row index, appended width) for rows whose width != schema width.
+  std::vector<std::pair<size_t, size_t>> ragged_;
 };
 
 using TablePtr = std::shared_ptr<Table>;

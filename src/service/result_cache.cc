@@ -96,15 +96,10 @@ ResultCacheStats ResultCache::stats() const {
 }
 
 uint64_t FingerprintTable(const rel::Table& table) {
-  uint64_t h = common::Fnv1a64(table.schema().ToString());
-  h = common::HashCombine(h, table.num_rows());
-  const size_t cols = table.schema().columns().size();
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    for (size_t c = 0; c < cols; ++c) {
-      h = common::HashCombine(h, common::Fnv1a64(table.at(r, c).ToString()));
-    }
-  }
-  return h;
+  // Column-wise over the typed buffers: no Value (and no string render)
+  // materialized per cell. Encoding-independent, so a table and any view
+  // or re-encoded copy with the same logical contents key identically.
+  return table.Fingerprint();
 }
 
 uint64_t FingerprintTables(const std::vector<rel::TablePtr>& tables) {
