@@ -7,10 +7,13 @@
 //
 // Each connection is a real TCP client running the paper query with
 // scripted replies shipped in the QUERY frame; results stream back as
-// PARTIAL_RESULT chunks and are reassembled client-side. The table
-// sweeps connection counts at 8 workers and reports queries/sec and
-// per-query p99 latency; the google-benchmark pass exports the same
-// shape (and the 64-connection cell) to BENCH_net_throughput.json.
+// partial-result chunks and are reassembled client-side. Both result
+// encodings are swept — the legacy CSV PARTIAL_RESULT frames and the
+// columnar PARTIAL_RESULT_COL frames — so the table shows what the
+// columnar wire format saves in bytes-on-wire at equal or better qps.
+// The google-benchmark pass exports the same shape (64 connections per
+// encoding, with bytes-on-wire and MB/s counters) to
+// BENCH_net_throughput.json.
 
 #include <benchmark/benchmark.h>
 
@@ -19,6 +22,7 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -37,17 +41,26 @@ constexpr int kWorkers = 8;
 constexpr int kQueriesPerConn = 4;
 constexpr size_t kChunkRows = 8;
 
+const char* EncodingName(net::ResultEncoding e) {
+  return e == net::ResultEncoding::kColumnar ? "columnar" : "csv";
+}
+
 struct NetRun {
   double qps = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   int64_t queries = 0;
   int64_t partial_frames = 0;
+  int64_t partial_bytes = 0;  ///< wire bytes across the partial frames
+  double wire_mbps = 0.0;     ///< partial-frame MB/s over the run
 };
 
-/// One server, `connections` concurrent clients, kQueriesPerConn paper
-/// queries each. Per-query wall times feed the percentile columns.
-NetRun ServeConnections(engine::KathDB* db, int connections) {
+/// One server, `connections` concurrent clients negotiating `encoding`,
+/// kQueriesPerConn paper queries each. Per-query wall times feed the
+/// percentile columns; the server's partial-frame byte counter feeds
+/// the bytes-on-wire column.
+NetRun ServeConnections(engine::KathDB* db, int connections,
+                        net::ResultEncoding encoding) {
   service::ServiceOptions svc_opts;
   svc_opts.workers = kWorkers;
   svc_opts.max_queue =
@@ -80,14 +93,20 @@ NetRun ServeConnections(engine::KathDB* db, int connections) {
   threads.reserve(connections);
   auto t0 = std::chrono::steady_clock::now();
   for (int c = 0; c < connections; ++c) {
-    threads.emplace_back([&server, &mu, &latencies_ms] {
+    threads.emplace_back([&server, &mu, &latencies_ms, encoding] {
       net::ClientOptions copts;
       copts.port = server.port();
+      copts.result_encoding = encoding;
       net::Client client(copts);
       Status st = client.Connect();
       if (!st.ok()) {
         std::fprintf(stderr, "connect failed: %s\n",
                      st.ToString().c_str());
+        std::abort();
+      }
+      if (client.negotiated_encoding() != encoding) {
+        std::fprintf(stderr, "server rejected the %s encoding\n",
+                     EncodingName(encoding));
         std::abort();
       }
       auto sid = client.OpenSession();
@@ -121,8 +140,11 @@ NetRun ServeConnections(engine::KathDB* db, int connections) {
   NetRun out;
   out.queries = static_cast<int64_t>(latencies_ms.size());
   out.partial_frames = net_stats.partial_frames;
+  out.partial_bytes = net_stats.partial_bytes;
   double secs = std::chrono::duration<double>(t1 - t0).count();
   out.qps = secs > 0 ? out.queries / secs : 0.0;
+  out.wire_mbps =
+      secs > 0 ? out.partial_bytes / secs / (1024.0 * 1024.0) : 0.0;
   std::sort(latencies_ms.begin(), latencies_ms.end());
   auto pct = [&latencies_ms](double p) {
     if (latencies_ms.empty()) return 0.0;
@@ -139,44 +161,71 @@ void PrintConnectionSweep() {
       "=== net throughput: loopback kathdb-wire/1, %d workers, %d-movie "
       "corpus, %d queries/conn, %zu-row chunks ===\n",
       kWorkers, kCorpusMovies, kQueriesPerConn, kChunkRows);
-  std::printf("%-13s %-10s %-10s %-10s %-10s %-14s\n", "connections",
-              "queries", "qps", "p50_ms", "p99_ms", "partial_frames");
+  std::printf("%-10s %-13s %-10s %-10s %-10s %-10s %-10s %-13s %-10s\n",
+              "encoding", "connections", "queries", "qps", "p50_ms",
+              "p99_ms", "frames", "wire_bytes", "wire_MB/s");
   BenchDb b = MakeIngestedDb(kCorpusMovies);
-  for (int connections : {1, 8, 16, 64}) {
-    NetRun r = ServeConnections(b.db.get(), connections);
-    std::printf("%-13d %-10lld %-10.1f %-10.2f %-10.2f %lld\n", connections,
-                static_cast<long long>(r.queries), r.qps, r.p50_ms, r.p99_ms,
-                static_cast<long long>(r.partial_frames));
+  for (net::ResultEncoding encoding :
+       {net::ResultEncoding::kCsv, net::ResultEncoding::kColumnar}) {
+    for (int connections : {1, 8, 16, 64}) {
+      NetRun r = ServeConnections(b.db.get(), connections, encoding);
+      std::printf("%-10s %-13d %-10lld %-10.1f %-10.2f %-10.2f %-10lld "
+                  "%-13lld %-10.2f\n",
+                  EncodingName(encoding), connections,
+                  static_cast<long long>(r.queries), r.qps, r.p50_ms,
+                  r.p99_ms, static_cast<long long>(r.partial_frames),
+                  static_cast<long long>(r.partial_bytes), r.wire_mbps);
+    }
   }
   std::printf("\n");
 }
 
 void BM_NetThroughput(benchmark::State& state) {
   int connections = static_cast<int>(state.range(0));
+  auto encoding = static_cast<net::ResultEncoding>(state.range(1));
   BenchDb b = MakeIngestedDb(kCorpusMovies);
   int64_t queries = 0;
   double p99 = 0.0;
+  int64_t partial_bytes = 0;
+  double wire_mbps = 0.0;
   for (auto _ : state) {
-    NetRun r = ServeConnections(b.db.get(), connections);
+    NetRun r = ServeConnections(b.db.get(), connections, encoding);
     queries += r.queries;
     p99 = r.p99_ms;
+    partial_bytes = r.partial_bytes;
+    wire_mbps = r.wire_mbps;
     benchmark::DoNotOptimize(r.qps);
   }
   state.SetItemsProcessed(queries);  // items/sec == queries/sec
   state.counters["connections"] = connections;
   state.counters["workers"] = kWorkers;
   state.counters["p99_ms"] = p99;
+  state.counters["columnar"] =
+      encoding == net::ResultEncoding::kColumnar ? 1 : 0;
+  state.counters["wire_bytes"] = static_cast<double>(partial_bytes);
+  state.counters["wire_mbps"] = wire_mbps;
+  state.SetLabel(EncodingName(encoding));
 }
 BENCHMARK(BM_NetThroughput)
-    ->Arg(8)
-    ->Arg(64)
+    ->Args({8, static_cast<int>(net::ResultEncoding::kCsv)})
+    ->Args({64, static_cast<int>(net::ResultEncoding::kCsv)})
+    ->Args({8, static_cast<int>(net::ResultEncoding::kColumnar)})
+    ->Args({64, static_cast<int>(net::ResultEncoding::kColumnar)})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintConnectionSweep();
+  // The printed sweep only runs unfiltered; CI smoke filters to one
+  // benchmark and should not pay for the full two-encoding sweep twice.
+  bool filtered = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_filter", 0) == 0) {
+      filtered = true;
+    }
+  }
+  if (!filtered) PrintConnectionSweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -191,17 +191,20 @@ std::vector<int64_t> TableParents(const std::vector<TablePtr>& inputs) {
 }
 
 /// Deduplicates rows by the given key column, keeping the first row.
+/// Survivors are collected into a selection vector and gathered in one
+/// bulk append instead of boxing a Row per survivor.
 Table DedupByColumn(const Table& in, const std::string& key) {
   auto kidx = in.schema().IndexOf(key);
   if (!kidx.has_value()) return in;
-  Table out(in.name(), in.schema());
+  std::vector<uint32_t> sel;
   std::set<std::string> seen;
   for (size_t r = 0; r < in.num_rows(); ++r) {
     std::string k = in.at(r, *kidx).ToString();
-    if (seen.insert(k).second) {
-      out.AppendRow(in.row(r), in.row_lid(r));
-    }
+    if (seen.insert(k).second) sel.push_back(static_cast<uint32_t>(r));
   }
+  Table out(in.name(), in.schema());
+  out.Reserve(sel.size());
+  out.AppendGather(in, sel.data(), sel.size());
   out.set_table_lid(in.table_lid());
   return out;
 }

@@ -31,13 +31,14 @@ std::string NetStats::ToText() const {
   char buf[512];
   snprintf(buf, sizeof(buf),
            "net: conns=%lld (active %lld) | frames rx=%lld tx=%lld "
-           "(partial %lld) | queries=%lld | proto_errors=%lld "
+           "(partial %lld, %lld B) | queries=%lld | proto_errors=%lld "
            "unavailable=%lld reads_paused=%lld",
            static_cast<long long>(connections_accepted),
            static_cast<long long>(connections_active),
            static_cast<long long>(frames_received),
            static_cast<long long>(frames_sent),
            static_cast<long long>(partial_frames),
+           static_cast<long long>(partial_bytes),
            static_cast<long long>(queries_received),
            static_cast<long long>(protocol_errors),
            static_cast<long long>(unavailable_sent),
@@ -83,6 +84,9 @@ struct Server::Connection {
   FrameReader reader;
   std::string rdbuf;  ///< scratch for read()
   bool paused_reading = false;
+  /// PARTIAL_RESULT encoding negotiated at HELLO. Old clients (bare
+  /// magic) keep the CSV frames they understand.
+  ResultEncoding result_encoding = ResultEncoding::kCsv;
   std::set<service::SessionId> sessions;  ///< sessions this conn opened
   std::map<uint64_t, std::shared_ptr<QueryCtx>> queries;  ///< in flight
 
@@ -227,15 +231,30 @@ class Server::StreamSink : public engine::ProgressSink {
     w.PutU64(ctx_->qid);
     w.PutU32(seq);
     w.PutU64(row_offset);
-    w.PutString(rel::TableToCsv(chunk));
+    Op op;
+    if (encoding_ == ResultEncoding::kColumnar) {
+      EncodeTableColumnar(chunk, &w);
+      op = Op::kPartialResultCol;
+    } else {
+      w.PutString(rel::TableToCsv(chunk));
+      op = Op::kPartialResult;
+    }
+    std::string payload = w.Take();
     server_->partial_frames_.fetch_add(1, std::memory_order_relaxed);
-    server_->SendFrame(conn_, Op::kPartialResult, w.Take());
+    server_->partial_bytes_.fetch_add(
+        static_cast<int64_t>(kFrameHeaderBytes + 1 + payload.size()),
+        std::memory_order_relaxed);
+    server_->SendFrame(conn_, op, payload);
   }
+
+  /// Set on the loop thread (HandleQuery) before the worker can run.
+  void set_encoding(ResultEncoding e) { encoding_ = e; }
 
  private:
   Server* server_;
   std::shared_ptr<Connection> conn_;
   std::shared_ptr<QueryCtx> ctx_;
+  ResultEncoding encoding_ = ResultEncoding::kCsv;
 };
 
 // ---------------------------------------------------------------------------
@@ -326,6 +345,7 @@ NetStats Server::stats() const {
   s.protocol_errors = protocol_errors_.load();
   s.queries_received = queries_received_.load();
   s.partial_frames = partial_frames_.load();
+  s.partial_bytes = partial_bytes_.load();
   s.unavailable_sent = unavailable_sent_.load();
   s.reads_paused = reads_paused_.load();
   return s;
@@ -398,13 +418,27 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     }
     PayloadReader r(frame.payload);
     auto magic = r.String();
-    if (!magic.ok() || *magic != kWireMagic || !r.AtEnd()) {
+    if (!magic.ok() || *magic != kWireMagic) {
       ProtocolError(conn, "bad protocol magic in HELLO");
       return;
+    }
+    // Optional result-encoding request: one u8 after the magic. Old
+    // clients send the bare magic and keep CSV results.
+    if (!r.AtEnd()) {
+      auto enc = r.U8();
+      if (!enc.ok() || !r.AtEnd() ||
+          *enc > static_cast<uint8_t>(ResultEncoding::kColumnar)) {
+        ProtocolError(conn, "bad result encoding in HELLO");
+        return;
+      }
+      conn->result_encoding = static_cast<ResultEncoding>(*enc);
     }
     conn->state = Connection::State::kReady;
     PayloadWriter w;
     w.PutString(kWireMagic);
+    // Accepted encoding echoed for new clients; old clients never look
+    // past the magic.
+    w.PutU8(static_cast<uint8_t>(conn->result_encoding));
     SendFrame(conn, Op::kHelloOk, w.Take());
     return;
   }
@@ -539,6 +573,7 @@ void Server::HandleQuery(const std::shared_ptr<Connection>& conn,
   ctx->scripted.assign(scripted.begin(), scripted.end());
   auto user = std::make_shared<RemoteUser>(this, conn, ctx);
   auto sink = std::make_shared<StreamSink>(this, conn, ctx);
+  sink->set_encoding(conn->result_encoding);  // loop thread, pre-Submit
   queries_received_.fetch_add(1, std::memory_order_relaxed);
 
   // Register + acknowledge BEFORE Submit: a worker may pick the query up

@@ -76,7 +76,9 @@ struct NetStats {
   int64_t frames_sent = 0;  ///< queued to an outbox (sent or pending)
   int64_t protocol_errors = 0;  ///< violations that closed a connection
   int64_t queries_received = 0;
-  int64_t partial_frames = 0;  ///< PARTIAL_RESULT frames streamed
+  int64_t partial_frames = 0;  ///< PARTIAL_RESULT[_COL] frames streamed
+  int64_t partial_bytes = 0;   ///< wire bytes across those frames
+                               ///< (header + opcode + payload)
   int64_t unavailable_sent = 0;  ///< overload shed as UNAVAILABLE errors
   int64_t reads_paused = 0;  ///< write high-water-mark pauses
 
@@ -164,6 +166,7 @@ class Server {
   std::atomic<int64_t> protocol_errors_{0};
   std::atomic<int64_t> queries_received_{0};
   std::atomic<int64_t> partial_frames_{0};
+  std::atomic<int64_t> partial_bytes_{0};
   std::atomic<int64_t> unavailable_sent_{0};
   std::atomic<int64_t> reads_paused_{0};
 };

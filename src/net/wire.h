@@ -28,8 +28,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "relational/table.h"
 
 namespace kathdb::net {
 
@@ -68,7 +70,15 @@ enum class Op : uint8_t {
                   ///< string message; kUnavailable = overload shed
   kStatsOk = 0x8A,  ///< string stats text
   kPong = 0x8B,     ///< echoed PING payload
+  kPartialResultCol = 0x8C,  ///< u64 query_id, u32 seq, u64 row_offset,
+                             ///< columnar table (EncodeTableColumnar)
 };
+
+/// How PARTIAL_RESULT chunks are encoded on a connection, negotiated at
+/// HELLO: clients that append the columnar flag to their HELLO get
+/// PARTIAL_RESULT_COL frames (typed column buffers, no text round trip);
+/// everything else gets the original CSV PARTIAL_RESULT frames.
+enum class ResultEncoding : uint8_t { kCsv = 0, kColumnar = 1 };
 
 /// Human-readable opcode name ("QUERY", "PARTIAL_RESULT", ...).
 const char* OpName(Op op);
@@ -115,6 +125,12 @@ class PayloadWriter {
   void PutU32(uint32_t v);
   void PutU64(uint64_t v);
   void PutString(const std::string& s);  ///< u32 length + bytes
+  /// Raw bytes, no length prefix (bulk column payloads).
+  void PutBytes(const char* data, size_t n) { out_.append(data, n); }
+  /// LEB128: 7 value bits per byte, high bit = continuation. Small
+  /// values (row counts, dictionary codes, zigzagged ints) cost one
+  /// byte instead of a fixed-width word.
+  void PutVarint(uint64_t v);
 
   std::string Take() { return std::move(out_); }
 
@@ -131,6 +147,11 @@ class PayloadReader {
   Result<uint32_t> U32();
   Result<uint64_t> U64();
   Result<std::string> String();
+  /// Exactly n raw bytes, no length prefix.
+  Result<std::string> Bytes(size_t n);
+  /// LEB128 counterpart of PayloadWriter::PutVarint; rejects encodings
+  /// longer than ten bytes and truncated continuations.
+  Result<uint64_t> Varint();
 
   bool AtEnd() const { return pos_ == p_.size(); }
 
@@ -138,5 +159,42 @@ class PayloadReader {
   const std::string& p_;
   size_t pos_ = 0;
 };
+
+/// \brief Columnar table encoding for PARTIAL_RESULT_COL payloads.
+///
+/// Serializes the ColumnVector buffers of a result chunk directly instead
+/// of rendering CSV text:
+///
+///     u32 ncols
+///     ncols x { string name, u8 dtype }          -- schema
+///     u64 nrows
+///     ncols x column block:
+///       u8 tag   -- low 7 bits: 0 EMPTY, 1 BOOL, 2 INT, 3 DOUBLE,
+///                   4 DICT, 5 MIXED; bit 0x80: block carries NULLs
+///       EMPTY: nothing further (every cell NULL; 0x80 is invalid here)
+///       else:  ceil(nrows/64) x u64 validity words (bit set = non-NULL)
+///              ONLY when the 0x80 bit is set — an all-valid block
+///              skips them — then the payload:
+///         BOOL:   nrows x u8 (0/1; NULL rows hold 0)
+///         INT:    per NON-NULL row: zigzag varint
+///         DOUBLE: per NON-NULL row: u64 (IEEE-754 bit pattern)
+///         DICT:   varint dict count, count x (varint length + bytes),
+///                 then per NON-NULL row: varint code (remapped
+///                 chunk-local dense)
+///         MIXED:  per NON-NULL row: u8 type tag (1 BOOL, 2 INT,
+///                 3 DOUBLE, 4 STRING) + u8 / zigzag varint / u64 bits /
+///                 varint length + bytes
+///
+/// Varints are LEB128 (little-endian 7-bit groups); zigzag maps int64
+/// n to (n << 1) ^ (n >> 63) so small magnitudes of either sign stay
+/// short. Schema columns beyond num_physical_columns() encode as EMPTY
+/// blocks. Lineage ids do not travel (matching the CSV result path).
+void EncodeTableColumnar(const rel::Table& table, PayloadWriter* w);
+
+/// Decodes an EncodeTableColumnar payload into a table named `name`.
+/// Every read is bounds-checked; malformed type tags, out-of-range
+/// dictionary codes and truncated buffers fail with InvalidArgument.
+Result<rel::Table> DecodeTableColumnar(PayloadReader* r,
+                                       const std::string& name);
 
 }  // namespace kathdb::net

@@ -1,5 +1,6 @@
 #include "relational/column.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.h"
@@ -44,23 +45,38 @@ ColumnEncoding EncodingFor(DataType t) {
 
 }  // namespace
 
+namespace {
+
+/// reserve() that stays amortized under incremental hints. Chunked bulk
+/// loads call Reserve(size + chunk) once per chunk; forwarding that
+/// straight to vector::reserve pins capacity to the exact request, so
+/// every following chunk reallocates and recopies the whole column —
+/// quadratic in total rows. Growing by at least 2x keeps the hint's
+/// "no realloc inside the coming append" guarantee with O(n) copying.
+template <typename V>
+void ReserveAmortized(V& v, size_t n) {
+  if (n > v.capacity()) v.reserve(std::max(n, v.capacity() * 2));
+}
+
+}  // namespace
+
 void ColumnVector::Reserve(size_t n) {
-  valid_.reserve((n + 63) / 64);
+  ReserveAmortized(valid_, (n + 63) / 64);
   switch (enc_) {
     case ColumnEncoding::kBool:
-      bools_.reserve(n);
+      ReserveAmortized(bools_, n);
       break;
     case ColumnEncoding::kInt:
-      ints_.reserve(n);
+      ReserveAmortized(ints_, n);
       break;
     case ColumnEncoding::kDouble:
-      doubles_.reserve(n);
+      ReserveAmortized(doubles_, n);
       break;
     case ColumnEncoding::kDict:
-      codes_.reserve(n);
+      ReserveAmortized(codes_, n);
       break;
     case ColumnEncoding::kMixed:
-      mixed_.reserve(n);
+      ReserveAmortized(mixed_, n);
       break;
     case ColumnEncoding::kEmpty:
       break;
@@ -338,6 +354,203 @@ uint64_t ColumnVector::HashAt(size_t i) const {
       break;
   }
   return kNullHash;
+}
+
+void ColumnVector::FoldHashRange(size_t begin, size_t len, uint64_t mul,
+                                 uint64_t* acc) const {
+  switch (enc_) {
+    case ColumnEncoding::kBool:
+      for (size_t i = 0; i < len; ++i) {
+        size_t p = begin + i;
+        uint64_t h =
+            IsNull(p) ? kNullHash : SplitMix64(bools_[p] != 0 ? 1 : 0);
+        acc[i] = acc[i] * mul + h;
+      }
+      return;
+    case ColumnEncoding::kInt:
+      for (size_t i = 0; i < len; ++i) {
+        size_t p = begin + i;
+        uint64_t h = IsNull(p)
+                         ? kNullHash
+                         : HashNumeric(static_cast<double>(ints_[p]));
+        acc[i] = acc[i] * mul + h;
+      }
+      return;
+    case ColumnEncoding::kDouble:
+      for (size_t i = 0; i < len; ++i) {
+        size_t p = begin + i;
+        uint64_t h = IsNull(p) ? kNullHash : HashNumeric(doubles_[p]);
+        acc[i] = acc[i] * mul + h;
+      }
+      return;
+    case ColumnEncoding::kDict: {
+      if (dict_.size() <= len) {
+        // Hash each distinct string once, then fold by code lookup.
+        std::vector<uint64_t> dh(dict_.size());
+        for (size_t d = 0; d < dict_.size(); ++d) dh[d] = HashString(dict_[d]);
+        for (size_t i = 0; i < len; ++i) {
+          size_t p = begin + i;
+          uint64_t h = IsNull(p) ? kNullHash : dh[codes_[p]];
+          acc[i] = acc[i] * mul + h;
+        }
+      } else {
+        for (size_t i = 0; i < len; ++i) {
+          size_t p = begin + i;
+          uint64_t h = IsNull(p) ? kNullHash : HashString(dict_[codes_[p]]);
+          acc[i] = acc[i] * mul + h;
+        }
+      }
+      return;
+    }
+    case ColumnEncoding::kMixed:
+      for (size_t i = 0; i < len; ++i) {
+        size_t p = begin + i;
+        uint64_t h = IsNull(p) ? kNullHash : mixed_[p].Hash();
+        acc[i] = acc[i] * mul + h;
+      }
+      return;
+    case ColumnEncoding::kEmpty:
+      for (size_t i = 0; i < len; ++i) acc[i] = acc[i] * mul + kNullHash;
+      return;
+  }
+}
+
+void ColumnVector::FoldHashGather(const uint32_t* idx, size_t n, uint64_t mul,
+                                  uint64_t* acc) const {
+  switch (enc_) {
+    case ColumnEncoding::kBool:
+      for (size_t i = 0; i < n; ++i) {
+        size_t p = idx[i];
+        uint64_t h =
+            IsNull(p) ? kNullHash : SplitMix64(bools_[p] != 0 ? 1 : 0);
+        acc[i] = acc[i] * mul + h;
+      }
+      return;
+    case ColumnEncoding::kInt:
+      for (size_t i = 0; i < n; ++i) {
+        size_t p = idx[i];
+        uint64_t h = IsNull(p)
+                         ? kNullHash
+                         : HashNumeric(static_cast<double>(ints_[p]));
+        acc[i] = acc[i] * mul + h;
+      }
+      return;
+    case ColumnEncoding::kDouble:
+      for (size_t i = 0; i < n; ++i) {
+        size_t p = idx[i];
+        uint64_t h = IsNull(p) ? kNullHash : HashNumeric(doubles_[p]);
+        acc[i] = acc[i] * mul + h;
+      }
+      return;
+    case ColumnEncoding::kDict: {
+      if (dict_.size() <= n) {
+        std::vector<uint64_t> dh(dict_.size());
+        for (size_t d = 0; d < dict_.size(); ++d) dh[d] = HashString(dict_[d]);
+        for (size_t i = 0; i < n; ++i) {
+          size_t p = idx[i];
+          uint64_t h = IsNull(p) ? kNullHash : dh[codes_[p]];
+          acc[i] = acc[i] * mul + h;
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          size_t p = idx[i];
+          uint64_t h = IsNull(p) ? kNullHash : HashString(dict_[codes_[p]]);
+          acc[i] = acc[i] * mul + h;
+        }
+      }
+      return;
+    }
+    case ColumnEncoding::kMixed:
+      for (size_t i = 0; i < n; ++i) {
+        size_t p = idx[i];
+        uint64_t h = IsNull(p) ? kNullHash : mixed_[p].Hash();
+        acc[i] = acc[i] * mul + h;
+      }
+      return;
+    case ColumnEncoding::kEmpty:
+      for (size_t i = 0; i < n; ++i) acc[i] = acc[i] * mul + kNullHash;
+      return;
+  }
+}
+
+namespace {
+
+/// Clears validity bits at or beyond `n` and pads the word vector so the
+/// factories below accept loosely-sized decoder output.
+std::vector<uint64_t> NormalizeValidity(std::vector<uint64_t> valid,
+                                        size_t n) {
+  valid.resize((n + 63) / 64, 0);
+  if (n % 64 != 0 && !valid.empty()) {
+    valid.back() &= (uint64_t{1} << (n % 64)) - 1;
+  }
+  return valid;
+}
+
+}  // namespace
+
+std::shared_ptr<ColumnVector> ColumnVector::AllNulls(size_t n) {
+  auto col = std::make_shared<ColumnVector>();
+  col->size_ = n;
+  col->valid_.assign((n + 63) / 64, 0);
+  return col;
+}
+
+std::shared_ptr<ColumnVector> ColumnVector::FromBools(std::vector<uint8_t> vals,
+                                  std::vector<uint64_t> valid) {
+  auto col = std::make_shared<ColumnVector>();
+  col->enc_ = ColumnEncoding::kBool;
+  col->size_ = vals.size();
+  col->valid_ = NormalizeValidity(std::move(valid), vals.size());
+  col->bools_ = std::move(vals);
+  return col;
+}
+
+std::shared_ptr<ColumnVector> ColumnVector::FromInts(std::vector<int64_t> vals,
+                                 std::vector<uint64_t> valid) {
+  auto col = std::make_shared<ColumnVector>();
+  col->enc_ = ColumnEncoding::kInt;
+  col->size_ = vals.size();
+  col->valid_ = NormalizeValidity(std::move(valid), vals.size());
+  col->ints_ = std::move(vals);
+  return col;
+}
+
+std::shared_ptr<ColumnVector> ColumnVector::FromDoubles(std::vector<double> vals,
+                                    std::vector<uint64_t> valid) {
+  auto col = std::make_shared<ColumnVector>();
+  col->enc_ = ColumnEncoding::kDouble;
+  col->size_ = vals.size();
+  col->valid_ = NormalizeValidity(std::move(valid), vals.size());
+  col->doubles_ = std::move(vals);
+  return col;
+}
+
+std::shared_ptr<ColumnVector> ColumnVector::FromDict(std::vector<std::string> dict,
+                                 std::vector<uint32_t> codes,
+                                 std::vector<uint64_t> valid) {
+  auto col = std::make_shared<ColumnVector>();
+  col->enc_ = ColumnEncoding::kDict;
+  col->size_ = codes.size();
+  col->valid_ = NormalizeValidity(std::move(valid), codes.size());
+  col->codes_ = std::move(codes);
+  col->dict_ = std::move(dict);
+  for (size_t d = 0; d < col->dict_.size(); ++d) {
+    // First occurrence wins, mirroring DictCode interning.
+    col->dict_index_.emplace(col->dict_[d], static_cast<uint32_t>(d));
+  }
+  return col;
+}
+
+std::shared_ptr<ColumnVector> ColumnVector::FromValues(std::vector<Value> vals) {
+  auto col = std::make_shared<ColumnVector>();
+  col->enc_ = ColumnEncoding::kMixed;
+  col->size_ = vals.size();
+  col->valid_.assign((vals.size() + 63) / 64, 0);
+  for (size_t i = 0; i < vals.size(); ++i) {
+    if (!vals[i].is_null()) col->SetValid(i);
+  }
+  col->mixed_ = std::move(vals);
+  return col;
 }
 
 uint64_t ColumnVector::FingerprintRange(size_t begin, size_t len) const {

@@ -80,6 +80,37 @@ class ColumnVector {
   /// for typed encodings). Used by the hash-join build side.
   uint64_t HashAt(size_t i) const;
 
+  /// Folds cell hashes into per-row accumulators: for each i in [0, len),
+  /// acc[i] = acc[i] * mul + HashAt(begin + i). The group-by kernel builds
+  /// multi-column group hashes with one pass per key column instead of one
+  /// Value materialization per cell; kDict hashes each distinct dictionary
+  /// string at most once per call.
+  void FoldHashRange(size_t begin, size_t len, uint64_t mul,
+                     uint64_t* acc) const;
+  /// Same fold over the physical rows named by idx[0..n).
+  void FoldHashGather(const uint32_t* idx, size_t n, uint64_t mul,
+                      uint64_t* acc) const;
+
+  // Wire-decode factories: assemble a column directly from typed buffers
+  // (the kathdb-wire/1 columnar result encoding). `valid` is the validity
+  // bitmap, bit i set = cell i non-NULL, sized ceil(n/64) words; bits at
+  // or beyond the row count are cleared. NULL rows must hold placeholder
+  // payload values (0 / 0.0 / code 0), as the append paths produce.
+  static std::shared_ptr<ColumnVector> AllNulls(size_t n);
+  static std::shared_ptr<ColumnVector> FromBools(std::vector<uint8_t> vals,
+                             std::vector<uint64_t> valid);
+  static std::shared_ptr<ColumnVector> FromInts(std::vector<int64_t> vals,
+                            std::vector<uint64_t> valid);
+  static std::shared_ptr<ColumnVector> FromDoubles(std::vector<double> vals,
+                               std::vector<uint64_t> valid);
+  /// Dictionary column from decoded codes; rebuilds the dictionary index
+  /// eagerly so later appends into the column can intern new strings.
+  static std::shared_ptr<ColumnVector> FromDict(std::vector<std::string> dict,
+                            std::vector<uint32_t> codes,
+                            std::vector<uint64_t> valid);
+  /// Type-mixed column; validity derives from each value's is_null().
+  static std::shared_ptr<ColumnVector> FromValues(std::vector<Value> vals);
+
   /// Order-sensitive 64-bit fingerprint of cells [begin, begin+len),
   /// independent of the physical encoding: two columns holding the same
   /// logical values fingerprint identically even if one is dictionary

@@ -1,10 +1,12 @@
 #include "relational/ops.h"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/hash.h"
 #include "relational/expr_vec.h"
 
 namespace kathdb::rel {
@@ -35,6 +37,7 @@ Result<Table> Materialize(Operator* op, const std::string& name) {
   while (true) {
     KATHDB_ASSIGN_OR_RETURN(bool has, op->NextChunk(&chunk));
     if (!has) break;
+    out.Reserve(out.num_rows() + chunk.size());
     if (chunk.sel.empty()) {
       out.AppendSlice(*chunk.table, chunk.begin, chunk.end);
     } else {
@@ -298,6 +301,7 @@ class HashJoinOp : public Operator {
     while (true) {
       KATHDB_ASSIGN_OR_RETURN(bool has, right_->NextChunk(&chunk));
       if (!has) break;
+      build_table_.Reserve(build_table_.num_rows() + chunk.size());
       if (chunk.sel.empty()) {
         build_table_.AppendSlice(*chunk.table, chunk.begin, chunk.end);
       } else {
@@ -309,6 +313,7 @@ class HashJoinOp : public Operator {
     build_.clear();
     if (build_table_.num_rows() > 0 &&
         *ridx_ < build_table_.num_physical_columns()) {
+      build_.reserve(build_table_.num_rows());
       const ColumnVector& key = build_table_.column(*ridx_);
       for (size_t r = 0; r < build_table_.num_rows(); ++r) {
         build_[key.HashAt(r)].push_back(static_cast<uint32_t>(r));
@@ -436,54 +441,86 @@ class NestedLoopJoinOp : public Operator {
 };
 
 // -------------------------------------------------------------- Aggregate
-class AggregateOp : public Operator {
- public:
-  AggregateOp(OperatorPtr child, std::vector<std::string> group_cols,
-              std::vector<AggSpec> aggs)
-      : child_(std::move(child)),
-        group_cols_(std::move(group_cols)),
-        aggs_(std::move(aggs)) {
-    const Schema& in = child_->output_schema();
-    for (const auto& g : group_cols_) {
-      auto idx = in.IndexOf(g);
-      schema_.AddColumn(g, idx.has_value() ? in.column(*idx).type
-                                           : DataType::kString);
+
+/// Output schema shared by both aggregate kernels: group columns keep
+/// their input type, COUNT is INT, SUM/AVG are DOUBLE, MIN/MAX keep the
+/// input column's declared type.
+Schema AggOutputSchema(const Schema& in,
+                       const std::vector<std::string>& group_cols,
+                       const std::vector<AggSpec>& aggs) {
+  Schema schema;
+  for (const auto& g : group_cols) {
+    auto idx = in.IndexOf(g);
+    schema.AddColumn(g, idx.has_value() ? in.column(*idx).type
+                                        : DataType::kString);
+  }
+  for (const auto& a : aggs) {
+    DataType t = DataType::kDouble;
+    if (a.fn == AggFn::kCount) t = DataType::kInt;
+    if ((a.fn == AggFn::kMin || a.fn == AggFn::kMax) && !a.column.empty()) {
+      auto idx = in.IndexOf(a.column);
+      if (idx.has_value()) t = in.column(*idx).type;
     }
-    for (const auto& a : aggs_) {
-      DataType t = DataType::kDouble;
-      if (a.fn == AggFn::kCount) t = DataType::kInt;
-      if ((a.fn == AggFn::kMin || a.fn == AggFn::kMax) && !a.column.empty()) {
-        auto idx = in.IndexOf(a.column);
-        if (idx.has_value()) t = in.column(*idx).type;
+    schema.AddColumn(a.output_name, t);
+  }
+  return schema;
+}
+
+/// Resolves group/aggregate input columns against the child schema; both
+/// kernels fail with identical messages.
+Status ResolveAggColumns(const Schema& in,
+                         const std::vector<std::string>& group_cols,
+                         const std::vector<AggSpec>& aggs,
+                         std::vector<size_t>* gidx,
+                         std::vector<std::optional<size_t>>* aidx) {
+  for (const auto& g : group_cols) {
+    auto idx = in.IndexOf(g);
+    if (!idx.has_value()) {
+      return Status::SyntacticError("group by unknown column '" + g + "'");
+    }
+    gidx->push_back(*idx);
+  }
+  for (const auto& a : aggs) {
+    if (a.column.empty()) {
+      aidx->push_back(std::nullopt);
+    } else {
+      auto idx = in.IndexOf(a.column);
+      if (!idx.has_value()) {
+        return Status::SyntacticError("aggregate over unknown column '" +
+                                      a.column + "'");
       }
-      schema_.AddColumn(a.output_name, t);
+      aidx->push_back(*idx);
     }
   }
+  return Status::OK();
+}
+
+/// The seed/multiplier of the multiplicative group-key hash fold. Both
+/// kernels key groups purely on this 64-bit hash (first-seen order), so
+/// they agree bit-for-bit — including on the astronomically unlikely
+/// collision that would merge two groups.
+constexpr uint64_t kGroupHashSeed = 0x9E3779B97F4A7C15ULL;
+constexpr uint64_t kGroupHashMul = 1315423911ULL;
+/// Value::Null().Hash(), folded for group keys on missing columns.
+constexpr uint64_t kNullValueHash = 0x6b617468ULL;
+
+class RowAggregateOp : public Operator {
+ public:
+  RowAggregateOp(OperatorPtr child, std::vector<std::string> group_cols,
+                 std::vector<AggSpec> aggs)
+      : child_(std::move(child)),
+        group_cols_(std::move(group_cols)),
+        aggs_(std::move(aggs)),
+        schema_(AggOutputSchema(child_->output_schema(), group_cols_,
+                                aggs_)) {}
 
   Status Open() override {
     KATHDB_RETURN_IF_ERROR(child_->Open());
     const Schema& in = child_->output_schema();
     std::vector<size_t> gidx;
-    for (const auto& g : group_cols_) {
-      auto idx = in.IndexOf(g);
-      if (!idx.has_value()) {
-        return Status::SyntacticError("group by unknown column '" + g + "'");
-      }
-      gidx.push_back(*idx);
-    }
     std::vector<std::optional<size_t>> aidx;
-    for (const auto& a : aggs_) {
-      if (a.column.empty()) {
-        aidx.push_back(std::nullopt);
-      } else {
-        auto idx = in.IndexOf(a.column);
-        if (!idx.has_value()) {
-          return Status::SyntacticError("aggregate over unknown column '" +
-                                        a.column + "'");
-        }
-        aidx.push_back(*idx);
-      }
-    }
+    KATHDB_RETURN_IF_ERROR(
+        ResolveAggColumns(in, group_cols_, aggs_, &gidx, &aidx));
 
     struct AggState {
       int64_t count = 0;
@@ -596,10 +633,532 @@ class AggregateOp : public Operator {
   size_t pos_ = 0;
 };
 
-// ------------------------------------------------------------------- Sort
-class SortOp : public Operator {
+// ---------------------------------------------- Aggregate (columnar kernel)
+
+/// Open-addressing linear-probe map from 64-bit group hash to dense group
+/// id: two flat arrays, power-of-two capacity, <= 50% load — the
+/// SHIP/Othello-style memory-dense lookup layout, no per-node allocation
+/// on the hot path.
+class GroupIndex {
  public:
-  SortOp(OperatorPtr child, std::vector<SortKey> keys)
+  static constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
+
+  /// Returns the group id for `h`, assigning `next_gid` (and setting
+  /// *inserted) when the hash is new.
+  uint32_t LookupOrInsert(uint64_t h, uint32_t next_gid, bool* inserted) {
+    if ((used_ + 1) * 2 > gids_.size()) Grow();
+    size_t mask = gids_.size() - 1;
+    size_t i = common::Mix64(h) & mask;
+    while (true) {
+      if (gids_[i] == kEmptySlot) {
+        hashes_[i] = h;
+        gids_[i] = next_gid;
+        ++used_;
+        *inserted = true;
+        return next_gid;
+      }
+      if (hashes_[i] == h) {
+        *inserted = false;
+        return gids_[i];
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+ private:
+  void Grow() {
+    size_t cap = gids_.empty() ? 1024 : gids_.size() * 2;
+    std::vector<uint64_t> oh = std::move(hashes_);
+    std::vector<uint32_t> og = std::move(gids_);
+    hashes_.assign(cap, 0);
+    gids_.assign(cap, kEmptySlot);
+    size_t mask = cap - 1;
+    for (size_t s = 0; s < og.size(); ++s) {
+      if (og[s] == kEmptySlot) continue;
+      size_t i = common::Mix64(oh[s]) & mask;
+      while (gids_[i] != kEmptySlot) i = (i + 1) & mask;
+      hashes_[i] = oh[s];
+      gids_[i] = og[s];
+    }
+  }
+
+  std::vector<uint64_t> hashes_;
+  std::vector<uint32_t> gids_;
+  size_t used_ = 0;
+};
+
+/// Typed MIN/MAX accumulator: one dense array per group in the storage
+/// matching the input column's encoding, demoted to boxed Values only
+/// when a column genuinely mixes types. Replacement uses the exact
+/// Value::Compare ordering (numerics compare as doubles, strict compare
+/// keeps the first value on ties) so results match the row kernel
+/// bit-for-bit.
+struct MinMaxAcc {
+  ColumnEncoding mode = ColumnEncoding::kEmpty;  // active storage
+  std::vector<uint8_t> seen;
+  std::vector<uint8_t> b8;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<std::string> str;
+  std::vector<Value> val;  // generic fallback (mode == kMixed)
+
+  void Resize(size_t n) {
+    seen.resize(n, 0);
+    switch (mode) {
+      case ColumnEncoding::kBool:
+        b8.resize(n, 0);
+        break;
+      case ColumnEncoding::kInt:
+        i64.resize(n, 0);
+        break;
+      case ColumnEncoding::kDouble:
+        f64.resize(n, 0.0);
+        break;
+      case ColumnEncoding::kDict:
+        str.resize(n);
+        break;
+      case ColumnEncoding::kMixed:
+        val.resize(n);
+        break;
+      case ColumnEncoding::kEmpty:
+        break;
+    }
+  }
+
+  void SetMode(ColumnEncoding m) {
+    mode = m;
+    Resize(seen.size());
+  }
+
+  /// Re-boxes the typed extrema as Values; from then on the generic loop
+  /// (Value::Compare) takes over. Ties already resolved stay resolved.
+  void DemoteToGeneric() {
+    std::vector<Value> boxed(seen.size());
+    for (size_t g = 0; g < seen.size(); ++g) {
+      if (seen[g]) boxed[g] = Extreme(g);
+    }
+    val = std::move(boxed);
+    b8.clear();
+    i64.clear();
+    f64.clear();
+    str.clear();
+    mode = ColumnEncoding::kMixed;
+  }
+
+  Value Extreme(size_t g) const {
+    if (g >= seen.size() || !seen[g]) return Value::Null();
+    switch (mode) {
+      case ColumnEncoding::kBool:
+        return Value::Bool(b8[g] != 0);
+      case ColumnEncoding::kInt:
+        return Value::Int(i64[g]);
+      case ColumnEncoding::kDouble:
+        return Value::Double(f64[g]);
+      case ColumnEncoding::kDict:
+        return Value::Str(str[g]);
+      case ColumnEncoding::kMixed:
+        return val[g];
+      case ColumnEncoding::kEmpty:
+        break;
+    }
+    return Value::Null();
+  }
+};
+
+/// sums[gid[i]] += AsDouble(col[phys[i]]) for non-NULL cells, in row
+/// order — FP accumulation order matches the row kernel exactly, so the
+/// resulting doubles are bit-identical. Strings coerce to 0.0 (kDict is a
+/// no-op) and kEmpty columns are all NULL.
+void AccumulateSum(const ColumnVector& col, const std::vector<uint32_t>& phys,
+                   const std::vector<uint32_t>& gid, double* sums) {
+  const size_t n = phys.size();
+  switch (col.encoding()) {
+    case ColumnEncoding::kBool:
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t p = phys[i];
+        if (!col.IsNull(p)) sums[gid[i]] += col.BoolAt(p) ? 1.0 : 0.0;
+      }
+      break;
+    case ColumnEncoding::kInt:
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t p = phys[i];
+        if (!col.IsNull(p)) {
+          sums[gid[i]] += static_cast<double>(col.IntAt(p));
+        }
+      }
+      break;
+    case ColumnEncoding::kDouble:
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t p = phys[i];
+        if (!col.IsNull(p)) sums[gid[i]] += col.DoubleAt(p);
+      }
+      break;
+    case ColumnEncoding::kMixed:
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t p = phys[i];
+        if (!col.IsNull(p)) sums[gid[i]] += col.MixedAt(p).AsDouble();
+      }
+      break;
+    case ColumnEncoding::kDict:
+    case ColumnEncoding::kEmpty:
+      break;
+  }
+}
+
+template <bool kIsMin>
+void AccumulateMinMax(const ColumnVector& col,
+                      const std::vector<uint32_t>& phys,
+                      const std::vector<uint32_t>& gid, MinMaxAcc* acc) {
+  ColumnEncoding enc = col.encoding();
+  if (enc == ColumnEncoding::kEmpty) return;  // all NULL: nothing to fold
+  if (acc->mode == ColumnEncoding::kEmpty) {
+    acc->SetMode(enc);
+  } else if (acc->mode != enc && acc->mode != ColumnEncoding::kMixed) {
+    acc->DemoteToGeneric();
+  }
+  const size_t n = phys.size();
+  uint8_t* seen = acc->seen.data();
+  switch (acc->mode) {
+    case ColumnEncoding::kBool: {
+      uint8_t* cur = acc->b8.data();
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t p = phys[i];
+        if (col.IsNull(p)) continue;
+        uint8_t x = col.BoolAt(p) ? 1 : 0;
+        uint32_t g = gid[i];
+        if (!seen[g] || (kIsMin ? x < cur[g] : x > cur[g])) cur[g] = x;
+        seen[g] = 1;
+      }
+      break;
+    }
+    case ColumnEncoding::kInt: {
+      // Replacement is a strict *double* comparison — exactly
+      // Value::Compare — so large-int64 precision ties keep the first
+      // value, as the row kernel does.
+      int64_t* cur = acc->i64.data();
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t p = phys[i];
+        if (col.IsNull(p)) continue;
+        int64_t x = col.IntAt(p);
+        uint32_t g = gid[i];
+        double xd = static_cast<double>(x);
+        double cd = static_cast<double>(cur[g]);
+        if (!seen[g] || (kIsMin ? xd < cd : xd > cd)) cur[g] = x;
+        seen[g] = 1;
+      }
+      break;
+    }
+    case ColumnEncoding::kDouble: {
+      double* cur = acc->f64.data();
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t p = phys[i];
+        if (col.IsNull(p)) continue;
+        double x = col.DoubleAt(p);
+        uint32_t g = gid[i];
+        if (!seen[g] || (kIsMin ? x < cur[g] : x > cur[g])) cur[g] = x;
+        seen[g] = 1;
+      }
+      break;
+    }
+    case ColumnEncoding::kDict: {
+      std::string* cur = acc->str.data();
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t p = phys[i];
+        if (col.IsNull(p)) continue;
+        const std::string& x = col.StrAt(p);
+        uint32_t g = gid[i];
+        if (!seen[g] || (kIsMin ? x < cur[g] : x > cur[g])) cur[g] = x;
+        seen[g] = 1;
+      }
+      break;
+    }
+    case ColumnEncoding::kMixed: {
+      // Generic: the accumulator or the column mixes value types.
+      Value* cur = acc->val.data();
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t p = phys[i];
+        if (col.IsNull(p)) continue;
+        Value x = col.Get(p);
+        uint32_t g = gid[i];
+        if (!seen[g] ||
+            (kIsMin ? x.Compare(cur[g]) < 0 : x.Compare(cur[g]) > 0)) {
+          cur[g] = std::move(x);
+        }
+        seen[g] = 1;
+      }
+      break;
+    }
+    case ColumnEncoding::kEmpty:
+      break;
+  }
+}
+
+class ColumnarAggregateOp : public Operator {
+ public:
+  ColumnarAggregateOp(OperatorPtr child, std::vector<std::string> group_cols,
+                      std::vector<AggSpec> aggs)
+      : child_(std::move(child)),
+        group_cols_(std::move(group_cols)),
+        aggs_(std::move(aggs)),
+        schema_(AggOutputSchema(child_->output_schema(), group_cols_,
+                                aggs_)) {}
+
+  Status Open() override {
+    KATHDB_RETURN_IF_ERROR(child_->Open());
+    const Schema& in = child_->output_schema();
+    std::vector<size_t> gidx;
+    std::vector<std::optional<size_t>> aidx;
+    KATHDB_RETURN_IF_ERROR(
+        ResolveAggColumns(in, group_cols_, aggs_, &gidx, &aidx));
+
+    const size_t nag = aggs_.size();
+    GroupIndex index;
+    uint32_t ngroups = 0;
+    std::vector<int64_t> counts;  // rows per group (every agg counts all)
+    std::vector<std::vector<double>> sums(nag);
+    std::vector<MinMaxAcc> extrema(nag);
+    std::vector<ColumnPtr> key_cols;
+    key_cols.reserve(gidx.size());
+    for (size_t k = 0; k < gidx.size(); ++k) {
+      key_cols.push_back(std::make_shared<ColumnVector>());
+    }
+
+    Chunk chunk;
+    std::vector<uint64_t> hashes;
+    std::vector<uint32_t> phys;
+    std::vector<uint32_t> gid;
+    std::vector<uint32_t> new_rows;
+    while (true) {
+      KATHDB_ASSIGN_OR_RETURN(bool has, child_->NextChunk(&chunk));
+      if (!has) break;
+      const Table& t = *chunk.table;
+      const size_t off = t.offset();
+      const size_t n = chunk.size();
+      // Physical row index per chunk position, shared by every pass.
+      phys.resize(n);
+      if (chunk.sel.empty()) {
+        for (size_t i = 0; i < n; ++i) {
+          phys[i] = static_cast<uint32_t>(off + chunk.begin + i);
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          phys[i] = static_cast<uint32_t>(off + chunk.sel[i]);
+        }
+      }
+      // Multi-column group hash: one typed fold pass per key column.
+      hashes.assign(n, kGroupHashSeed);
+      for (size_t k = 0; k < gidx.size(); ++k) {
+        if (gidx[k] < t.num_physical_columns()) {
+          t.column(gidx[k]).FoldHashGather(phys.data(), n, kGroupHashMul,
+                                           hashes.data());
+        } else {
+          for (size_t i = 0; i < n; ++i) {
+            hashes[i] = hashes[i] * kGroupHashMul + kNullValueHash;
+          }
+        }
+      }
+      // Group-id pass; rows that created a group gather their key cells
+      // in bulk below (first-seen order, like the row kernel).
+      gid.resize(n);
+      new_rows.clear();
+      for (size_t i = 0; i < n; ++i) {
+        bool inserted = false;
+        gid[i] = index.LookupOrInsert(hashes[i], ngroups, &inserted);
+        if (inserted) {
+          ++ngroups;
+          new_rows.push_back(phys[i]);
+        }
+      }
+      if (!new_rows.empty()) {
+        for (size_t k = 0; k < key_cols.size(); ++k) {
+          if (gidx[k] < t.num_physical_columns()) {
+            key_cols[k]->Reserve(ngroups);
+            key_cols[k]->AppendGather(t.column(gidx[k]), new_rows.data(),
+                                      new_rows.size());
+          } else {
+            for (size_t i = 0; i < new_rows.size(); ++i) {
+              key_cols[k]->AppendNull();
+            }
+          }
+        }
+        counts.resize(ngroups, 0);
+        for (size_t a = 0; a < nag; ++a) {
+          if (aggs_[a].fn == AggFn::kSum || aggs_[a].fn == AggFn::kAvg) {
+            sums[a].resize(ngroups, 0.0);
+          } else if (aggs_[a].fn == AggFn::kMin ||
+                     aggs_[a].fn == AggFn::kMax) {
+            extrema[a].Resize(ngroups);
+          }
+        }
+      }
+      // Accumulate: counts first (every agg counts all group rows), then
+      // one tight typed loop per aggregate over the chunk.
+      for (size_t i = 0; i < n; ++i) ++counts[gid[i]];
+      for (size_t a = 0; a < nag; ++a) {
+        if (!aidx[a].has_value() || *aidx[a] >= t.num_physical_columns()) {
+          continue;  // COUNT(*) or a missing (all-NULL) column
+        }
+        const ColumnVector& col = t.column(*aidx[a]);
+        switch (aggs_[a].fn) {
+          case AggFn::kSum:
+          case AggFn::kAvg:
+            AccumulateSum(col, phys, gid, sums[a].data());
+            break;
+          case AggFn::kMin:
+            AccumulateMinMax<true>(col, phys, gid, &extrema[a]);
+            break;
+          case AggFn::kMax:
+            AccumulateMinMax<false>(col, phys, gid, &extrema[a]);
+            break;
+          case AggFn::kCount:
+            break;
+        }
+      }
+    }
+    child_->Close();
+
+    // Global aggregate over empty input still yields one row.
+    if (ngroups == 0 && group_cols_.empty()) {
+      ngroups = 1;
+      counts.assign(1, 0);
+      for (size_t a = 0; a < nag; ++a) {
+        if (aggs_[a].fn == AggFn::kSum || aggs_[a].fn == AggFn::kAvg) {
+          sums[a].assign(1, 0.0);
+        } else if (aggs_[a].fn == AggFn::kMin || aggs_[a].fn == AggFn::kMax) {
+          extrema[a].Resize(1);
+        }
+      }
+    }
+
+    result_ = std::make_shared<Table>(
+        BuildOutput(ngroups, std::move(key_cols), counts, sums, extrema));
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row, int64_t* lid) override {
+    if (result_ == nullptr || pos_ >= result_->num_rows()) return false;
+    *row = result_->row(pos_);
+    *lid = 0;  // wide dependency: table-level lineage only (Section 3)
+    ++pos_;
+    return true;
+  }
+
+  Result<bool> NextChunk(Chunk* chunk) override {
+    if (result_ == nullptr || pos_ >= result_->num_rows()) return false;
+    chunk->table = result_;
+    chunk->begin = pos_;
+    chunk->end = std::min(pos_ + kChunkRows, result_->num_rows());
+    chunk->sel.clear();
+    pos_ = chunk->end;
+    return true;
+  }
+
+  void Close() override { result_.reset(); }
+  const Schema& output_schema() const override { return schema_; }
+  std::string Describe() const override {
+    return "Aggregate(groups=" + std::to_string(group_cols_.size()) +
+           ", aggs=" + std::to_string(aggs_.size()) + ")";
+  }
+
+ private:
+  /// Assembles the result table straight from the accumulator arrays —
+  /// no per-group Value boxing except string/mixed extrema.
+  Table BuildOutput(uint32_t ngroups, std::vector<ColumnPtr> key_cols,
+                    const std::vector<int64_t>& counts,
+                    const std::vector<std::vector<double>>& sums,
+                    const std::vector<MinMaxAcc>& extrema) const {
+    if (schema_.num_columns() == 0) {
+      // Degenerate aggregate with no outputs: keep the row count.
+      Table out((std::string()), schema_);
+      for (uint32_t g = 0; g < ngroups; ++g) out.AppendRow({});
+      return out;
+    }
+    auto all_valid = [](size_t n) {
+      return std::vector<uint64_t>((n + 63) / 64, ~uint64_t{0});
+    };
+    std::vector<ColumnPtr> cols = std::move(key_cols);
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      switch (aggs_[a].fn) {
+        case AggFn::kCount:
+          cols.push_back(
+              ColumnVector::FromInts(counts, all_valid(ngroups)));
+          break;
+        case AggFn::kSum:
+          cols.push_back(
+              ColumnVector::FromDoubles(sums[a], all_valid(ngroups)));
+          break;
+        case AggFn::kAvg: {
+          std::vector<double> v(ngroups, 0.0);
+          std::vector<uint64_t> bits((ngroups + 63) / 64, 0);
+          for (uint32_t g = 0; g < ngroups; ++g) {
+            if (counts[g] != 0) {
+              v[g] = sums[a][g] / static_cast<double>(counts[g]);
+              bits[g >> 6] |= uint64_t{1} << (g & 63);
+            }
+          }
+          cols.push_back(
+              ColumnVector::FromDoubles(std::move(v), std::move(bits)));
+          break;
+        }
+        case AggFn::kMin:
+        case AggFn::kMax:
+          cols.push_back(ExtremeColumn(extrema[a], ngroups));
+          break;
+      }
+    }
+    return Table::FromColumns(std::string(), schema_, std::move(cols), {});
+  }
+
+  static ColumnPtr ExtremeColumn(const MinMaxAcc& acc, uint32_t ngroups) {
+    std::vector<uint64_t> bits((ngroups + 63) / 64, 0);
+    for (uint32_t g = 0; g < ngroups; ++g) {
+      if (g < acc.seen.size() && acc.seen[g]) {
+        bits[g >> 6] |= uint64_t{1} << (g & 63);
+      }
+    }
+    switch (acc.mode) {
+      case ColumnEncoding::kBool:
+        return ColumnVector::FromBools(acc.b8, std::move(bits));
+      case ColumnEncoding::kInt:
+        return ColumnVector::FromInts(acc.i64, std::move(bits));
+      case ColumnEncoding::kDouble:
+        return ColumnVector::FromDoubles(acc.f64, std::move(bits));
+      case ColumnEncoding::kDict:
+      case ColumnEncoding::kMixed: {
+        // Boxed assembly: one cell per group, same appends as the row
+        // kernel so the output encoding matches it too.
+        auto col = std::make_shared<ColumnVector>();
+        col->Reserve(ngroups);
+        for (uint32_t g = 0; g < ngroups; ++g) {
+          if (!acc.seen[g]) {
+            col->AppendNull();
+          } else if (acc.mode == ColumnEncoding::kDict) {
+            col->Append(Value::Str(acc.str[g]));
+          } else {
+            col->Append(acc.val[g]);
+          }
+        }
+        return col;
+      }
+      case ColumnEncoding::kEmpty:
+        break;
+    }
+    return ColumnVector::AllNulls(ngroups);
+  }
+
+  OperatorPtr child_;
+  std::vector<std::string> group_cols_;
+  std::vector<AggSpec> aggs_;
+  Schema schema_;
+  TablePtr result_;
+  size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------------- Sort
+class RowSortOp : public Operator {
+ public:
+  RowSortOp(OperatorPtr child, std::vector<SortKey> keys)
       : child_(std::move(child)), keys_(std::move(keys)) {}
 
   Status Open() override {
@@ -659,6 +1218,302 @@ class SortOp : public Operator {
   OperatorPtr child_;
   std::vector<SortKey> keys_;
   std::vector<std::pair<Row, int64_t>> rows_;
+  size_t pos_ = 0;
+};
+
+// --------------------------------------------------- Sort (columnar kernel)
+
+/// One resolved sort key over the gathered input: typed comparator state.
+/// Dictionary columns compare by precomputed code rank — one string sort
+/// over the dictionary instead of a string compare per row pair.
+struct SortKeyCol {
+  const ColumnVector* col = nullptr;
+  size_t off = 0;
+  bool desc = false;
+  ColumnEncoding enc = ColumnEncoding::kEmpty;
+  std::vector<uint32_t> rank;  // kDict: dictionary code -> sorted rank
+};
+
+/// Three-way compare of rows a/b under one key, replicating
+/// Value::Compare exactly: NULL first, numerics as doubles (NaN compares
+/// equal to everything numeric), strings lexicographic.
+int CompareKeyAt(const SortKeyCol& k, uint32_t a, uint32_t b) {
+  const ColumnVector& col = *k.col;
+  size_t pa = k.off + a;
+  size_t pb = k.off + b;
+  bool na = col.IsNull(pa);
+  bool nb = col.IsNull(pb);
+  if (na || nb) return na == nb ? 0 : (na ? -1 : 1);
+  switch (k.enc) {
+    case ColumnEncoding::kBool: {
+      int x = col.BoolAt(pa) ? 1 : 0;
+      int y = col.BoolAt(pb) ? 1 : 0;
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ColumnEncoding::kInt: {
+      // Value::Compare ranks numerics as doubles; match it exactly so
+      // large-int64 precision ties stay ties (stable order preserved).
+      double x = static_cast<double>(col.IntAt(pa));
+      double y = static_cast<double>(col.IntAt(pb));
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ColumnEncoding::kDouble: {
+      double x = col.DoubleAt(pa);
+      double y = col.DoubleAt(pb);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ColumnEncoding::kDict: {
+      uint32_t x = k.rank[col.CodeAt(pa)];
+      uint32_t y = k.rank[col.CodeAt(pb)];
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ColumnEncoding::kMixed:
+      return col.MixedAt(pa).Compare(col.MixedAt(pb));
+    case ColumnEncoding::kEmpty:
+      return 0;
+  }
+  return 0;
+}
+
+/// Monotone map from doubles (no NaN) onto u64: a < b iff image(a) <
+/// image(b), equal doubles share an image. -0.0 collapses onto +0.0 so
+/// the pair stays a tie, exactly as `x < y ? -1 : (x > y ? 1 : 0)` ranks
+/// it. Never returns 0, so the caller can reserve 0 for NULL.
+uint64_t OrderedDoubleBits(double x) {
+  if (x == 0.0) x = 0.0;
+  uint64_t b;
+  std::memcpy(&b, &x, sizeof b);
+  return (b >> 63) ? ~b : (b | (1ull << 63));
+}
+
+/// Whether `k` can be rendered as an order-preserving u64 per row.
+/// kMixed has no cheap total-order image, and a double column holding
+/// NaN cannot be packed at all: CompareKeyAt ties NaN with every
+/// numeric, which no total order reproduces.
+bool KeyIsPackable(const SortKeyCol& k, size_t n) {
+  if (k.enc == ColumnEncoding::kMixed) return false;
+  if (k.enc == ColumnEncoding::kDouble) {
+    for (size_t r = 0; r < n; ++r) {
+      size_t p = k.off + r;
+      if (!k.col->IsNull(p)) {
+        double x = k.col->DoubleAt(p);
+        if (x != x) return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// u64 image of row `p` under key `k`, ordered exactly as CompareKeyAt
+/// orders cells: NULL is 0 (first), everything else lands above it.
+/// DESC keys are handled by the caller inverting the image bits.
+uint64_t PackSortKey(const SortKeyCol& k, size_t p) {
+  if (k.col->IsNull(p)) return 0;
+  switch (k.enc) {
+    case ColumnEncoding::kBool:
+      return k.col->BoolAt(p) ? 2 : 1;
+    case ColumnEncoding::kInt:
+      // Same double rounding as CompareKeyAt: large int64s that collide
+      // as doubles stay ties.
+      return OrderedDoubleBits(static_cast<double>(k.col->IntAt(p)));
+    case ColumnEncoding::kDouble:
+      return OrderedDoubleBits(k.col->DoubleAt(p));
+    case ColumnEncoding::kDict:
+      return 1ull + k.rank[k.col->CodeAt(p)];
+    default:
+      return 1;  // kEmpty: every non-NULL comparison ties
+  }
+}
+
+class ColumnarSortOp : public Operator {
+ public:
+  ColumnarSortOp(OperatorPtr child, std::vector<SortKey> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+
+  Status Open() override {
+    KATHDB_RETURN_IF_ERROR(child_->Open());
+    const Schema& in = child_->output_schema();
+    std::vector<std::pair<size_t, bool>> kidx;
+    for (const auto& k : keys_) {
+      auto idx = in.IndexOf(k.column);
+      if (!idx.has_value()) {
+        return Status::SyntacticError("sort by unknown column '" + k.column +
+                                      "'");
+      }
+      kidx.emplace_back(*idx, k.descending);
+    }
+    // Gather the input once (chunked bulk appends), then sort an index
+    // permutation: rows are never boxed and never move until a consumer
+    // gathers the permutation out.
+    input_ = std::make_shared<Table>(std::string(), in);
+    Chunk chunk;
+    while (true) {
+      KATHDB_ASSIGN_OR_RETURN(bool has, child_->NextChunk(&chunk));
+      if (!has) break;
+      input_->Reserve(input_->num_rows() + chunk.size());
+      if (chunk.sel.empty()) {
+        input_->AppendSlice(*chunk.table, chunk.begin, chunk.end);
+      } else {
+        input_->AppendGather(*chunk.table, chunk.sel.data(),
+                             chunk.sel.size());
+      }
+    }
+    child_->Close();
+    const size_t n = input_->num_rows();
+    perm_.resize(n);
+    std::iota(perm_.begin(), perm_.end(), 0u);
+    std::vector<SortKeyCol> cmp;
+    for (const auto& [idx, desc] : kidx) {
+      // Missing physical columns read as all-NULL: every comparison under
+      // that key ties, so it contributes nothing — skip it.
+      if (idx >= input_->num_physical_columns()) continue;
+      SortKeyCol k;
+      k.col = &input_->column(idx);
+      k.off = input_->offset();
+      k.desc = desc;
+      k.enc = k.col->encoding();
+      if (k.enc == ColumnEncoding::kDict) {
+        // Rank the dictionary once: distinct codes are distinct strings,
+        // so rank order == lexicographic order, compared as uint32.
+        size_t dn = k.col->dict_size();
+        std::vector<uint32_t> order(dn);
+        std::iota(order.begin(), order.end(), 0u);
+        const ColumnVector* c = k.col;
+        std::sort(order.begin(), order.end(), [c](uint32_t x, uint32_t y) {
+          return c->DictEntry(x) < c->DictEntry(y);
+        });
+        k.rank.resize(dn);
+        for (size_t r = 0; r < dn; ++r) {
+          k.rank[order[r]] = static_cast<uint32_t>(r);
+        }
+      }
+      cmp.push_back(std::move(k));
+    }
+    if (!cmp.empty() && n > 1 && !TrySortPacked(cmp, n)) {
+      std::stable_sort(perm_.begin(), perm_.end(),
+                       [&cmp](uint32_t a, uint32_t b) {
+                         for (const auto& k : cmp) {
+                           int c = CompareKeyAt(k, a, b);
+                           if (c != 0) return k.desc ? c > 0 : c < 0;
+                         }
+                         return false;
+                       });
+    }
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  /// Fast path for totally-ordered keys: render each key as an
+  /// order-preserving u64 per row, then stable_sort contiguous
+  /// {keys..., index} records. The merge passes stream sequentially
+  /// through one packed array instead of chasing the permutation into
+  /// per-column storage and re-deciding NULL/encoding on every
+  /// comparison, which is where the generic comparator spends its time.
+  /// Returns false (perm_ untouched) when any key resists packing.
+  bool TrySortPacked(const std::vector<SortKeyCol>& cmp, size_t n) {
+    for (const auto& k : cmp) {
+      if (!KeyIsPackable(k, n)) return false;
+    }
+    auto key_at = [](const SortKeyCol& k, size_t r) {
+      uint64_t v = PackSortKey(k, k.off + r);
+      // Bit inversion flips the whole order, NULL placement included —
+      // the same effect as CompareKeyAt's per-key DESC sign flip.
+      return k.desc ? ~v : v;
+    };
+    if (cmp.size() == 1) {
+      struct E {
+        uint64_t k0;
+        uint32_t idx;
+      };
+      std::vector<E> e(n);
+      for (size_t r = 0; r < n; ++r) {
+        e[r] = {key_at(cmp[0], r), static_cast<uint32_t>(r)};
+      }
+      std::stable_sort(e.begin(), e.end(),
+                       [](const E& a, const E& b) { return a.k0 < b.k0; });
+      for (size_t r = 0; r < n; ++r) perm_[r] = e[r].idx;
+      return true;
+    }
+    if (cmp.size() == 2) {
+      struct E {
+        uint64_t k0;
+        uint64_t k1;
+        uint32_t idx;
+      };
+      std::vector<E> e(n);
+      for (size_t r = 0; r < n; ++r) {
+        e[r] = {key_at(cmp[0], r), key_at(cmp[1], r),
+                static_cast<uint32_t>(r)};
+      }
+      std::stable_sort(e.begin(), e.end(), [](const E& a, const E& b) {
+        if (a.k0 != b.k0) return a.k0 < b.k0;
+        return a.k1 < b.k1;
+      });
+      for (size_t r = 0; r < n; ++r) perm_[r] = e[r].idx;
+      return true;
+    }
+    // Three or more keys: row-major key matrix, permutation sort. Less
+    // cache-friendly than the struct forms but still branch-cheap.
+    const size_t nk = cmp.size();
+    std::vector<uint64_t> keys(n * nk);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t j = 0; j < nk; ++j) keys[r * nk + j] = key_at(cmp[j], r);
+    }
+    std::stable_sort(perm_.begin(), perm_.end(),
+                     [&keys, nk](uint32_t a, uint32_t b) {
+                       const uint64_t* ka = &keys[a * nk];
+                       const uint64_t* kb = &keys[b * nk];
+                       for (size_t j = 0; j < nk; ++j) {
+                         if (ka[j] != kb[j]) return ka[j] < kb[j];
+                       }
+                       return false;
+                     });
+    return true;
+  }
+
+  Result<bool> Next(Row* row, int64_t* lid) override {
+    if (pos_ >= perm_.size()) return false;
+    *row = input_->row(perm_[pos_]);
+    *lid = input_->row_lid(perm_[pos_]);
+    ++pos_;
+    return true;
+  }
+
+  Result<bool> NextChunk(Chunk* chunk) override {
+    // Zero extra materialization: chunks are selection-vector windows of
+    // the permutation over the gathered input; AppendGather carries the
+    // cells and lids out in sorted order.
+    if (pos_ >= perm_.size()) return false;
+    size_t end = std::min(pos_ + kChunkRows, perm_.size());
+    chunk->table = input_;
+    chunk->begin = 0;
+    chunk->end = input_->num_rows();
+    chunk->sel.assign(perm_.begin() + pos_, perm_.begin() + end);
+    pos_ = end;
+    return true;
+  }
+
+  void Close() override {
+    input_.reset();
+    perm_.clear();
+  }
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  std::string Describe() const override {
+    std::string out = "Sort(";
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += keys_[i].column + (keys_[i].descending ? " DESC" : " ASC");
+    }
+    return out + ")";
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  TablePtr input_;
+  std::vector<uint32_t> perm_;
   size_t pos_ = 0;
 };
 
@@ -795,13 +1650,22 @@ OperatorPtr MakeNestedLoopJoin(OperatorPtr left, OperatorPtr right,
 }
 OperatorPtr MakeAggregate(OperatorPtr child,
                           std::vector<std::string> group_cols,
-                          std::vector<AggSpec> aggs) {
-  return std::make_unique<AggregateOp>(std::move(child),
-                                       std::move(group_cols),
-                                       std::move(aggs));
+                          std::vector<AggSpec> aggs, ExecImpl impl) {
+  if (impl == ExecImpl::kRow) {
+    return std::make_unique<RowAggregateOp>(std::move(child),
+                                            std::move(group_cols),
+                                            std::move(aggs));
+  }
+  return std::make_unique<ColumnarAggregateOp>(std::move(child),
+                                               std::move(group_cols),
+                                               std::move(aggs));
 }
-OperatorPtr MakeSort(OperatorPtr child, std::vector<SortKey> keys) {
-  return std::make_unique<SortOp>(std::move(child), std::move(keys));
+OperatorPtr MakeSort(OperatorPtr child, std::vector<SortKey> keys,
+                     ExecImpl impl) {
+  if (impl == ExecImpl::kRow) {
+    return std::make_unique<RowSortOp>(std::move(child), std::move(keys));
+  }
+  return std::make_unique<ColumnarSortOp>(std::move(child), std::move(keys));
 }
 OperatorPtr MakeLimit(OperatorPtr child, size_t limit) {
   return std::make_unique<LimitOp>(std::move(child), limit);

@@ -109,18 +109,31 @@ struct AggSpec {
   std::string output_name;
 };
 
+/// Kernel selector for operators that keep two implementations: the
+/// chunk-native columnar kernel (default — typed accumulator arrays, no
+/// per-row Value boxing) and the original row-at-a-time path, retained as
+/// the reference the differential tests and benchmarks compare against.
+enum class ExecImpl { kColumnar, kRow };
+
 /// Hash aggregation grouped by `group_cols` (may be empty = global).
+/// Groups are keyed by a 64-bit hash of the key cells (first-seen output
+/// order); both kernels produce byte-identical tables.
 OperatorPtr MakeAggregate(OperatorPtr child,
                           std::vector<std::string> group_cols,
-                          std::vector<AggSpec> aggs);
+                          std::vector<AggSpec> aggs,
+                          ExecImpl impl = ExecImpl::kColumnar);
 
 struct SortKey {
   std::string column;
   bool descending = false;
 };
 
-/// Blocking stable sort.
-OperatorPtr MakeSort(OperatorPtr child, std::vector<SortKey> keys);
+/// Blocking stable sort. The columnar kernel sorts an index permutation
+/// over the materialized input with typed key comparators (dictionary
+/// columns compare by precomputed code rank) and streams the permutation
+/// out as selection-vector chunks; the row kernel stable-sorts boxed rows.
+OperatorPtr MakeSort(OperatorPtr child, std::vector<SortKey> keys,
+                     ExecImpl impl = ExecImpl::kColumnar);
 
 /// Emits at most `limit` rows.
 OperatorPtr MakeLimit(OperatorPtr child, size_t limit);

@@ -75,6 +75,20 @@ void Table::DetachLids() {
   }
 }
 
+void Table::Reserve(size_t rows) {
+  if (view_ || offset_ != 0) return;
+  EnsureColumns();
+  for (auto& col : cols_) {
+    if (col.use_count() == 1) col->Reserve(rows);
+  }
+  // Same amortization as ColumnVector::Reserve: incremental per-chunk
+  // hints must not pin capacity to the exact request.
+  if (lids_ != nullptr && lids_.use_count() == 1 &&
+      rows > lids_->capacity()) {
+    lids_->reserve(std::max(rows, lids_->capacity() * 2));
+  }
+}
+
 Row Table::row(size_t i) const {
   Row out;
   size_t ncols = schema_.num_columns();

@@ -60,6 +60,14 @@ class Table {
 
   size_t num_rows() const { return rows_; }
 
+  /// Reserves capacity for `rows` total rows in every exclusively-owned
+  /// column buffer (and the lid column). No-op for views and shared
+  /// buffers — reserving those would force copy-on-write detaches. A
+  /// cheap hint for bulk producers: chunked Materialize, the aggregate /
+  /// sort kernels and join build sides call it ahead of bulk appends to
+  /// kill reallocation churn.
+  void Reserve(size_t rows);
+
   /// Materializes row `i` as a vector of Values (facade: prefer column
   /// access in hot loops).
   Row row(size_t i) const;

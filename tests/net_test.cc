@@ -172,14 +172,18 @@ class NetFixture : public ::testing::Test {
     ASSERT_TRUE(st.ok()) << st.ToString();
   }
 
-  std::unique_ptr<Client> Connect(int rcvbuf_bytes = 0) {
+  std::unique_ptr<Client> Connect(
+      int rcvbuf_bytes = 0,
+      ResultEncoding encoding = ResultEncoding::kColumnar) {
     ClientOptions copts;
     copts.port = server_->port();
     copts.recv_timeout_ms = kRecvTimeoutMs;
     copts.rcvbuf_bytes = rcvbuf_bytes;
+    copts.result_encoding = encoding;
     auto client = std::make_unique<Client>(copts);
     Status st = client->Connect();
     EXPECT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(client->negotiated_encoding(), encoding);
     return client;
   }
 
@@ -253,6 +257,111 @@ TEST_F(NetFixture, StreamedQueryMatchesInProcessByteForByte) {
 
   EXPECT_GE(server_->stats().partial_frames,
             static_cast<int64_t>(result->partial_frames));
+}
+
+TEST_F(NetFixture, CsvAndColumnarEncodingsMatchInProcessByteForByte) {
+  // Three-way differential: the same query through the in-process
+  // service, a legacy CSV connection, and a columnar connection must
+  // produce byte-identical tables (per TableToCsv) and identical
+  // lineage summaries — the wire encoding is invisible to results.
+  engine::QueryOutcome expected;
+  {
+    service::QueryService ref_service(db_.get());
+    service::SessionId sid = ref_service.OpenSession(kPaperReplies);
+    auto outcome = ref_service.Query(sid, kPaperQuery);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    expected = std::move(outcome).value();
+    ref_service.CloseSession(sid);
+  }
+  ASSERT_GT(expected.result.num_rows(), 0u);
+
+  ServerOptions net_opts;
+  net_opts.stream_chunk_rows = 2;  // force multi-chunk reassembly
+  StartServer({}, net_opts);
+
+  auto run_as = [&](ResultEncoding encoding) {
+    auto client = Connect(0, encoding);
+    auto sid = client->OpenSession();
+    EXPECT_TRUE(sid.ok());
+    auto result = client->Query(*sid, kPaperQuery, kPaperReplies);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    client->CloseSession(*sid);
+    return std::move(*result);
+  };
+  StreamedResult via_csv = run_as(ResultEncoding::kCsv);
+  StreamedResult via_col = run_as(ResultEncoding::kColumnar);
+
+  EXPECT_GE(via_col.partial_frames, 2u);
+  EXPECT_EQ(via_csv.partial_frames, via_col.partial_frames);
+  EXPECT_EQ(rel::TableToCsv(via_csv.table),
+            rel::TableToCsv(expected.result));
+  EXPECT_EQ(rel::TableToCsv(via_col.table),
+            rel::TableToCsv(expected.result));
+  // The three runs share one engine, so each registers fresh function
+  // versions; the summaries must agree on everything but the ver ids.
+  auto normalize_vers = [](std::string s) {
+    size_t pos = 0;
+    while ((pos = s.find(" v", pos)) != std::string::npos) {
+      size_t d = pos + 2;
+      while (d < s.size() && std::isdigit(static_cast<unsigned char>(s[d]))) {
+        ++d;
+      }
+      if (d > pos + 2) s.replace(pos, d - pos, " vN");
+      pos += 2;
+    }
+    return s;
+  };
+  EXPECT_EQ(normalize_vers(via_csv.lineage_summary),
+            normalize_vers(LineageSummary(expected.report)));
+  EXPECT_EQ(normalize_vers(via_col.lineage_summary),
+            normalize_vers(via_csv.lineage_summary));
+  // The columnar table is cell-identical, exact value types included —
+  // stronger than the CSV rendering check.
+  ASSERT_EQ(via_col.table.num_rows(), expected.result.num_rows());
+  for (size_t r = 0; r < expected.result.num_rows(); ++r) {
+    for (size_t c = 0; c < expected.result.schema().num_columns(); ++c) {
+      EXPECT_EQ(via_col.table.at(r, c), expected.result.at(r, c));
+      EXPECT_EQ(via_col.table.at(r, c).type(),
+                expected.result.at(r, c).type());
+    }
+  }
+  // Wire accounting: the server metered bytes for the partial frames.
+  NetStats stats = server_->stats();
+  EXPECT_GE(stats.partial_frames,
+            static_cast<int64_t>(via_csv.partial_frames +
+                                 via_col.partial_frames));
+  EXPECT_GT(stats.partial_bytes, 0);
+}
+
+TEST_F(NetFixture, LegacyBareHelloStillNegotiatesCsv) {
+  StartServer();
+  ClientOptions copts;
+  copts.port = server_->port();
+  copts.recv_timeout_ms = kRecvTimeoutMs;
+  copts.result_encoding = ResultEncoding::kCsv;  // bare legacy HELLO
+  Client client(copts);
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.negotiated_encoding(), ResultEncoding::kCsv);
+  auto sid = client.OpenSession();
+  ASSERT_TRUE(sid.ok());
+  auto result = client.Query(*sid, kPaperQuery, kPaperReplies);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->total_rows, 0u);
+}
+
+TEST_F(NetFixture, MalformedHelloEncodingClosesTheConnection) {
+  StartServer();
+  ClientOptions copts;
+  copts.port = server_->port();
+  copts.recv_timeout_ms = kRecvTimeoutMs;
+  Client client(copts);
+  ASSERT_TRUE(client.ConnectRaw().ok());
+  PayloadWriter w;
+  w.PutString(kWireMagic);
+  w.PutU8(99);  // not a ResultEncoding
+  ASSERT_TRUE(client.SendFrame(Op::kHello, w.Take()).ok());
+  auto frame = client.ReadFrame();
+  EXPECT_FALSE(frame.ok());  // server closed without HELLO_OK
 }
 
 TEST_F(NetFixture, ScriptedRepliesRideAlongInTheQueryFrame) {
