@@ -23,22 +23,18 @@ void SystemClock::SleepFor(double ms) {
       std::chrono::microseconds(static_cast<int64_t>(ms * 1000.0)));
 }
 
-void SystemClock::WaitUntil(std::unique_lock<std::mutex>& lock,
-                            std::condition_variable& cv,
-                            int64_t deadline_micros) {
+void SystemClock::WaitUntil(Mutex& mu, CondVar& cv, int64_t deadline_micros) {
   int64_t now = NowMicros();
   if (deadline_micros <= now) return;
-  cv.wait_for(lock, std::chrono::microseconds(deadline_micros - now));
+  cv.WaitFor(mu, deadline_micros - now);
 }
 
-void ManualClock::WaitUntil(std::unique_lock<std::mutex>& lock,
-                            std::condition_variable& cv,
-                            int64_t deadline_micros) {
+void ManualClock::WaitUntil(Mutex& mu, CondVar& cv, int64_t deadline_micros) {
   if (deadline_micros <= NowMicros()) return;
   // Virtual time only moves via Advance(), which fires the wakers that
   // notify `cv`; a plain wait (no timeout) keeps tests fully
   // deterministic. Spurious wakeups are fine — callers re-check.
-  cv.wait(lock);
+  cv.Wait(mu);
 }
 
 void ManualClock::Advance(double ms) {
@@ -48,7 +44,7 @@ void ManualClock::Advance(double ms) {
   }
   std::vector<std::function<void()>> to_fire;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     to_fire.reserve(wakers_.size());
     for (const auto& [id, waker] : wakers_) to_fire.push_back(waker);
   }
@@ -56,14 +52,14 @@ void ManualClock::Advance(double ms) {
 }
 
 int64_t ManualClock::RegisterWaker(std::function<void()> waker) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int64_t id = next_waker_id_++;
   wakers_[id] = std::move(waker);
   return id;
 }
 
 void ManualClock::UnregisterWaker(int64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   wakers_.erase(id);
 }
 

@@ -12,11 +12,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace kathdb::common {
 
@@ -35,14 +35,13 @@ class Clock {
   /// returns immediately.
   virtual void SleepFor(double ms) = 0;
 
-  /// Waits on `cv` (with `lock` held) until notified or until this
+  /// Waits on `cv` (with `mu` held) until notified or until this
   /// clock's time reaches `deadline_micros`. May wake spuriously; callers
   /// must re-check their predicate and the clock. On a manual clock this
   /// waits for a notification only — Advance() wakes registered wakers so
   /// deadline expiry is re-evaluated.
-  virtual void WaitUntil(std::unique_lock<std::mutex>& lock,
-                         std::condition_variable& cv,
-                         int64_t deadline_micros) = 0;
+  virtual void WaitUntil(Mutex& mu, CondVar& cv, int64_t deadline_micros)
+      KATHDB_REQUIRES(mu) = 0;
 
   /// Process-wide wall clock singleton.
   static Clock* System();
@@ -53,9 +52,8 @@ class SystemClock : public Clock {
  public:
   int64_t NowMicros() const override;
   void SleepFor(double ms) override;
-  void WaitUntil(std::unique_lock<std::mutex>& lock,
-                 std::condition_variable& cv,
-                 int64_t deadline_micros) override;
+  void WaitUntil(Mutex& mu, CondVar& cv, int64_t deadline_micros)
+      KATHDB_REQUIRES(mu) override;
 };
 
 /// \brief Virtual clock for deterministic tests.
@@ -79,23 +77,22 @@ class ManualClock : public Clock {
   /// so deadline waiters elsewhere observe the jump.
   void SleepFor(double ms) override { Advance(ms); }
 
-  void WaitUntil(std::unique_lock<std::mutex>& lock,
-                 std::condition_variable& cv,
-                 int64_t deadline_micros) override;
+  void WaitUntil(Mutex& mu, CondVar& cv, int64_t deadline_micros)
+      KATHDB_REQUIRES(mu) override;
 
   /// Moves virtual time forward and fires every registered waker.
-  void Advance(double ms);
+  void Advance(double ms) KATHDB_EXCLUDES(mu_);
 
   /// Registers a waker invoked after every Advance(); returns an id for
   /// UnregisterWaker. Wakers run on the advancing thread.
-  int64_t RegisterWaker(std::function<void()> waker);
-  void UnregisterWaker(int64_t id);
+  int64_t RegisterWaker(std::function<void()> waker) KATHDB_EXCLUDES(mu_);
+  void UnregisterWaker(int64_t id) KATHDB_EXCLUDES(mu_);
 
  private:
   std::atomic<int64_t> now_micros_;
-  std::mutex mu_;
-  int64_t next_waker_id_ = 1;
-  std::map<int64_t, std::function<void()>> wakers_;
+  Mutex mu_;
+  int64_t next_waker_id_ KATHDB_GUARDED_BY(mu_) = 1;
+  std::map<int64_t, std::function<void()>> wakers_ KATHDB_GUARDED_BY(mu_);
 };
 
 }  // namespace kathdb::common

@@ -1,0 +1,247 @@
+/// \file sync.h
+/// \brief Annotated synchronization primitives (Clang Thread Safety
+/// Analysis).
+///
+/// Every lock in KathDB goes through these wrappers instead of the raw
+/// standard-library types so that lock discipline is a *compile-time*
+/// contract, not a convention sampled by ThreadSanitizer:
+///
+///  - `Mutex` / `SharedMutex` are capabilities. A member annotated
+///    `KATHDB_GUARDED_BY(mu_)` cannot be touched without holding `mu_`;
+///    a private helper annotated `KATHDB_REQUIRES(mu_)` cannot be called
+///    without it — clang's `-Wthread-safety` turns a missing lock into a
+///    build break (the CI `thread-safety` job runs with
+///    `-Werror=thread-safety`).
+///  - `MutexLock` / `ReaderLock` / `WriterLock` are the RAII guards.
+///  - `CondVar` couples to `Mutex` (the caller holds the mutex across
+///    `Wait`, exactly like `std::condition_variable`, and the analysis
+///    treats the lock as held throughout — which is the contract the
+///    woken predicate re-check relies on).
+///
+/// On non-clang compilers the annotation macros expand to nothing and
+/// the wrappers are zero-cost forwarding shims over `std::mutex` /
+/// `std::shared_mutex` / `std::condition_variable`.
+///
+/// \ingroup kathdb_common
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+// ---------------------------------------------------------------- macros
+
+#if defined(__clang__)
+#define KATHDB_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define KATHDB_THREAD_ANNOTATION_(x)  // no-op: gcc/msvc ignore the analysis
+#endif
+
+/// Declares a class to be a lockable capability ("mutex").
+#define KATHDB_CAPABILITY(x) KATHDB_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class that acquires in its constructor and releases
+/// in its destructor.
+#define KATHDB_SCOPED_CAPABILITY KATHDB_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The annotated member may only be accessed while holding the given
+/// capability (reads need at least shared access, writes exclusive).
+#define KATHDB_GUARDED_BY(x) KATHDB_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The pointed-to data (not the pointer itself) is protected by the
+/// given capability.
+#define KATHDB_PT_GUARDED_BY(x) KATHDB_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Lock-ordering contract: this capability must be acquired before /
+/// after the listed ones (deadlock detection).
+#define KATHDB_ACQUIRED_BEFORE(...) \
+  KATHDB_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define KATHDB_ACQUIRED_AFTER(...) \
+  KATHDB_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding the capability
+/// exclusively (internal "*Locked" helpers).
+#define KATHDB_REQUIRES(...) \
+  KATHDB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// ... while holding at least shared access.
+#define KATHDB_REQUIRES_SHARED(...) \
+  KATHDB_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define KATHDB_ACQUIRE(...) \
+  KATHDB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define KATHDB_ACQUIRE_SHARED(...) \
+  KATHDB_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (held on entry).
+#define KATHDB_RELEASE(...) \
+  KATHDB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define KATHDB_RELEASE_SHARED(...) \
+  KATHDB_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define KATHDB_RELEASE_GENERIC(...) \
+  KATHDB_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns the given value.
+#define KATHDB_TRY_ACQUIRE(...) \
+  KATHDB_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define KATHDB_TRY_ACQUIRE_SHARED(...) \
+  KATHDB_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called while holding the capability
+/// (non-reentrancy / deadlock contract on public entry points whose
+/// bodies take the lock).
+#define KATHDB_EXCLUDES(...) \
+  KATHDB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime boundaries the analysis cannot see through) that
+/// the capability is held.
+#define KATHDB_ASSERT_CAPABILITY(x) \
+  KATHDB_THREAD_ANNOTATION_(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define KATHDB_RETURN_CAPABILITY(x) \
+  KATHDB_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function is deliberately unchecked. Every use must
+/// carry a comment explaining why it is safe.
+#define KATHDB_NO_THREAD_SAFETY_ANALYSIS \
+  KATHDB_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace kathdb::common {
+
+// ---------------------------------------------------------------- mutexes
+
+/// \brief Annotated exclusive mutex (wraps std::mutex).
+class KATHDB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() KATHDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() KATHDB_RELEASE() { mu_.unlock(); }
+  bool TryLock() KATHDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief Annotated reader/writer mutex (wraps std::shared_mutex).
+class KATHDB_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() KATHDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() KATHDB_RELEASE() { mu_.unlock(); }
+  bool TryLock() KATHDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void LockShared() KATHDB_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() KATHDB_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLockShared() KATHDB_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// ---------------------------------------------------------------- guards
+
+/// \brief RAII exclusive lock over a Mutex.
+class KATHDB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) KATHDB_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() KATHDB_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// \brief RAII exclusive lock over a SharedMutex.
+class KATHDB_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) KATHDB_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterLock() KATHDB_RELEASE() { mu_.Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// \brief RAII shared (read) lock over a SharedMutex.
+class KATHDB_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) KATHDB_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() KATHDB_RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// ---------------------------------------------------------------- condvar
+
+/// \brief Condition variable coupled to Mutex.
+///
+/// `Wait*` must be called with `mu` held (enforced by the analysis); the
+/// mutex is atomically released while blocked and reacquired before
+/// return, exactly like `std::condition_variable`. Spurious wakeups are
+/// possible — callers loop on their predicate (or use the predicate
+/// overloads, which loop internally).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken).
+  void Wait(Mutex& mu) KATHDB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // the caller's scope still owns the mutex
+  }
+
+  /// Blocks until `pred()` holds. NOTE: clang's analysis does not see
+  /// into the predicate lambda — predicates that read guarded state
+  /// should be thin wrappers over a `KATHDB_REQUIRES` helper, or callers
+  /// use an explicit `while (!p) Wait(mu);` loop instead.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) KATHDB_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  /// Blocks until notified or `micros` elapsed. Returns false on
+  /// timeout (the predicate must be re-checked either way).
+  bool WaitFor(Mutex& mu, int64_t micros) KATHDB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    auto status = cv_.wait_for(lk, std::chrono::microseconds(micros));
+    lk.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace kathdb::common

@@ -18,39 +18,39 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return false;
     if (max_queue_ != 0 && queue_.size() >= max_queue_) return false;
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  MutexLock lock(mu_);
+  while (!(queue_.empty() && running_ == 0)) idle_cv_.Wait(mu_);
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return;
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 size_t ThreadPool::active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return running_;
 }
 
@@ -58,11 +58,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) {
         // shutdown_ with a drained queue: exit after waking Wait() callers.
-        idle_cv_.notify_all();
+        idle_cv_.NotifyAll();
         return;
       }
       task = std::move(queue_.front());
@@ -71,9 +71,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --running_;
-      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && running_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

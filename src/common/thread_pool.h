@@ -13,13 +13,13 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace kathdb::common {
 
@@ -38,30 +38,30 @@ class ThreadPool {
 
   /// Enqueues `task`; returns false when the queue is at capacity or the
   /// pool is shutting down (the caller sheds load).
-  bool TrySubmit(std::function<void()> task);
+  bool TrySubmit(std::function<void()> task) KATHDB_EXCLUDES(mu_);
 
   /// Blocks until every queued task has been picked up *and* finished.
-  void Wait();
+  void Wait() KATHDB_EXCLUDES(mu_);
 
   /// Stops accepting work, drains the queue, joins. Idempotent.
-  void Shutdown();
+  void Shutdown() KATHDB_EXCLUDES(mu_);
 
   int workers() const { return static_cast<int>(threads_.size()); }
-  size_t queue_depth() const;
+  size_t queue_depth() const KATHDB_EXCLUDES(mu_);
   /// Tasks currently executing on a worker.
-  size_t active() const;
+  size_t active() const KATHDB_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() KATHDB_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for tasks
-  std::condition_variable idle_cv_;   // Wait() waits for quiescence
-  std::deque<std::function<void()>> queue_;
-  size_t max_queue_ = 0;
-  size_t running_ = 0;
-  bool shutdown_ = false;
-  std::vector<std::thread> threads_;
+  mutable Mutex mu_;
+  CondVar work_cv_;   // workers wait for tasks
+  CondVar idle_cv_;   // Wait() waits for quiescence
+  std::deque<std::function<void()>> queue_ KATHDB_GUARDED_BY(mu_);
+  size_t max_queue_ = 0;  ///< immutable after construction
+  size_t running_ KATHDB_GUARDED_BY(mu_) = 0;
+  bool shutdown_ KATHDB_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  ///< written in ctor/Shutdown only
 };
 
 }  // namespace kathdb::common

@@ -322,7 +322,7 @@ Status Executor::FinishNode(const opt::PhysicalNode& node,
     // On-the-fly repair instead of aborting (Section 5). Serialized so
     // concurrent branches never interleave user-channel escalations.
     {
-      std::lock_guard<std::mutex> lock(monitor_mu_);
+      common::MutexLock lock(monitor_mu_);
       KATHDB_ASSIGN_OR_RETURN(
           spec, monitor_.RepairSyntactic(spec, result.status(), ctx));
     }
@@ -380,7 +380,7 @@ Status Executor::FinishNode(const opt::PhysicalNode& node,
     run->semantic_flagged = true;
     FunctionSpec resolved;
     {
-      std::lock_guard<std::mutex> lock(monitor_mu_);
+      common::MutexLock lock(monitor_mu_);
       KATHDB_ASSIGN_OR_RETURN(
           resolved, monitor_.ResolveAnomaly(node, anomaly,
                                             options_.ask_user_on_anomaly));

@@ -21,11 +21,11 @@
 #pragma once
 
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "engine/scheduler.h"
 #include "fao/function.h"
 #include "fao/registry.h"
@@ -208,7 +208,9 @@ class Executor {
   ExecutorOptions options_;
   /// Serializes monitor escalations (repair + anomaly resolution) so
   /// concurrent branches never interleave user-channel interactions.
-  std::mutex monitor_mu_;
+  /// (The monitor itself is not guarded: DetectAnomaly is a concurrent
+  /// read-only probe; only the escalating calls are serialized.)
+  common::Mutex monitor_mu_;
 };
 
 }  // namespace kathdb::engine

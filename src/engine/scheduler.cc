@@ -1,10 +1,10 @@
 #include "engine/scheduler.h"
 
-#include <condition_variable>
-#include <mutex>
 #include <queue>
 #include <set>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace kathdb::engine {
 
@@ -14,6 +14,44 @@ Status DagScheduler::Run(const opt::PhysicalPlan& plan,
   return RunAsync(plan, options,
                   [&run_node](size_t idx, DoneFn done) { done(run_node(idx)); });
 }
+
+namespace {
+
+/// Shared completion state of one RunAsync invocation. All members are
+/// guarded by `mu`; node bodies signal through Finish from any thread.
+struct DagState {
+  common::Mutex mu;
+  common::CondVar cv;
+  // Lowest index first: ties between simultaneously-ready nodes resolve
+  // in plan order, keeping dispatch deterministic.
+  std::priority_queue<size_t, std::vector<size_t>, std::greater<size_t>>
+      ready KATHDB_GUARDED_BY(mu);
+  std::vector<size_t> indegree KATHDB_GUARDED_BY(mu);
+  std::vector<std::vector<size_t>> dependents KATHDB_GUARDED_BY(mu);
+  size_t completed KATHDB_GUARDED_BY(mu) = 0;
+  int inflight KATHDB_GUARDED_BY(mu) = 0;
+  bool failed KATHDB_GUARDED_BY(mu) = false;
+  Status first_error KATHDB_GUARDED_BY(mu) = Status::OK();
+
+  void Finish(size_t idx, const Status& st) KATHDB_EXCLUDES(mu) {
+    common::MutexLock lock(mu);
+    --inflight;
+    ++completed;
+    if (!st.ok()) {
+      if (!failed) {
+        failed = true;
+        first_error = st;
+      }
+    } else {
+      for (size_t d : dependents[idx]) {
+        if (--indegree[d] == 0) ready.push(d);
+      }
+    }
+    cv.NotifyAll();
+  }
+};
+
+}  // namespace
 
 Status DagScheduler::RunAsync(const opt::PhysicalPlan& plan,
                               const SchedulerOptions& options,
@@ -28,87 +66,97 @@ Status DagScheduler::RunAsync(const opt::PhysicalPlan& plan,
   // caller; batch flushes still progress on the scheduler's own thread).
   if (options.max_parallel_nodes <= 1 || options.pool == nullptr || n < 2) {
     for (size_t i = 0; i < n; ++i) {
-      std::mutex m;
-      std::condition_variable c;
+      common::Mutex m;
+      common::CondVar c;
       bool signalled = false;
       Status node_status = Status::OK();
-      run_node(i, [&](Status st) {
+      // The lambda outlives no one: run_node arranges for it to fire
+      // before we return from the wait below. The analysis cannot see
+      // through std::function, so the completion body asserts nothing.
+      run_node(i, [&](Status st) KATHDB_NO_THREAD_SAFETY_ANALYSIS {
         {
-          std::lock_guard<std::mutex> node_lock(m);
+          common::MutexLock node_lock(m);
           node_status = std::move(st);
           signalled = true;
         }
-        c.notify_all();
+        c.NotifyAll();
       });
-      std::unique_lock<std::mutex> node_lock(m);
-      c.wait(node_lock, [&] { return signalled; });
+      common::MutexLock node_lock(m);
+      while (!signalled) c.Wait(m);
       KATHDB_RETURN_IF_ERROR(node_status);
     }
     return Status::OK();
   }
 
-  std::vector<size_t> indegree(n, 0);
-  std::vector<std::vector<size_t>> dependents(n);
-  for (size_t i = 0; i < n; ++i) {
-    // Sanitize defensively: hand-built plans may list a producer twice,
-    // name the node itself, or point past the plan.
-    std::set<size_t> uniq(deps[i].begin(), deps[i].end());
-    uniq.erase(i);
-    for (size_t d : uniq) {
-      if (d >= n) {
-        return Status::InvalidArgument(
-            "physical plan node " + std::to_string(i) +
-            " depends on out-of-range node " + std::to_string(d));
+  auto state = std::make_shared<DagState>();
+  {
+    common::MutexLock lock(state->mu);
+    state->indegree.assign(n, 0);
+    state->dependents.assign(n, {});
+    for (size_t i = 0; i < n; ++i) {
+      // Sanitize defensively: hand-built plans may list a producer twice,
+      // name the node itself, or point past the plan.
+      std::set<size_t> uniq(deps[i].begin(), deps[i].end());
+      uniq.erase(i);
+      for (size_t d : uniq) {
+        if (d >= n) {
+          return Status::InvalidArgument(
+              "physical plan node " + std::to_string(i) +
+              " depends on out-of-range node " + std::to_string(d));
+        }
+        state->dependents[d].push_back(i);
       }
-      dependents[d].push_back(i);
+      state->indegree[i] = uniq.size();
     }
-    indegree[i] = uniq.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (state->indegree[i] == 0) state->ready.push(i);
+    }
   }
 
-  std::mutex mu;
-  std::condition_variable cv;
-  // Lowest index first: ties between simultaneously-ready nodes resolve
-  // in plan order, keeping dispatch deterministic.
-  std::priority_queue<size_t, std::vector<size_t>, std::greater<size_t>>
-      ready;
-  size_t completed = 0;
-  int inflight = 0;
-  bool failed = false;
-  Status first_error = Status::OK();
-
-  for (size_t i = 0; i < n; ++i) {
-    if (indegree[i] == 0) ready.push(i);
-  }
-
-  auto finish = [&](size_t idx, const Status& st) {
-    std::lock_guard<std::mutex> lock(mu);
-    --inflight;
-    ++completed;
-    if (!st.ok()) {
-      if (!failed) {
-        failed = true;
-        first_error = st;
+  for (;;) {
+    // Decide under the lock, dispatch outside it: a dispatched body may
+    // complete inline (pool refusal, cache hit) and re-enter Finish.
+    std::vector<size_t> dispatch_now;
+    bool all_done = false;
+    {
+      common::MutexLock lock(state->mu);
+      for (;;) {
+        if (state->completed == n) {
+          all_done = true;
+          break;
+        }
+        if (!state->failed && !state->ready.empty() &&
+            state->inflight < options.max_parallel_nodes) {
+          while (!state->ready.empty() &&
+                 state->inflight < options.max_parallel_nodes) {
+            dispatch_now.push_back(state->ready.top());
+            state->ready.pop();
+            ++state->inflight;
+          }
+          break;
+        }
+        if (state->inflight == 0) {
+          if (state->failed) {
+            all_done = true;
+            break;
+          }
+          // No work in flight, nothing ready, no failure: the remaining
+          // nodes are unreachable.
+          return Status::InvalidArgument(
+              "physical plan dependencies are unsatisfiable (cycle or "
+              "forward reference); " +
+              std::to_string(n - state->completed) + " node(s) unreachable");
+        }
+        state->cv.Wait(state->mu);
       }
-    } else {
-      for (size_t d : dependents[idx]) {
-        if (--indegree[d] == 0) ready.push(d);
-      }
+      if (all_done) return state->first_error;
     }
-    cv.notify_all();
-  };
 
-  std::unique_lock<std::mutex> lock(mu);
-  while (true) {
-    while (!failed && !ready.empty() &&
-           inflight < options.max_parallel_nodes) {
-      size_t idx = ready.top();
-      ready.pop();
-      ++inflight;
-      lock.unlock();
+    for (size_t idx : dispatch_now) {
       // The node slot stays in flight until the body's DoneFn fires —
       // the dispatched task itself may return early after parking its
       // state on a batch, freeing the worker.
-      auto done = [&finish, idx](Status st) { finish(idx, std::move(st)); };
+      auto done = [state, idx](Status st) { state->Finish(idx, std::move(st)); };
       bool submitted = options.pool->TrySubmit(
           [&run_node, idx, done] { run_node(idx, done); });
       if (!submitted) {
@@ -116,22 +164,8 @@ Status DagScheduler::RunAsync(const opt::PhysicalPlan& plan,
         // so scheduling never blocks on a free worker.
         run_node(idx, done);
       }
-      lock.lock();
     }
-    if (completed == n) break;
-    if (inflight == 0) {
-      if (failed) break;
-      if (ready.empty()) {
-        return Status::InvalidArgument(
-            "physical plan dependencies are unsatisfiable (cycle or "
-            "forward reference); " +
-            std::to_string(n - completed) + " node(s) unreachable");
-      }
-      continue;  // budget freed up; dispatch more
-    }
-    cv.wait(lock);
   }
-  return first_error;
 }
 
 }  // namespace kathdb::engine

@@ -3,9 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <thread>
@@ -652,9 +650,9 @@ struct MorselState {
   std::vector<rel::TablePtr> slices;
   std::vector<std::optional<Result<Table>>> results;
   std::atomic<size_t> next{0};
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t done = 0;  // finished partitions (guarded by mu)
+  common::Mutex mu;
+  common::CondVar cv;
+  size_t done KATHDB_GUARDED_BY(mu) = 0;  // finished partitions
 
   /// Claims and evaluates partitions until none are left. One fresh
   /// function instance per partition: implementations may keep per-call
@@ -669,14 +667,14 @@ struct MorselState {
       } else {
         results[i].emplace(fn.status());
       }
-      std::lock_guard<std::mutex> lock(mu);
-      if (++done == parts) cv.notify_all();
+      common::MutexLock lock(mu);
+      if (++done == parts) cv.NotifyAll();
     }
   }
 
-  void WaitAllDone() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return done == parts; });
+  void WaitAllDone() KATHDB_EXCLUDES(mu) {
+    common::MutexLock lock(mu);
+    while (done != parts) cv.Wait(mu);
   }
 };
 

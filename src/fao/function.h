@@ -15,11 +15,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/sync.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "fao/spec.h"
@@ -42,32 +42,32 @@ namespace kathdb::fao {
 /// classifier implementations fetch from here (the analogue of reading
 /// image files referenced by a path column).
 ///
-/// Internally synchronized (shared_mutex, reads in parallel): concurrent
+/// Internally synchronized (SharedMutex, reads in parallel): concurrent
 /// morsel partitions and DAG-parallel node tasks all fetch posters from
 /// the one store in their ExecContext while ingestion of a live corpus
 /// may still be appending.
 class ImageStore {
  public:
-  void Put(int64_t vid, mm::SyntheticImage image) {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+  void Put(int64_t vid, mm::SyntheticImage image) KATHDB_EXCLUDES(mu_) {
+    common::WriterLock lock(mu_);
     images_[vid] = std::move(image);
   }
-  Result<mm::SyntheticImage> Get(int64_t vid) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+  Result<mm::SyntheticImage> Get(int64_t vid) const KATHDB_EXCLUDES(mu_) {
+    common::ReaderLock lock(mu_);
     auto it = images_.find(vid);
     if (it == images_.end()) {
       return Status::NotFound("no raw image for vid " + std::to_string(vid));
     }
     return it->second;
   }
-  size_t size() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t size() const KATHDB_EXCLUDES(mu_) {
+    common::ReaderLock lock(mu_);
     return images_.size();
   }
 
  private:
-  mutable std::shared_mutex mu_;
-  std::map<int64_t, mm::SyntheticImage> images_;
+  mutable common::SharedMutex mu_;
+  std::map<int64_t, mm::SyntheticImage> images_ KATHDB_GUARDED_BY(mu_);
 };
 
 /// \brief Everything a function body may touch at execution time.

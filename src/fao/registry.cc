@@ -14,12 +14,12 @@ int64_t FunctionRegistry::RegisterNewVersionLocked(FunctionSpec spec) {
 }
 
 int64_t FunctionRegistry::RegisterNewVersion(FunctionSpec spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return RegisterNewVersionLocked(std::move(spec));
 }
 
 Result<FunctionSpec> FunctionRegistry::Latest(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = specs_.find(name);
   if (it == specs_.end() || it->second.empty()) {
     return Status::NotFound("no implementation registered for '" + name +
@@ -30,7 +30,7 @@ Result<FunctionSpec> FunctionRegistry::Latest(const std::string& name) const {
 
 Result<FunctionSpec> FunctionRegistry::Version(const std::string& name,
                                                int64_t ver_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return VersionLocked(name, ver_id);
 }
 
@@ -49,28 +49,28 @@ Result<FunctionSpec> FunctionRegistry::VersionLocked(const std::string& name,
 
 std::vector<FunctionSpec> FunctionRegistry::VersionsOf(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = specs_.find(name);
   return it == specs_.end() ? std::vector<FunctionSpec>{} : it->second;
 }
 
 Result<int64_t> FunctionRegistry::RollbackTo(const std::string& name,
                                              int64_t ver_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   KATHDB_ASSIGN_OR_RETURN(FunctionSpec old, VersionLocked(name, ver_id));
   old.source_text += " [rolled back from v" + std::to_string(ver_id) + "]";
   return RegisterNewVersionLocked(std::move(old));
 }
 
 std::vector<std::string> FunctionRegistry::FunctionNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<std::string> out;
   for (const auto& [name, _] : specs_) out.push_back(name);
   return out;
 }
 
 Status FunctionRegistry::SaveToDir(const std::string& dir) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
@@ -91,7 +91,7 @@ Status FunctionRegistry::SaveToDir(const std::string& dir) const {
 }
 
 Status FunctionRegistry::LoadFromDir(const std::string& dir) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   specs_.clear();
   std::error_code ec;
   auto iter = std::filesystem::directory_iterator(dir, ec);

@@ -12,11 +12,11 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "fao/spec.h"
 
 namespace kathdb::fao {
@@ -31,42 +31,48 @@ class FunctionRegistry {
  public:
   /// Stamps the next ver_id for `spec.name` and stores it. Returns the
   /// assigned version id (starting at 1 per function).
-  int64_t RegisterNewVersion(FunctionSpec spec);
+  int64_t RegisterNewVersion(FunctionSpec spec) KATHDB_EXCLUDES(mu_);
 
   /// Latest version of `name`; NotFound when absent.
-  Result<FunctionSpec> Latest(const std::string& name) const;
+  Result<FunctionSpec> Latest(const std::string& name) const
+      KATHDB_EXCLUDES(mu_);
 
   /// Specific version; NotFound when absent.
-  Result<FunctionSpec> Version(const std::string& name, int64_t ver_id) const;
+  Result<FunctionSpec> Version(const std::string& name, int64_t ver_id) const
+      KATHDB_EXCLUDES(mu_);
 
   /// All versions of `name`, oldest first (empty when unknown).
-  std::vector<FunctionSpec> VersionsOf(const std::string& name) const;
+  std::vector<FunctionSpec> VersionsOf(const std::string& name) const
+      KATHDB_EXCLUDES(mu_);
 
   /// Safe roll-back (Section 4): re-registers the body of `ver_id` as the
   /// *new latest* version, leaving history append-only. Returns the new
   /// version id; NotFound if the function/version is unknown.
-  Result<int64_t> RollbackTo(const std::string& name, int64_t ver_id);
+  Result<int64_t> RollbackTo(const std::string& name, int64_t ver_id)
+      KATHDB_EXCLUDES(mu_);
 
-  std::vector<std::string> FunctionNames() const;
-  size_t num_functions() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> FunctionNames() const KATHDB_EXCLUDES(mu_);
+  size_t num_functions() const KATHDB_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     return specs_.size();
   }
 
   /// Persists every function as `<dir>/<name>.json` (an array of version
   /// objects). Creates `dir` if needed.
-  Status SaveToDir(const std::string& dir) const;
+  Status SaveToDir(const std::string& dir) const KATHDB_EXCLUDES(mu_);
 
   /// Loads previously saved functions, replacing in-memory state.
-  Status LoadFromDir(const std::string& dir);
+  Status LoadFromDir(const std::string& dir) KATHDB_EXCLUDES(mu_);
 
  private:
   Result<FunctionSpec> VersionLocked(const std::string& name,
-                                     int64_t ver_id) const;
-  int64_t RegisterNewVersionLocked(FunctionSpec spec);
+                                     int64_t ver_id) const
+      KATHDB_REQUIRES(mu_);
+  int64_t RegisterNewVersionLocked(FunctionSpec spec) KATHDB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::vector<FunctionSpec>> specs_;
+  mutable common::Mutex mu_;
+  std::map<std::string, std::vector<FunctionSpec>> specs_
+      KATHDB_GUARDED_BY(mu_);
 };
 
 }  // namespace kathdb::fao

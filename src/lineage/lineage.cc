@@ -21,7 +21,7 @@ const char* DependencyPatternName(DependencyPattern p) {
 }
 
 int64_t LineageStore::NewLid() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return next_lid_++;
 }
 
@@ -36,7 +36,7 @@ int64_t LineageStore::RecordIngest(const std::string& src_uri,
                                    const std::string& func_id, int64_t ver_id,
                                    LineageDataType type) {
   if (mode_ == TrackingMode::kOff) return 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   LineageEntry e;
   e.lid = next_lid_++;
   e.parent_lid = std::nullopt;
@@ -52,7 +52,7 @@ int64_t LineageStore::RecordIngest(const std::string& src_uri,
 int64_t LineageStore::RecordRowDerivation(int64_t parent_lid,
                                           const std::string& func_id,
                                           int64_t ver_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   switch (mode_) {
     case TrackingMode::kOff:
     case TrackingMode::kTable:
@@ -82,7 +82,7 @@ int64_t LineageStore::RecordTableDerivation(
     const std::vector<int64_t>& parent_lids, const std::string& func_id,
     int64_t ver_id) {
   if (mode_ == TrackingMode::kOff) return 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   int64_t lid = next_lid_++;
   if (parent_lids.empty()) {
     LineageEntry e;
@@ -115,12 +115,12 @@ std::vector<LineageEntry> LineageStore::EdgesOfLocked(int64_t lid) const {
 }
 
 std::vector<LineageEntry> LineageStore::EdgesOf(int64_t lid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return EdgesOfLocked(lid);
 }
 
 std::vector<int64_t> LineageStore::ParentsOf(int64_t lid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<int64_t> out;
   for (const auto& e : EdgesOfLocked(lid)) {
     if (e.parent_lid.has_value()) out.push_back(*e.parent_lid);
@@ -129,7 +129,7 @@ std::vector<int64_t> LineageStore::ParentsOf(int64_t lid) const {
 }
 
 std::vector<LineageEntry> LineageStore::TraceToSources(int64_t lid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<LineageEntry> out;
   std::set<int64_t> visited;
   std::vector<int64_t> frontier{lid};
@@ -155,7 +155,7 @@ rel::Table LineageStore::ToTable(size_t max_rows) const {
                                        {"ver_id", DataType::kInt},
                                        {"data_type", DataType::kString},
                                        {"ts", DataType::kDouble}}));
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   size_t n = max_rows == 0 ? entries_.size()
                            : std::min(max_rows, entries_.size());
   for (size_t i = 0; i < n; ++i) {
@@ -174,7 +174,7 @@ rel::Table LineageStore::ToTable(size_t max_rows) const {
 }
 
 size_t LineageStore::ApproxBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   size_t bytes = 0;
   for (const auto& e : entries_) {
     bytes += sizeof(LineageEntry) + e.src_uri.size() + e.func_id.size();

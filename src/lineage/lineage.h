@@ -15,12 +15,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "relational/table.h"
 
 namespace kathdb::lineage {
@@ -75,60 +75,70 @@ class LineageStore {
   double sample_rate() const { return sample_rate_; }
 
   /// Allocates a fresh lineage id (monotonically increasing, starts at 1).
-  int64_t NewLid();
+  int64_t NewLid() KATHDB_EXCLUDES(mu_);
 
   /// Records the ingestion of external data (parent NULL, src_uri set).
   /// Returns the new lid, or 0 when tracking is off.
   int64_t RecordIngest(const std::string& src_uri, const std::string& func_id,
-                       int64_t ver_id, LineageDataType type);
+                       int64_t ver_id, LineageDataType type)
+      KATHDB_EXCLUDES(mu_);
 
   /// Records a row-level derivation edge child<-parent. Honors the
   /// tracking mode (may drop the edge under kOff/kTable/kSampled).
   /// Returns the child lid, or 0 when the edge was not recorded.
   int64_t RecordRowDerivation(int64_t parent_lid, const std::string& func_id,
-                              int64_t ver_id);
+                              int64_t ver_id) KATHDB_EXCLUDES(mu_);
 
   /// Records a table-level derivation with one edge per parent table.
   /// Returns the child lid (0 when tracking is off).
   int64_t RecordTableDerivation(const std::vector<int64_t>& parent_lids,
-                                const std::string& func_id, int64_t ver_id);
+                                const std::string& func_id, int64_t ver_id)
+      KATHDB_EXCLUDES(mu_);
 
   /// All edges whose child is `lid`.
-  std::vector<LineageEntry> EdgesOf(int64_t lid) const;
+  std::vector<LineageEntry> EdgesOf(int64_t lid) const
+      KATHDB_EXCLUDES(mu_);
 
   /// Direct parents of `lid`.
-  std::vector<int64_t> ParentsOf(int64_t lid) const;
+  std::vector<int64_t> ParentsOf(int64_t lid) const KATHDB_EXCLUDES(mu_);
 
   /// Transitive closure of parents up to the external sources; each hop is
   /// returned once, root-most last.
-  std::vector<LineageEntry> TraceToSources(int64_t lid) const;
+  std::vector<LineageEntry> TraceToSources(int64_t lid) const
+      KATHDB_EXCLUDES(mu_);
 
-  size_t num_entries() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t num_entries() const KATHDB_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     return entries_.size();
   }
-  /// Unsynchronized view; only valid without concurrent writers.
-  const std::vector<LineageEntry>& entries() const { return entries_; }
+  /// Unsynchronized view; only valid without concurrent writers
+  /// (tests/benches), hence the analysis escape hatch.
+  const std::vector<LineageEntry>& entries() const
+      KATHDB_NO_THREAD_SAFETY_ANALYSIS {
+    return entries_;
+  }
 
   /// Renders the store as a relational table in the Table-3 layout for the
   /// Figure-2 reproduction.
-  rel::Table ToTable(size_t max_rows = 0) const;
+  rel::Table ToTable(size_t max_rows = 0) const KATHDB_EXCLUDES(mu_);
 
   /// Approximate memory footprint of the stored edges in bytes (E6).
-  size_t ApproxBytes() const;
+  size_t ApproxBytes() const KATHDB_EXCLUDES(mu_);
 
  private:
-  void AppendLocked(LineageEntry e);
-  std::vector<LineageEntry> EdgesOfLocked(int64_t lid) const;
+  void AppendLocked(LineageEntry e) KATHDB_REQUIRES(mu_);
+  std::vector<LineageEntry> EdgesOfLocked(int64_t lid) const
+      KATHDB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   TrackingMode mode_;
   double sample_rate_;
-  int64_t next_lid_ = 1;
-  double clock_ = 0.0;
-  uint64_t sample_state_ = 0x9E3779B97F4A7C15ULL;
-  std::vector<LineageEntry> entries_;
-  std::multimap<int64_t, size_t> by_child_;  // lid -> entry index
+  int64_t next_lid_ KATHDB_GUARDED_BY(mu_) = 1;
+  double clock_ KATHDB_GUARDED_BY(mu_) = 0.0;
+  uint64_t sample_state_ KATHDB_GUARDED_BY(mu_) = 0x9E3779B97F4A7C15ULL;
+  std::vector<LineageEntry> entries_ KATHDB_GUARDED_BY(mu_);
+  std::multimap<int64_t, size_t> by_child_
+      KATHDB_GUARDED_BY(mu_);  // lid -> entry index
 };
 
 }  // namespace kathdb::lineage

@@ -32,8 +32,8 @@ BatchScheduler::BatchScheduler(BatchOptions options)
     // then notify so the wake cannot slip between the flusher's deadline
     // check and its wait.
     waker_id_ = manual->RegisterWaker([this] {
-      { std::lock_guard<std::mutex> lock(mu_); }
-      cv_.notify_all();
+      { common::MutexLock lock(mu_); }
+      cv_.NotifyAll();
     });
   }
   flusher_ = std::thread([this] { FlusherLoop(); });
@@ -51,7 +51,7 @@ BatchScheduler::~BatchScheduler() {
 void BatchScheduler::Submit(uint64_t fingerprint, BatchGenerator generate,
                             double latency_ms, BatchCallback on_done) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     if (!shutdown_) {
       stats_.submitted++;
       auto idx = fp_to_seq_.find(fingerprint);
@@ -73,7 +73,7 @@ void BatchScheduler::Submit(uint64_t fingerprint, BatchGenerator generate,
         pending_.emplace(seq, std::move(item));
         fp_to_seq_[fingerprint] = seq;
       }
-      cv_.notify_all();
+      cv_.NotifyAll();
       return;
     }
   }
@@ -94,95 +94,97 @@ std::future<Result<BatchResult>> BatchScheduler::SubmitFuture(
 
 void BatchScheduler::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     shutdown_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   if (flusher_.joinable()) flusher_.join();
 }
 
 BatchStats BatchScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return stats_;
 }
 
 size_t BatchScheduler::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return pending_.size();
 }
 
 void BatchScheduler::FlusherLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
   const int64_t deadline_us =
       static_cast<int64_t>(options_.flush_deadline_ms * 1000.0);
   for (;;) {
-    if (pending_.empty()) {
-      if (shutdown_) return;
-      cv_.wait(lock);
-      continue;
+    std::vector<PendingItem> batch;
+    {
+      common::MutexLock lock(mu_);
+      for (;;) {
+        if (pending_.empty()) {
+          if (shutdown_) return;
+          cv_.Wait(mu_);
+          continue;
+        }
+        bool size_hit =
+            pending_.size() >= static_cast<size_t>(options_.max_batch_size);
+        int64_t oldest_deadline =
+            pending_.begin()->second.submitted_micros + deadline_us;
+        bool deadline_hit =
+            shutdown_ || clock_->NowMicros() >= oldest_deadline;
+        if (size_hit || deadline_hit) {
+          CollectBatchLocked(&batch);
+          stats_.flushes++;
+          if (deadline_hit && !size_hit) {
+            stats_.deadline_flushes++;
+          } else {
+            stats_.size_flushes++;
+          }
+          break;
+        }
+        clock_->WaitUntil(mu_, cv_, oldest_deadline);
+      }
     }
-    bool size_hit =
-        pending_.size() >= static_cast<size_t>(options_.max_batch_size);
-    int64_t oldest_deadline =
-        pending_.begin()->second.submitted_micros + deadline_us;
-    bool deadline_hit = shutdown_ || clock_->NowMicros() >= oldest_deadline;
-    if (size_hit || deadline_hit) {
-      FlushBatch(lock, /*deadline_hit=*/deadline_hit && !size_hit);
-      continue;
+
+    // One simulated round trip for the whole batch: the max of its items'
+    // solo latencies plus the fixed transport overhead — this is the
+    // latency collapse that batching buys. Paid outside the lock so
+    // submissions keep landing while the batch is in flight.
+    double rtt_ms = options_.batch_latency_ms;
+    for (const auto& item : batch) rtt_ms = std::max(rtt_ms, item.latency_ms);
+    if (rtt_ms > 0.0) clock_->SleepFor(rtt_ms);
+
+    std::vector<Result<BatchResult>> results;
+    results.reserve(batch.size());
+    int64_t failed = 0;
+    for (auto& item : batch) {
+      results.push_back(item.generate());
+      if (!results.back().ok()) failed++;
     }
-    clock_->WaitUntil(lock, cv_, oldest_deadline);
+
+    // Publish the generation counters *before* waking any waiter: a
+    // caller that observes its future completed must also observe the
+    // stats that paid for it.
+    {
+      common::MutexLock lock(mu_);
+      stats_.generated += static_cast<int64_t>(batch.size());
+      stats_.failed += failed;
+    }
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+      for (auto& waiter : batch[i].waiters) waiter(results[i]);
+    }
   }
 }
 
-size_t BatchScheduler::FlushBatch(std::unique_lock<std::mutex>& lock,
-                                  bool deadline_hit) {
-  std::vector<PendingItem> batch;
-  batch.reserve(std::min<size_t>(pending_.size(),
-                                 static_cast<size_t>(options_.max_batch_size)));
+void BatchScheduler::CollectBatchLocked(std::vector<PendingItem>* batch) {
+  batch->reserve(std::min<size_t>(
+      pending_.size(), static_cast<size_t>(options_.max_batch_size)));
   while (!pending_.empty() &&
-         batch.size() < static_cast<size_t>(options_.max_batch_size)) {
+         batch->size() < static_cast<size_t>(options_.max_batch_size)) {
     auto oldest = pending_.begin();
     fp_to_seq_.erase(oldest->second.fingerprint);
-    batch.push_back(std::move(oldest->second));
+    batch->push_back(std::move(oldest->second));
     pending_.erase(oldest);
   }
-  stats_.flushes++;
-  if (deadline_hit) {
-    stats_.deadline_flushes++;
-  } else {
-    stats_.size_flushes++;
-  }
-  lock.unlock();
-
-  // One simulated round trip for the whole batch: the max of its items'
-  // solo latencies plus the fixed transport overhead — this is the
-  // latency collapse that batching buys.
-  double rtt_ms = options_.batch_latency_ms;
-  for (const auto& item : batch) rtt_ms = std::max(rtt_ms, item.latency_ms);
-  if (rtt_ms > 0.0) clock_->SleepFor(rtt_ms);
-
-  std::vector<Result<BatchResult>> results;
-  results.reserve(batch.size());
-  int64_t failed = 0;
-  for (auto& item : batch) {
-    results.push_back(item.generate());
-    if (!results.back().ok()) failed++;
-  }
-
-  // Publish the generation counters *before* waking any waiter: a caller
-  // that observes its future completed must also observe the stats that
-  // paid for it.
-  lock.lock();
-  stats_.generated += static_cast<int64_t>(batch.size());
-  stats_.failed += failed;
-  lock.unlock();
-
-  for (size_t i = 0; i < batch.size(); ++i) {
-    for (auto& waiter : batch[i].waiters) waiter(results[i]);
-  }
-
-  lock.lock();
-  return batch.size();
 }
 
 }  // namespace kathdb::llm

@@ -18,19 +18,18 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace kathdb::rel {
 class Table;
@@ -104,7 +103,7 @@ class BatchScheduler {
   /// once — with the generation result, the generation error, or
   /// kUnavailable after shutdown.
   void Submit(uint64_t fingerprint, BatchGenerator generate,
-              double latency_ms, BatchCallback on_done);
+              double latency_ms, BatchCallback on_done) KATHDB_EXCLUDES(mu_);
 
   /// Future-returning convenience over the callback form.
   std::future<Result<BatchResult>> SubmitFuture(uint64_t fingerprint,
@@ -113,14 +112,14 @@ class BatchScheduler {
 
   /// Flushes everything pending, synchronously waits for completion, then
   /// stops the flusher. Idempotent.
-  void Shutdown();
+  void Shutdown() KATHDB_EXCLUDES(mu_);
 
-  BatchStats stats() const;
+  BatchStats stats() const KATHDB_EXCLUDES(mu_);
   const BatchOptions& options() const { return options_; }
   common::Clock* clock() const { return clock_; }
 
   /// Unique fingerprints currently pending (test/diagnostic hook).
-  size_t pending() const;
+  size_t pending() const KATHDB_EXCLUDES(mu_);
 
  private:
   struct PendingItem {
@@ -131,24 +130,25 @@ class BatchScheduler {
     std::vector<BatchCallback> waiters;
   };
 
-  void FlusherLoop();
-  /// Moves up to max_batch_size oldest pending items out and executes
-  /// them. Called on the flusher thread only. Returns items flushed.
-  size_t FlushBatch(std::unique_lock<std::mutex>& lock, bool deadline_hit);
+  void FlusherLoop() KATHDB_EXCLUDES(mu_);
+  /// Moves up to max_batch_size oldest pending items out of the pending
+  /// map into `*batch`. Called on the flusher thread with mu_ held.
+  void CollectBatchLocked(std::vector<PendingItem>* batch)
+      KATHDB_REQUIRES(mu_);
 
   BatchOptions options_;
   common::Clock* clock_;
   int64_t waker_id_ = 0;  ///< ManualClock waker registration, 0 if none
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
   // Insertion-ordered pending map: seq -> item, with a fingerprint index
   // for O(log n) coalescing. Oldest item defines the flush deadline.
-  std::map<int64_t, PendingItem> pending_;
-  std::map<uint64_t, int64_t> fp_to_seq_;
-  int64_t next_seq_ = 1;
-  bool shutdown_ = false;
-  BatchStats stats_;
+  std::map<int64_t, PendingItem> pending_ KATHDB_GUARDED_BY(mu_);
+  std::map<uint64_t, int64_t> fp_to_seq_ KATHDB_GUARDED_BY(mu_);
+  int64_t next_seq_ KATHDB_GUARDED_BY(mu_) = 1;
+  bool shutdown_ KATHDB_GUARDED_BY(mu_) = false;
+  BatchStats stats_ KATHDB_GUARDED_BY(mu_);
   std::thread flusher_;
 };
 

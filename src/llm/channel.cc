@@ -4,15 +4,16 @@ namespace kathdb::llm {
 
 Result<std::string> ScriptedUser::Ask(const std::string& stage,
                                       const std::string& question) {
-  if (reply_latency_ms_ > 0.0) {
+  double latency_ms = reply_latency_ms();
+  if (latency_ms > 0.0) {
     // Think time goes through the injectable clock: real sleep on the
     // wall clock, a deterministic virtual-time jump on a ManualClock (no
     // sleep_for timing for TSan to trip over).
-    common::Clock* clock =
-        clock_ != nullptr ? clock_ : common::Clock::System();
-    clock->SleepFor(reply_latency_ms_);
+    common::Clock* c = clock();
+    if (c == nullptr) c = common::Clock::System();
+    c->SleepFor(latency_ms);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   ++questions_;
   std::string answer = "OK";
   if (!replies_.empty()) {
@@ -25,7 +26,7 @@ Result<std::string> ScriptedUser::Ask(const std::string& stage,
 
 void ScriptedUser::Notify(const std::string& stage,
                           const std::string& message) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   history_.push_back({stage, message, ""});
 }
 

@@ -12,13 +12,14 @@
 
 #pragma once
 
+#include <atomic>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace kathdb::llm {
 
@@ -63,8 +64,8 @@ class ScriptedUser : public UserChannel {
       : replies_(replies.begin(), replies.end()) {}
 
   /// Appends a reply to the script.
-  void Push(const std::string& reply) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Push(const std::string& reply) KATHDB_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     replies_.push_back(reply);
   }
 
@@ -72,31 +73,47 @@ class ScriptedUser : public UserChannel {
   /// answering, reproducing a remote user on the other end of the
   /// channel. The service layer overlaps this latency across sessions —
   /// it is what the worker pool exists to hide. Default 0 (instant).
-  void set_reply_latency_ms(double ms) { reply_latency_ms_ = ms; }
-  double reply_latency_ms() const { return reply_latency_ms_; }
+  /// Atomic: the knob may be flipped while queries are in flight.
+  void set_reply_latency_ms(double ms) {
+    reply_latency_ms_.store(ms, std::memory_order_relaxed);
+  }
+  double reply_latency_ms() const {
+    return reply_latency_ms_.load(std::memory_order_relaxed);
+  }
 
   /// Time source for the reply latency; null (default) means the wall
   /// clock. Tests inject a ManualClock so think time is a deterministic
   /// virtual-time jump instead of a real sleep.
-  void set_clock(common::Clock* clock) { clock_ = clock; }
-  common::Clock* clock() const { return clock_; }
+  void set_clock(common::Clock* clock) {
+    clock_.store(clock, std::memory_order_release);
+  }
+  common::Clock* clock() const {
+    return clock_.load(std::memory_order_acquire);
+  }
 
   Result<std::string> Ask(const std::string& stage,
-                          const std::string& question) override;
-  void Notify(const std::string& stage, const std::string& message) override;
-  const std::vector<Exchange>& history() const override { return history_; }
-  size_t questions_asked() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+                          const std::string& question)
+      KATHDB_EXCLUDES(mu_) override;
+  void Notify(const std::string& stage, const std::string& message)
+      KATHDB_EXCLUDES(mu_) override;
+  /// Deliberately unchecked: returns a reference into guarded state. Only
+  /// safe once the query has finished (documented contract above).
+  const std::vector<Exchange>& history() const
+      KATHDB_NO_THREAD_SAFETY_ANALYSIS override {
+    return history_;
+  }
+  size_t questions_asked() const KATHDB_EXCLUDES(mu_) override {
+    common::MutexLock lock(mu_);
     return questions_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::deque<std::string> replies_;
-  std::vector<Exchange> history_;
-  size_t questions_ = 0;
-  double reply_latency_ms_ = 0.0;
-  common::Clock* clock_ = nullptr;
+  mutable common::Mutex mu_;
+  std::deque<std::string> replies_ KATHDB_GUARDED_BY(mu_);
+  std::vector<Exchange> history_ KATHDB_GUARDED_BY(mu_);
+  size_t questions_ KATHDB_GUARDED_BY(mu_) = 0;
+  std::atomic<double> reply_latency_ms_{0.0};
+  std::atomic<common::Clock*> clock_{nullptr};
 };
 
 }  // namespace kathdb::llm

@@ -28,12 +28,12 @@ void UsageMeter::Record(const ModelSpec& model, int prompt_tokens,
   while (!cost_usd_.compare_exchange_weak(cur, cur + delta,
                                           std::memory_order_relaxed)) {
   }
-  std::lock_guard<std::mutex> lock(map_mu_);
+  common::MutexLock lock(map_mu_);
   per_model_tokens_[model.name] += prompt_tokens + completion_tokens;
 }
 
 int64_t UsageMeter::tokens_for(const std::string& model_name) const {
-  std::lock_guard<std::mutex> lock(map_mu_);
+  common::MutexLock lock(map_mu_);
   auto it = per_model_tokens_.find(model_name);
   return it == per_model_tokens_.end() ? 0 : it->second;
 }
@@ -43,7 +43,7 @@ void UsageMeter::Reset() {
   prompt_tokens_.store(0, std::memory_order_relaxed);
   completion_tokens_.store(0, std::memory_order_relaxed);
   cost_usd_.store(0.0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(map_mu_);
+  common::MutexLock lock(map_mu_);
   per_model_tokens_.clear();
 }
 

@@ -18,7 +18,7 @@
 #include <functional>
 #include <future>
 #include <map>
-#include <mutex>
+#include "common/sync.h"
 #include <string>
 #include <vector>
 
@@ -74,9 +74,10 @@ class UsageMeter {
   }
 
   /// Tokens attributed to one model tier.
-  int64_t tokens_for(const std::string& model_name) const;
+  int64_t tokens_for(const std::string& model_name) const
+      KATHDB_EXCLUDES(map_mu_);
 
-  void Reset();
+  void Reset() KATHDB_EXCLUDES(map_mu_);
 
   /// "calls=12 tokens=8.4k cost=$0.031" summary line.
   std::string Summary() const;
@@ -86,8 +87,8 @@ class UsageMeter {
   std::atomic<int64_t> prompt_tokens_{0};
   std::atomic<int64_t> completion_tokens_{0};
   std::atomic<double> cost_usd_{0.0};
-  mutable std::mutex map_mu_;
-  std::map<std::string, int64_t> per_model_tokens_;
+  mutable common::Mutex map_mu_;
+  std::map<std::string, int64_t> per_model_tokens_ KATHDB_GUARDED_BY(map_mu_);
 };
 
 /// \brief A deterministic simulated LLM endpoint.

@@ -233,8 +233,10 @@ Result<FrameSceneStats> ComputeFrameStats(int64_t vid, int64_t fid,
   KATHDB_ASSIGN_OR_RETURN(TablePtr frames, catalog.Get(views.frames));
   for (size_t r = 0; r < frames->num_rows(); ++r) {
     if (frames->at(r, 0).AsInt() == vid && frames->at(r, 1).AsInt() == fid) {
-      // Parse " var=<x> " back out of the pixel summary.
-      const std::string& pix = frames->at(r, 3).AsString();
+      // Parse " var=<x> " back out of the pixel summary. at() returns the
+      // cell by value, so AsString()'s reference points into a temporary —
+      // copy it out before the full-expression ends.
+      const std::string pix = frames->at(r, 3).AsString();
       auto pos = pix.find("var=");
       if (pos != std::string::npos) {
         stats.color_variance = std::strtod(pix.c_str() + pos + 4, nullptr);

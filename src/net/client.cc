@@ -109,7 +109,7 @@ void Client::Close() {
 }
 
 Status Client::SendBytes(const std::string& bytes) {
-  std::lock_guard<std::mutex> lock(send_mu_);
+  common::MutexLock lock(send_mu_);
   if (fd_ < 0) return Status::IOError("not connected");
   size_t sent = 0;
   while (sent < bytes.size()) {

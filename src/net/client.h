@@ -22,12 +22,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "net/wire.h"
 #include "relational/table.h"
 
@@ -116,7 +116,8 @@ class Client {
   uint64_t next_query_id() const { return next_qid_; }
 
   // ---- raw protocol access (hardening tests) ----
-  Status SendBytes(const std::string& bytes);  ///< thread-safe
+  Status SendBytes(const std::string& bytes)
+      KATHDB_EXCLUDES(send_mu_);  ///< thread-safe
   Status SendFrame(Op op, const std::string& payload);
   /// Blocks for the next frame; kIOError on EOF, timeout, or a
   /// protocol-violating frame.
@@ -126,7 +127,7 @@ class Client {
   ClientOptions options_;
   int fd_ = -1;
   FrameReader reader_;
-  std::mutex send_mu_;
+  common::Mutex send_mu_;
   uint64_t next_qid_ = 1;
   ResultEncoding negotiated_ = ResultEncoding::kCsv;
 };

@@ -178,7 +178,7 @@ void EventLoop::Dispatch(int fd, uint32_t events) {
 void EventLoop::DispatchTasks() {
   std::vector<std::function<void()>> tasks;
   {
-    std::lock_guard<std::mutex> lock(tasks_mu_);
+    common::MutexLock lock(tasks_mu_);
     tasks.swap(tasks_);
   }
   for (auto& task : tasks) task();
@@ -191,7 +191,7 @@ void EventLoop::Stop() {
 
 void EventLoop::RunInLoop(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(tasks_mu_);
+    common::MutexLock lock(tasks_mu_);
     tasks_.push_back(std::move(task));
   }
   Wakeup();

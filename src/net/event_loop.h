@@ -17,10 +17,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace kathdb::net {
 
@@ -63,13 +63,13 @@ class EventLoop {
 
   /// Thread-safe: queues `task` for execution on the loop thread and
   /// wakes the loop. Tasks queued after Stop are never executed.
-  void RunInLoop(std::function<void()> task);
+  void RunInLoop(std::function<void()> task) KATHDB_EXCLUDES(tasks_mu_);
 
   bool using_epoll() const { return epoll_fd_ >= 0; }
 
  private:
   void Wakeup();
-  void DispatchTasks();
+  void DispatchTasks() KATHDB_EXCLUDES(tasks_mu_);
   void RunEpoll();
   void RunPoll();
   void Dispatch(int fd, uint32_t events);
@@ -83,8 +83,8 @@ class EventLoop {
   int wake_pipe_[2] = {-1, -1};
   std::map<int, Entry> entries_;  ///< loop thread only
   std::atomic<bool> stop_{false};
-  std::mutex tasks_mu_;
-  std::vector<std::function<void()>> tasks_;
+  common::Mutex tasks_mu_;
+  std::vector<std::function<void()>> tasks_ KATHDB_GUARDED_BY(tasks_mu_);
 };
 
 }  // namespace kathdb::net

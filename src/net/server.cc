@@ -9,11 +9,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <condition_variable>
 #include <deque>
 #include <set>
 #include <utility>
 
+#include "common/sync.h"
 #include "relational/io.h"
 
 namespace kathdb::net {
@@ -91,10 +91,10 @@ struct Server::Connection {
   std::map<uint64_t, std::shared_ptr<QueryCtx>> queries;  ///< in flight
 
   // ---- shared with workers ----
-  std::mutex out_mu;
-  std::string outbuf;
-  size_t out_pos = 0;  ///< consumed prefix of outbuf
-  bool closed = false;
+  common::Mutex out_mu;
+  std::string outbuf KATHDB_GUARDED_BY(out_mu);
+  size_t out_pos KATHDB_GUARDED_BY(out_mu) = 0;  ///< consumed prefix
+  bool closed KATHDB_GUARDED_BY(out_mu) = false;
 };
 
 /// In-flight query state bridging the loop thread (REPLY/CANCEL frames,
@@ -104,12 +104,14 @@ struct Server::QueryCtx {
   explicit QueryCtx(uint64_t qid_in) : qid(qid_in) {}
 
   const uint64_t qid;
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<std::string> scripted;  ///< replies shipped with the QUERY
-  std::deque<std::string> replies;   ///< live REPLY frames
-  bool cancelled = false;  ///< client sent CANCEL
-  bool detached = false;   ///< connection closed mid-query
+  common::Mutex mu;
+  common::CondVar cv;
+  std::deque<std::string> scripted
+      KATHDB_GUARDED_BY(mu);  ///< replies shipped with the QUERY
+  std::deque<std::string> replies
+      KATHDB_GUARDED_BY(mu);               ///< live REPLY frames
+  bool cancelled KATHDB_GUARDED_BY(mu) = false;  ///< client sent CANCEL
+  bool detached KATHDB_GUARDED_BY(mu) = false;   ///< conn closed mid-query
   std::atomic<uint32_t> chunks{0};  ///< PARTIAL_RESULT frames emitted
   std::atomic<uint64_t> rows{0};    ///< rows across those frames
 };
@@ -130,7 +132,7 @@ class Server::RemoteUser : public llm::UserChannel {
     std::string answer;
     bool need_wire = false;
     {
-      std::unique_lock<std::mutex> lock(ctx_->mu);
+      common::MutexLock lock(ctx_->mu);
       if (ctx_->cancelled || ctx_->detached) {
         return Status::UserAborted(ctx_->cancelled ? "query cancelled"
                                                    : "client disconnected");
@@ -148,10 +150,10 @@ class Server::RemoteUser : public llm::UserChannel {
       w.PutString(stage);
       w.PutString(question);
       server_->SendFrame(conn_, Op::kAsk, w.Take());
-      std::unique_lock<std::mutex> lock(ctx_->mu);
-      ctx_->cv.wait(lock, [this] {
-        return !ctx_->replies.empty() || ctx_->cancelled || ctx_->detached;
-      });
+      common::MutexLock lock(ctx_->mu);
+      while (ctx_->replies.empty() && !ctx_->cancelled && !ctx_->detached) {
+        ctx_->cv.Wait(ctx_->mu);
+      }
       if (ctx_->replies.empty()) {
         return Status::UserAborted(ctx_->cancelled ? "query cancelled"
                                                    : "client disconnected");
@@ -160,7 +162,7 @@ class Server::RemoteUser : public llm::UserChannel {
       ctx_->replies.pop_front();
     }
     {
-      std::lock_guard<std::mutex> lock(hist_mu_);
+      common::MutexLock lock(hist_mu_);
       history_.push_back({stage, question, answer});
       ++questions_;
     }
@@ -169,11 +171,11 @@ class Server::RemoteUser : public llm::UserChannel {
 
   void Notify(const std::string& stage, const std::string& message) override {
     {
-      std::lock_guard<std::mutex> lock(hist_mu_);
+      common::MutexLock lock(hist_mu_);
       history_.push_back({stage, message, ""});
     }
     {
-      std::lock_guard<std::mutex> lock(ctx_->mu);
+      common::MutexLock lock(ctx_->mu);
       if (ctx_->cancelled || ctx_->detached) return;
     }
     PayloadWriter w;
@@ -183,14 +185,15 @@ class Server::RemoteUser : public llm::UserChannel {
     server_->SendFrame(conn_, Op::kNotify, w.Take());
   }
 
-  const std::vector<llm::Exchange>& history() const override {
-    // Only read once the query has finished (same contract as
-    // ScriptedUser::history).
+  // Only read once the query has finished (same contract as
+  // ScriptedUser::history), hence the analysis escape hatch.
+  const std::vector<llm::Exchange>& history() const
+      KATHDB_NO_THREAD_SAFETY_ANALYSIS override {
     return history_;
   }
 
-  size_t questions_asked() const override {
-    std::lock_guard<std::mutex> lock(hist_mu_);
+  size_t questions_asked() const KATHDB_EXCLUDES(hist_mu_) override {
+    common::MutexLock lock(hist_mu_);
     return questions_;
   }
 
@@ -198,9 +201,9 @@ class Server::RemoteUser : public llm::UserChannel {
   Server* server_;
   std::shared_ptr<Connection> conn_;
   std::shared_ptr<QueryCtx> ctx_;
-  mutable std::mutex hist_mu_;
-  std::vector<llm::Exchange> history_;
-  size_t questions_ = 0;
+  mutable common::Mutex hist_mu_;
+  std::vector<llm::Exchange> history_ KATHDB_GUARDED_BY(hist_mu_);
+  size_t questions_ KATHDB_GUARDED_BY(hist_mu_) = 0;
 };
 
 /// ProgressSink flushing final-output row chunks to the client as
@@ -222,7 +225,7 @@ class Server::StreamSink : public engine::ProgressSink {
                      bool last) override {
     (void)last;
     {
-      std::lock_guard<std::mutex> lock(ctx_->mu);
+      common::MutexLock lock(ctx_->mu);
       if (ctx_->cancelled || ctx_->detached) return;
     }
     uint32_t seq = ctx_->chunks.fetch_add(1, std::memory_order_relaxed);
@@ -505,10 +508,10 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       auto it = conn->queries.find(*qid);
       if (it == conn->queries.end()) return;  // raced with completion
       {
-        std::lock_guard<std::mutex> lock(it->second->mu);
+        common::MutexLock lock(it->second->mu);
         it->second->replies.push_back(std::move(*answer));
       }
-      it->second->cv.notify_all();
+      it->second->cv.NotifyAll();
       return;
     }
     case Op::kCancel: {
@@ -521,10 +524,10 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       auto it = conn->queries.find(*qid);
       if (it == conn->queries.end()) return;  // raced with completion
       {
-        std::lock_guard<std::mutex> lock(it->second->mu);
+        common::MutexLock lock(it->second->mu);
         it->second->cancelled = true;
       }
-      it->second->cv.notify_all();
+      it->second->cv.NotifyAll();
       return;
     }
     case Op::kStats: {
@@ -622,7 +625,7 @@ void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
   if (conn->state == Connection::State::kClosed) return;
   conn->state = Connection::State::kClosed;
   {
-    std::lock_guard<std::mutex> lock(conn->out_mu);
+    common::MutexLock lock(conn->out_mu);
     conn->closed = true;
   }
   loop_.Remove(conn->fd);
@@ -637,10 +640,10 @@ void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
   // find the connection closed.
   for (auto& [qid, ctx] : conn->queries) {
     {
-      std::lock_guard<std::mutex> lock(ctx->mu);
+      common::MutexLock lock(ctx->mu);
       ctx->detached = true;
     }
-    ctx->cv.notify_all();
+    ctx->cv.NotifyAll();
   }
   conn->queries.clear();
   connections_.erase(conn->fd);
@@ -652,7 +655,7 @@ void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
 void Server::SendFrame(const std::shared_ptr<Connection>& conn, Op op,
                        const std::string& payload) {
   {
-    std::lock_guard<std::mutex> lock(conn->out_mu);
+    common::MutexLock lock(conn->out_mu);
     if (conn->closed) return;
     conn->outbuf += EncodeFrame(op, payload);
   }
@@ -670,7 +673,7 @@ void Server::SendFrame(const std::shared_ptr<Connection>& conn, Op op,
 void Server::FlushWrites(const std::shared_ptr<Connection>& conn) {
   bool fatal = false;
   {
-    std::lock_guard<std::mutex> lock(conn->out_mu);
+    common::MutexLock lock(conn->out_mu);
     if (conn->closed) return;
     while (conn->out_pos < conn->outbuf.size()) {
       ssize_t n = ::write(conn->fd, conn->outbuf.data() + conn->out_pos,
@@ -701,7 +704,7 @@ void Server::FlushWrites(const std::shared_ptr<Connection>& conn) {
 void Server::UpdateInterest(const std::shared_ptr<Connection>& conn) {
   size_t pending;
   {
-    std::lock_guard<std::mutex> lock(conn->out_mu);
+    common::MutexLock lock(conn->out_mu);
     pending = conn->outbuf.size() - conn->out_pos;
   }
   // Write-buffer high-water mark: stop reading from a client that is not
@@ -724,7 +727,7 @@ void Server::OnQueryComplete(const std::shared_ptr<Connection>& conn,
                              const Result<engine::QueryOutcome>& outcome) {
   bool cancelled, detached;
   {
-    std::lock_guard<std::mutex> lock(ctx->mu);
+    common::MutexLock lock(ctx->mu);
     cancelled = ctx->cancelled;
     detached = ctx->detached;
   }

@@ -1,7 +1,6 @@
 #include "relational/catalog.h"
 
 #include <algorithm>
-#include <mutex>
 #include <set>
 
 namespace kathdb::rel {
@@ -50,7 +49,7 @@ bool JoinableTables(const Table& lt, const Table& rt,
 Status Catalog::Register(TablePtr table, RelationKind kind) {
   if (table == nullptr) return Status::InvalidArgument("null table");
   const std::string name = table->name();
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  common::WriterLock lock(mu_);
   if (entries_.count(name) > 0) {
     return Status::AlreadyExists("relation '" + name +
                                  "' already registered");
@@ -63,7 +62,7 @@ Status Catalog::Register(TablePtr table, RelationKind kind) {
 void Catalog::Upsert(TablePtr table, RelationKind kind) {
   if (table == nullptr) return;
   const std::string name = table->name();
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  common::WriterLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     order_.push_back(name);
@@ -80,17 +79,17 @@ Result<TablePtr> Catalog::GetLocked(const std::string& name) const {
 }
 
 Result<TablePtr> Catalog::Get(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::ReaderLock lock(mu_);
   return GetLocked(name);
 }
 
 bool Catalog::Has(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::ReaderLock lock(mu_);
   return entries_.count(name) > 0;
 }
 
 Status Catalog::Drop(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  common::WriterLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     return Status::NotFound("relation '" + name + "' not in catalog");
@@ -101,18 +100,18 @@ Status Catalog::Drop(const std::string& name) {
 }
 
 RelationKind Catalog::KindOf(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::ReaderLock lock(mu_);
   auto it = entries_.find(name);
   return it == entries_.end() ? RelationKind::kIntermediate : it->second.kind;
 }
 
 std::vector<std::string> Catalog::ListNames() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::ReaderLock lock(mu_);
   return order_;
 }
 
 Result<Table> Catalog::SampleRows(const std::string& name, size_t n) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::ReaderLock lock(mu_);
   KATHDB_ASSIGN_OR_RETURN(TablePtr t, GetLocked(name));
   return t->Head(n);
 }
@@ -129,7 +128,7 @@ std::string Catalog::DescribeEntry(const std::string& name,
 }
 
 std::string Catalog::DescribeAll() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::ReaderLock lock(mu_);
   std::string out;
   for (const auto& name : order_) {
     out += DescribeEntry(name, entries_.at(name));
@@ -139,7 +138,7 @@ std::string Catalog::DescribeAll() const {
 
 bool Catalog::Joinable(const std::string& left, const std::string& right,
                        std::string* on_column) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::ReaderLock lock(mu_);
   auto lit = entries_.find(left);
   auto rit = entries_.find(right);
   if (lit == entries_.end() || rit == entries_.end()) return false;
@@ -151,7 +150,7 @@ bool Catalog::Joinable(const std::string& left, const std::string& right,
 Status ScopedCatalog::Register(TablePtr table, RelationKind kind) {
   if (table == nullptr) return Status::InvalidArgument("null table");
   const std::string name = table->name();
-  std::unique_lock<std::shared_mutex> lock(overlay_mu_);
+  common::WriterLock lock(overlay_mu_);
   if (overlay_.count(name) > 0 || base_->Has(name)) {
     return Status::AlreadyExists("relation '" + name +
                                  "' already registered");
@@ -164,14 +163,14 @@ Status ScopedCatalog::Register(TablePtr table, RelationKind kind) {
 void ScopedCatalog::Upsert(TablePtr table, RelationKind kind) {
   if (table == nullptr) return;
   const std::string name = table->name();
-  std::unique_lock<std::shared_mutex> lock(overlay_mu_);
+  common::WriterLock lock(overlay_mu_);
   if (overlay_.count(name) == 0) order_.push_back(name);
   overlay_[name] = OverlayEntry{std::move(table), kind};
 }
 
 Result<TablePtr> ScopedCatalog::Get(const std::string& name) const {
   {
-    std::shared_lock<std::shared_mutex> lock(overlay_mu_);
+    common::ReaderLock lock(overlay_mu_);
     auto it = overlay_.find(name);
     if (it != overlay_.end()) return it->second.table;
   }
@@ -180,14 +179,14 @@ Result<TablePtr> ScopedCatalog::Get(const std::string& name) const {
 
 bool ScopedCatalog::Has(const std::string& name) const {
   {
-    std::shared_lock<std::shared_mutex> lock(overlay_mu_);
+    common::ReaderLock lock(overlay_mu_);
     if (overlay_.count(name) > 0) return true;
   }
   return base_->Has(name);
 }
 
 Status ScopedCatalog::Drop(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(overlay_mu_);
+  common::WriterLock lock(overlay_mu_);
   auto it = overlay_.find(name);
   if (it == overlay_.end()) {
     if (base_->Has(name)) {
@@ -203,7 +202,7 @@ Status ScopedCatalog::Drop(const std::string& name) {
 
 RelationKind ScopedCatalog::KindOf(const std::string& name) const {
   {
-    std::shared_lock<std::shared_mutex> lock(overlay_mu_);
+    common::ReaderLock lock(overlay_mu_);
     auto it = overlay_.find(name);
     if (it != overlay_.end()) return it->second.kind;
   }
@@ -212,7 +211,7 @@ RelationKind ScopedCatalog::KindOf(const std::string& name) const {
 
 std::vector<std::string> ScopedCatalog::ListNames() const {
   std::vector<std::string> names = base_->ListNames();
-  std::shared_lock<std::shared_mutex> lock(overlay_mu_);
+  common::ReaderLock lock(overlay_mu_);
   for (const auto& name : order_) {
     if (!base_->Has(name)) names.push_back(name);
   }

@@ -6,7 +6,7 @@
 /// the executor (resolving FAO `inputs` names to materialized tables).
 ///
 /// Concurrency: the base Catalog is internally synchronized (a
-/// shared_mutex; reads run in parallel), so one catalog can serve many
+/// common::SharedMutex; reads run in parallel), so one catalog can serve many
 /// concurrent queries. Per-query *writes* — the intermediates an executor
 /// materializes under a plan's output names — must not collide across
 /// queries, so each concurrent query runs against a ScopedCatalog overlay:
@@ -18,11 +18,11 @@
 
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "relational/table.h"
 
 namespace kathdb::rel {
@@ -73,13 +73,14 @@ class Catalog {
     RelationKind kind;
   };
 
-  // Unlocked internals (callers hold mu_).
-  Result<TablePtr> GetLocked(const std::string& name) const;
+  // Unlocked internals (callers hold mu_, at least shared).
+  Result<TablePtr> GetLocked(const std::string& name) const
+      KATHDB_REQUIRES_SHARED(mu_);
   std::string DescribeEntry(const std::string& name, const Entry& e) const;
 
-  mutable std::shared_mutex mu_;
-  std::vector<std::string> order_;
-  std::map<std::string, Entry> entries_;
+  mutable common::SharedMutex mu_;
+  std::vector<std::string> order_ KATHDB_GUARDED_BY(mu_);
+  std::map<std::string, Entry> entries_ KATHDB_GUARDED_BY(mu_);
 };
 
 /// \brief Per-query copy-on-write overlay over a shared base catalog.
@@ -89,7 +90,7 @@ class Catalog {
 /// therefore sees the shared corpus plus its *own* intermediates, and two
 /// queries materializing the same output name never race — the executor
 /// re-entrancy building block of the service layer. The overlay is
-/// internally synchronized (its own shared_mutex): with DAG-parallel
+/// internally synchronized (its own common::SharedMutex): with DAG-parallel
 /// intra-query execution the nodes of *one* query materialize their
 /// outputs from several worker threads into the same overlay.
 class ScopedCatalog : public Catalog {
@@ -114,8 +115,8 @@ class ScopedCatalog : public Catalog {
                 std::string* on_column) const override;
 
   /// Number of query-local relations (diagnostics).
-  size_t overlay_size() const {
-    std::shared_lock<std::shared_mutex> lock(overlay_mu_);
+  size_t overlay_size() const KATHDB_EXCLUDES(overlay_mu_) {
+    common::ReaderLock lock(overlay_mu_);
     return overlay_.size();
   }
 
@@ -125,9 +126,9 @@ class ScopedCatalog : public Catalog {
     RelationKind kind;
   };
   const Catalog* base_;
-  mutable std::shared_mutex overlay_mu_;
-  std::vector<std::string> order_;
-  std::map<std::string, OverlayEntry> overlay_;
+  mutable common::SharedMutex overlay_mu_;
+  std::vector<std::string> order_ KATHDB_GUARDED_BY(overlay_mu_);
+  std::map<std::string, OverlayEntry> overlay_ KATHDB_GUARDED_BY(overlay_mu_);
 };
 
 }  // namespace kathdb::rel

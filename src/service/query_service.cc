@@ -31,7 +31,7 @@ std::string ServiceStats::ToText() const {
 }
 
 std::optional<engine::QueryOutcome> Session::last_outcome() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return last_;
 }
 
@@ -40,7 +40,7 @@ void Session::RecordOutcome(const Result<engine::QueryOutcome>& outcome,
   questions_answered_.fetch_add(static_cast<int64_t>(questions));
   if (outcome.ok()) {
     queries_ok_.fetch_add(1);
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     last_ = outcome.value();
   } else {
     queries_failed_.fetch_add(1);
@@ -92,7 +92,7 @@ QueryService::~QueryService() {
 }
 
 SessionId QueryService::OpenSession(std::vector<std::string> default_replies) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  common::MutexLock lock(sessions_mu_);
   SessionId id = next_session_id_++;
   sessions_.emplace(
       id, std::make_shared<Session>(id, std::move(default_replies)));
@@ -101,7 +101,7 @@ SessionId QueryService::OpenSession(std::vector<std::string> default_replies) {
 }
 
 Status QueryService::CloseSession(SessionId id) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  common::MutexLock lock(sessions_mu_);
   // In-flight queries hold their own shared_ptr; erasing here only stops
   // new submissions.
   if (sessions_.erase(id) == 0) {
@@ -111,7 +111,7 @@ Status QueryService::CloseSession(SessionId id) {
 }
 
 Result<SessionPtr> QueryService::GetSession(SessionId id) const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  common::MutexLock lock(sessions_mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     return Status::NotFound("no session " + std::to_string(id));
@@ -120,7 +120,7 @@ Result<SessionPtr> QueryService::GetSession(SessionId id) const {
 }
 
 size_t QueryService::num_sessions() const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  common::MutexLock lock(sessions_mu_);
   return sessions_.size();
 }
 

@@ -30,12 +30,12 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/sync.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/kathdb.h"
@@ -156,7 +156,8 @@ class Session {
   }
 
   /// Outcome of the session's most recently *completed* query.
-  std::optional<engine::QueryOutcome> last_outcome() const;
+  std::optional<engine::QueryOutcome> last_outcome() const
+      KATHDB_EXCLUDES(mu_);
 
   int64_t queries_ok() const { return queries_ok_.load(); }
   int64_t queries_failed() const { return queries_failed_.load(); }
@@ -167,12 +168,12 @@ class Session {
  private:
   friend class QueryService;
   void RecordOutcome(const Result<engine::QueryOutcome>& outcome,
-                     size_t questions);
+                     size_t questions) KATHDB_EXCLUDES(mu_);
 
   const SessionId id_;
   const std::vector<std::string> default_replies_;
-  mutable std::mutex mu_;
-  std::optional<engine::QueryOutcome> last_;
+  mutable common::Mutex mu_;
+  std::optional<engine::QueryOutcome> last_ KATHDB_GUARDED_BY(mu_);
   std::atomic<int64_t> queries_ok_{0};
   std::atomic<int64_t> queries_failed_{0};
   std::atomic<int64_t> questions_answered_{0};
@@ -196,10 +197,12 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   // ---- session lifecycle ----
-  SessionId OpenSession(std::vector<std::string> default_replies = {});
-  Status CloseSession(SessionId id);
-  Result<SessionPtr> GetSession(SessionId id) const;
-  size_t num_sessions() const;
+  SessionId OpenSession(std::vector<std::string> default_replies = {})
+      KATHDB_EXCLUDES(sessions_mu_);
+  Status CloseSession(SessionId id) KATHDB_EXCLUDES(sessions_mu_);
+  Result<SessionPtr> GetSession(SessionId id) const
+      KATHDB_EXCLUDES(sessions_mu_);
+  size_t num_sessions() const KATHDB_EXCLUDES(sessions_mu_);
 
   // ---- query execution ----
   /// Asynchronous entry point: enqueues the query and returns a future.
@@ -246,9 +249,9 @@ class QueryService {
   /// configured budget is 1.
   std::unique_ptr<common::ThreadPool> exec_pool_;
 
-  mutable std::mutex sessions_mu_;
-  std::map<SessionId, SessionPtr> sessions_;
-  SessionId next_session_id_ = 1;
+  mutable common::Mutex sessions_mu_;
+  std::map<SessionId, SessionPtr> sessions_ KATHDB_GUARDED_BY(sessions_mu_);
+  SessionId next_session_id_ KATHDB_GUARDED_BY(sessions_mu_) = 1;
 
   std::atomic<int64_t> submitted_{0};
   std::atomic<int64_t> rejected_{0};

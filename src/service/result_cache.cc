@@ -34,7 +34,7 @@ const ResultCache::Shard& ResultCache::shard_for(uint64_t key) const {
 
 std::optional<CacheEntry> ResultCache::Get(uint64_t key) {
   Shard& s = shard_for(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  common::MutexLock lock(s.mu);
   auto it = s.map.find(key);
   if (it == s.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -46,7 +46,7 @@ std::optional<CacheEntry> ResultCache::Get(uint64_t key) {
 
 void ResultCache::Put(uint64_t key, CacheEntry entry) {
   Shard& s = shard_for(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  common::MutexLock lock(s.mu);
   auto it = s.map.find(key);
   if (it != s.map.end()) {
     it->second = std::move(entry);  // refresh in place, FIFO slot kept
@@ -64,13 +64,13 @@ void ResultCache::Put(uint64_t key, CacheEntry entry) {
 
 bool ResultCache::Contains(uint64_t key) const {
   const Shard& s = shard_for(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  common::MutexLock lock(s.mu);
   return s.map.count(key) > 0;
 }
 
 void ResultCache::Clear() {
   for (size_t i = 0; i < shard_count_; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    common::MutexLock lock(shards_[i].mu);
     shards_[i].map.clear();
     shards_[i].fifo.clear();
   }
@@ -79,7 +79,7 @@ void ResultCache::Clear() {
 size_t ResultCache::size() const {
   size_t n = 0;
   for (size_t i = 0; i < shard_count_; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    common::MutexLock lock(shards_[i].mu);
     n += shards_[i].map.size();
   }
   return n;

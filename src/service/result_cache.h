@@ -36,12 +36,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "relational/table.h"
 
 namespace kathdb::service {
@@ -101,9 +101,9 @@ class ResultCache {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<uint64_t, CacheEntry> map;
-    std::deque<uint64_t> fifo;  // insertion order for eviction
+    mutable common::Mutex mu;
+    std::unordered_map<uint64_t, CacheEntry> map KATHDB_GUARDED_BY(mu);
+    std::deque<uint64_t> fifo KATHDB_GUARDED_BY(mu);  // FIFO eviction order
   };
 
   Shard& shard_for(uint64_t key);

@@ -1,0 +1,29 @@
+/// Negative compile check: acquiring a mutex already held on the same
+/// path (self-deadlock) must be rejected by -Werror=thread-safety.
+/// Built only via the compile_fail_double_lock ctest entry (clang,
+/// KATHDB_COMPILE_FAIL_TESTS=ON), which passes when this FAILS to build.
+
+#include "common/sync.h"
+
+namespace {
+
+class Widget {
+ public:
+  void Touch() KATHDB_EXCLUDES(mu_) {
+    kathdb::common::MutexLock outer(mu_);
+    kathdb::common::MutexLock inner(mu_);  // expected-error: already held
+    ++value_;
+  }
+
+ private:
+  kathdb::common::Mutex mu_;
+  int value_ KATHDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Widget w;
+  w.Touch();
+  return 0;
+}

@@ -1,0 +1,28 @@
+/// Negative compile check: calling a KATHDB_REQUIRES(mu_) helper without
+/// holding the mutex must be rejected by -Werror=thread-safety.
+/// Built only via the compile_fail_requires_not_held ctest entry (clang,
+/// KATHDB_COMPILE_FAIL_TESTS=ON), which passes when this FAILS to build.
+
+#include "common/sync.h"
+
+namespace {
+
+class Store {
+ public:
+  int Get() const {
+    return GetLocked();  // expected-error: requires mu_ which is not held
+  }
+
+ private:
+  int GetLocked() const KATHDB_REQUIRES(mu_) { return value_; }
+
+  mutable kathdb::common::Mutex mu_;
+  int value_ KATHDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Store s;
+  return s.Get();
+}

@@ -1,0 +1,29 @@
+/// Negative compile check: writing a guarded member while holding only a
+/// ReaderLock (shared capability) must be rejected by
+/// -Werror=thread-safety — mutation needs the exclusive capability.
+/// Built only via the compile_fail_shared_write ctest entry (clang,
+/// KATHDB_COMPILE_FAIL_TESTS=ON), which passes when this FAILS to build.
+
+#include "common/sync.h"
+
+namespace {
+
+class Registry {
+ public:
+  void Mutate() KATHDB_EXCLUDES(mu_) {
+    kathdb::common::ReaderLock lock(mu_);
+    ++value_;  // expected-error: shared lock cannot justify a write
+  }
+
+ private:
+  kathdb::common::SharedMutex mu_;
+  int value_ KATHDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry r;
+  r.Mutate();
+  return 0;
+}

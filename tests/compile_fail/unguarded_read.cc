@@ -1,0 +1,26 @@
+/// Negative compile check: reading a KATHDB_GUARDED_BY member without
+/// holding its mutex must be rejected by -Werror=thread-safety.
+/// Built only via the compile_fail_unguarded_read ctest entry (clang,
+/// KATHDB_COMPILE_FAIL_TESTS=ON), which passes when this FAILS to build.
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  int Read() const {  // missing MutexLock / KATHDB_REQUIRES(mu_)
+    return value_;    // expected-error: reading guarded field
+  }
+
+ private:
+  mutable kathdb::common::Mutex mu_;
+  int value_ KATHDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.Read();
+}

@@ -1,0 +1,27 @@
+/// Negative compile check: writing a KATHDB_GUARDED_BY member without
+/// holding its mutex must be rejected by -Werror=thread-safety.
+/// Built only via the compile_fail_unguarded_write ctest entry (clang,
+/// KATHDB_COMPILE_FAIL_TESTS=ON), which passes when this FAILS to build.
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {  // missing MutexLock / KATHDB_REQUIRES(mu_)
+    ++value_;    // expected-error: writing guarded field
+  }
+
+ private:
+  kathdb::common::Mutex mu_;
+  int value_ KATHDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

@@ -1,0 +1,173 @@
+/// \file gen_corpus.cc
+/// \brief Deterministic seed-corpus generator for the wire fuzzers.
+///
+/// Writes the seed inputs under <outdir>/fuzz_frame_reader and
+/// <outdir>/fuzz_table_columnar. The outputs are checked in under
+/// tests/fuzz/corpus/ — regenerate (and re-commit) after changing the
+/// frame format or the columnar encoding:
+///
+///     cmake --build build --target fuzz_gen_corpus
+///     ./build/fuzz_gen_corpus tests/fuzz/corpus
+///
+/// Seeds cover every frame-level edge (valid single/multi, zero-length,
+/// oversized, truncated header/body, garbage) and every columnar column
+/// encoding (EMPTY/BOOL/INT/DOUBLE/DICT/MIXED, with and without NULLs)
+/// plus truncations and corrupted tags, so the replay regression test
+/// exercises the same branches a fuzzer finds first.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "net/wire.h"
+#include "relational/table.h"
+
+namespace {
+
+using kathdb::net::EncodeFrame;
+using kathdb::net::EncodeTableColumnar;
+using kathdb::net::Op;
+using kathdb::net::PayloadWriter;
+using kathdb::rel::DataType;
+using kathdb::rel::Row;
+using kathdb::rel::Schema;
+using kathdb::rel::Table;
+using kathdb::rel::Value;
+
+void WriteSeed(const std::filesystem::path& dir, const std::string& name,
+               const std::string& bytes) {
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string U32Be(uint32_t v) {
+  std::string s(4, '\0');
+  s[0] = static_cast<char>(v >> 24);
+  s[1] = static_cast<char>(v >> 16);
+  s[2] = static_cast<char>(v >> 8);
+  s[3] = static_cast<char>(v);
+  return s;
+}
+
+void GenFrameSeeds(const std::filesystem::path& dir) {
+  // Valid traffic.
+  PayloadWriter hello;
+  hello.PutString(kathdb::net::kWireMagic);
+  WriteSeed(dir, "hello", EncodeFrame(Op::kHello, hello.Take()));
+  WriteSeed(dir, "ping", EncodeFrame(Op::kPing, "echo me"));
+  PayloadWriter query;
+  query.PutU64(1);
+  query.PutU64(7);
+  query.PutString("find exciting films");
+  query.PutU32(1);
+  query.PutString("yes");
+  std::string query_frame = EncodeFrame(Op::kQuery, query.Take());
+  WriteSeed(dir, "query", query_frame);
+  WriteSeed(dir, "back_to_back",
+            EncodeFrame(Op::kPing, "a") + EncodeFrame(Op::kPing, "b") +
+                query_frame);
+  WriteSeed(dir, "empty_payload", EncodeFrame(Op::kStats, ""));
+
+  // Protocol violations and truncations.
+  WriteSeed(dir, "zero_length", U32Be(0));
+  WriteSeed(dir, "oversized", U32Be(0xFFFFFFFFu) + std::string(16, 'x'));
+  WriteSeed(dir, "truncated_header", U32Be(10).substr(0, 2));
+  WriteSeed(dir, "truncated_body", U32Be(100) + std::string(20, 'q'));
+  WriteSeed(dir, "garbage", std::string("\x00\x01garbage not a frame", 21));
+  WriteSeed(dir, "valid_then_truncated",
+            EncodeFrame(Op::kPing, "ok") + U32Be(50) + "half");
+}
+
+std::string Columnar(const Table& t) {
+  PayloadWriter w;
+  EncodeTableColumnar(t, &w);
+  return w.Take();
+}
+
+void GenColumnarSeeds(const std::filesystem::path& dir) {
+  // Empty table (schema only).
+  Schema empty_schema;
+  empty_schema.AddColumn("x", DataType::kInt);
+  empty_schema.AddColumn("s", DataType::kString);
+  WriteSeed(dir, "empty_table", Columnar(Table("t", empty_schema)));
+
+  // Every column encoding in one table, with NULLs in each column.
+  Schema all;
+  all.AddColumn("b", DataType::kBool);
+  all.AddColumn("i", DataType::kInt);
+  all.AddColumn("d", DataType::kDouble);
+  all.AddColumn("s", DataType::kString);
+  Table mixed("t", all);
+  for (int r = 0; r < 70; ++r) {  // >64 rows: two validity words
+    Row row;
+    row.push_back(r % 5 == 0 ? Value::Null() : Value::Bool(r % 2 == 0));
+    row.push_back(r % 7 == 0 ? Value::Null()
+                             : Value::Int(r * 1'000'003LL - 500'000));
+    row.push_back(r % 4 == 0 ? Value::Null() : Value::Double(r / 3.0));
+    row.push_back(r % 6 == 0 ? Value::Null()
+                             : Value::Str(r % 3 == 0 ? "" : "str" +
+                                          std::to_string(r % 8)));
+    mixed.AppendRow(std::move(row));
+  }
+  std::string mixed_bytes = Columnar(mixed);
+  WriteSeed(dir, "all_types_with_nulls", mixed_bytes);
+
+  // All-valid (no validity words) and all-NULL (EMPTY block) columns.
+  Schema dense_schema;
+  dense_schema.AddColumn("i", DataType::kInt);
+  dense_schema.AddColumn("gone", DataType::kString);
+  Table dense("t", dense_schema);
+  for (int r = 0; r < 8; ++r) {
+    dense.AppendRow({Value::Int(r), Value::Null()});
+  }
+  WriteSeed(dir, "dense_and_empty_cols", Columnar(dense));
+
+  // A column that decodes as MIXED: per-row type tags.
+  Schema mixed_col_schema;
+  mixed_col_schema.AddColumn("any", DataType::kString);
+  Table poly("t", mixed_col_schema);
+  poly.AppendRow({Value::Int(42)});
+  poly.AppendRow({Value::Str("answer")});
+  poly.AppendRow({Value::Double(6.5)});
+  poly.AppendRow({Value::Bool(true)});
+  poly.AppendRow({Value::Null()});
+  WriteSeed(dir, "mixed_type_column", Columnar(poly));
+
+  // Malformed variants of a valid payload: truncations at interesting
+  // offsets and a corrupted column tag.
+  WriteSeed(dir, "truncated_schema", mixed_bytes.substr(0, 6));
+  WriteSeed(dir, "truncated_mid_block",
+            mixed_bytes.substr(0, mixed_bytes.size() / 2));
+  WriteSeed(dir, "truncated_last_byte",
+            mixed_bytes.substr(0, mixed_bytes.size() - 1));
+  std::string bad_tag = mixed_bytes;
+  bad_tag[bad_tag.size() / 3] = '\x7F';
+  WriteSeed(dir, "corrupted_tag", bad_tag);
+  // Absurd counts: 4 billion columns / rows in a tiny payload.
+  WriteSeed(dir, "absurd_ncols", U32Be(0xFFFFFFFFu) + "x");
+  PayloadWriter absurd_rows;
+  absurd_rows.PutU32(0);
+  absurd_rows.PutU64(0xFFFFFFFFFFFFFFFFull);
+  WriteSeed(dir, "absurd_nrows", absurd_rows.Take());
+  WriteSeed(dir, "empty_input", "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 2;
+  }
+  std::filesystem::path root(argv[1]);
+  std::filesystem::path frames = root / "fuzz_frame_reader";
+  std::filesystem::path columnar = root / "fuzz_table_columnar";
+  std::filesystem::create_directories(frames);
+  std::filesystem::create_directories(columnar);
+  GenFrameSeeds(frames);
+  GenColumnarSeeds(columnar);
+  std::printf("seed corpus written under %s\n", root.string().c_str());
+  return 0;
+}

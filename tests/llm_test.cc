@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
@@ -159,6 +161,37 @@ TEST(ScriptedUserTest, ReplyLatencyRunsOnTheInjectedClock) {
   user.set_clock(&clock);
   EXPECT_EQ(user.Ask("parse", "q").value(), "sure");
   EXPECT_EQ(clock.NowMicros(), 25000);
+}
+
+TEST(ScriptedUserTest, KnobsAreSafeToFlipDuringConcurrentAsks) {
+  // Regression: reply_latency_ms / clock used to be plain members read
+  // by Ask while setters ran on other threads — a data race TSan flags.
+  // Both are atomics now; this test races setters against Asks and
+  // Pushes so the sanitizer jobs prove the fix.
+  common::ManualClock clock;
+  ScriptedUser user;
+  std::atomic<bool> stop{false};
+  std::thread knobs([&] {
+    for (int i = 0; !stop.load(); ++i) {
+      user.set_reply_latency_ms(i % 2 == 0 ? 0.0 : 1.0);
+      user.set_clock(i % 2 == 0 ? nullptr : &clock);
+      std::this_thread::yield();
+    }
+    // Leave the knobs in a deterministic instant-reply state.
+    user.set_reply_latency_ms(0.0);
+    user.set_clock(&clock);
+  });
+  constexpr int kAsks = 200;
+  std::thread asker([&] {
+    for (int i = 0; i < kAsks; ++i) {
+      user.Push("r" + std::to_string(i));
+      EXPECT_TRUE(user.Ask("parse", "q").ok());
+    }
+  });
+  asker.join();
+  stop = true;
+  knobs.join();
+  EXPECT_EQ(user.questions_asked(), static_cast<size_t>(kAsks));
 }
 
 // ------------------- batched vs synchronous completion differential ----
